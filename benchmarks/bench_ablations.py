@@ -1,0 +1,248 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not published tables; they quantify the *mechanisms* behind
+the paper's results: the value of optimising ``m`` (fig. 2), the
+analysis-rate convention, the fig.-2 curves themselves, and the two
+extension axes (TMR redundancy, finer DVS ladders).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.checkpoints import CostModel
+from repro.core.schemes import AdaptiveDVSPolicy
+from repro.experiments.sweeps import (
+    fixed_m_study,
+    optimal_m_curves,
+    rate_factor_study,
+)
+from repro.extensions.multi_speed import compare_ladders, paper_ladder, uniform_ladder
+from repro.extensions.security import security_sweep
+from repro.extensions.tmr import simulate_tmr_run
+from repro.sim.faults import DualPoissonFaults
+from repro.sim.montecarlo import run_many, summarize
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+
+
+def _reps(divisor: int = 2) -> int:
+    return max(100, int(os.environ.get("REPRO_BENCH_REPS", 800)) // divisor)
+
+
+def _paper_task(**overrides) -> TaskSpec:
+    params = dict(
+        cycles=7600.0,
+        deadline=10_000.0,
+        fault_budget=5,
+        fault_rate=1.4e-3,
+        costs=CostModel.scp_favourable(),
+    )
+    params.update(overrides)
+    return TaskSpec(**params)
+
+
+def test_optimal_m_curves(benchmark):
+    """Regenerate the fig.-2 analysis: R1(m)/R2(m) with marked optima."""
+
+    def curves():
+        return optimal_m_curves(
+            [100.0, 177.0, 300.0, 500.0],
+            rate=2 * 1.4e-3,
+            store=2.0,
+            compare=20.0,
+            max_m=16,
+        )
+
+    result = benchmark(curves)
+    print()
+    for curve in result:
+        best = curve.optimal_value
+        print(
+            f"R_{curve.kind}(m) span={curve.span:5.0f}: optimum m={curve.optimal_m} "
+            f"value={best:7.1f}  (m=1 gives {curve.values[0]:7.1f}, "
+            f"saving {1 - best / curve.values[0]:.1%})"
+        )
+        assert best <= curve.values[0]
+    scp_opts = {c.span: c.optimal_m for c in result if c.kind == "scp"}
+    # Longer intervals under fault pressure want more subdivision.
+    assert scp_opts[500.0] >= scp_opts[100.0]
+    benchmark.extra_info["scp_optima"] = str(scp_opts)
+
+
+def test_fixed_vs_adaptive_m(benchmark):
+    """Is procedure num_SCP worth it vs any fixed m?  (table 1a row 1)"""
+    task = _paper_task()
+    reps = _reps()
+
+    def study():
+        return fixed_m_study(task, ms=[1, 2, 4, 8, 16], reps=reps, seed=41)
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    print()
+    for name, cell in sorted(results.items()):
+        print(f"  {name:>9}: P={cell.p:.4f} E={cell.e:9.0f}")
+    adaptive = results["adaptive"]
+    best_fixed = min(
+        (cell for name, cell in results.items() if name != "adaptive"),
+        key=lambda c: c.e if c.p > 0.95 else float("inf"),
+    )
+    # The adaptive choice must be within noise of the best fixed m...
+    assert adaptive.e <= best_fixed.e * 1.03
+    # ...and clearly better than no subdivision.
+    assert adaptive.e < results["m=1"].e
+    benchmark.extra_info["adaptive_E"] = round(adaptive.e)
+    benchmark.extra_info["m1_E"] = round(results["m=1"].e)
+
+
+def test_rate_factor(benchmark):
+    """Analysis rate λ (simulation-consistent) vs 2λ (paper equations)."""
+    task = _paper_task()
+    reps = _reps()
+
+    def study():
+        return rate_factor_study(task, factors=(1.0, 2.0), reps=reps, seed=43)
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    print()
+    for factor, cell in sorted(results.items()):
+        print(f"  rate×{factor:.0f}: P={cell.p:.4f} E={cell.e:9.0f}")
+    # The convention must not change the story: both factors keep the
+    # scheme at P≈1, energies within 2%.
+    assert results[1.0].p > 0.98 and results[2.0].p > 0.98
+    assert abs(results[1.0].e - results[2.0].e) < 0.02 * results[1.0].e
+    benchmark.extra_info["E_factor1"] = round(results[1.0].e)
+    benchmark.extra_info["E_factor2"] = round(results[2.0].e)
+
+
+def test_tmr_vs_dmr(benchmark):
+    """Redundancy ablation: TMR voting vs DMR comparison.
+
+    Same per-processor fault rate (λ each).  TMR masks single faults
+    (higher P under heavy faults) but burns 1.5× energy per cycle.
+    """
+    rate = 1.4e-3
+    task = _paper_task(fault_rate=rate)
+    reps = _reps(4)
+
+    def study():
+        dmr = summarize(
+            run_many(
+                task,
+                AdaptiveDVSPolicy,
+                reps=reps,
+                seed=47,
+                faults=DualPoissonFaults(rate),
+            )
+        )
+        tmr_runs = [
+            simulate_tmr_run(
+                task,
+                AdaptiveDVSPolicy(),
+                rate_per_processor=rate,
+                rng=RandomSource(48).substream(i),
+            )
+            for i in range(reps)
+        ]
+        return dmr, tmr_runs
+
+    dmr, tmr_runs = benchmark.pedantic(study, rounds=1, iterations=1)
+    tmr_p = sum(1 for r in tmr_runs if r.timely) / len(tmr_runs)
+    tmr_timely = [r.energy for r in tmr_runs if r.timely]
+    tmr_e = sum(tmr_timely) / len(tmr_timely) if tmr_timely else float("nan")
+    tmr_rollbacks = sum(r.rollbacks for r in tmr_runs) / len(tmr_runs)
+    print()
+    print(f"  DMR (2 proc, compare): P={dmr.p:.4f} E={dmr.e:9.0f} "
+          f"rollbacks/run={dmr.mean_detected_faults:.2f}")
+    print(f"  TMR (3 proc, vote):    P={tmr_p:.4f} E={tmr_e:9.0f} "
+          f"rollbacks/run={tmr_rollbacks:.2f}")
+    # Voting masks most faults: far fewer rollbacks...
+    assert tmr_rollbacks < 0.5 * dmr.mean_detected_faults
+    # ...at a visible energy premium.
+    assert tmr_e > dmr.e
+    benchmark.extra_info["dmr_P"] = round(dmr.p, 4)
+    benchmark.extra_info["tmr_P"] = round(tmr_p, 4)
+
+
+def test_multi_speed(benchmark):
+    """DVS ladder ablation: the paper's 2 levels vs finer ladders."""
+    task = _paper_task(cycles=9_200.0, fault_rate=1e-4, fault_budget=1)
+    reps = _reps(2)
+
+    def study():
+        return compare_ladders(
+            task,
+            {
+                "2-level": paper_ladder(),
+                "3-level": uniform_ladder(3),
+                "4-level": uniform_ladder(4),
+            },
+            reps=reps,
+            seed=53,
+        )
+
+    comparison = benchmark.pedantic(study, rounds=1, iterations=1)
+    print()
+    for label in ("2-level", "3-level", "4-level"):
+        cell = comparison.results[label]
+        print(f"  {label}: P={cell.p:.4f} E={cell.e:9.0f}")
+    saving = comparison.energy_saving_vs("2-level", "4-level")
+    print(f"  4-level saves {saving:.1%} energy over the paper's ladder")
+    assert saving > 0.05
+    benchmark.extra_info["saving_4_vs_2"] = f"{saving:.1%}"
+
+
+def test_security_overhead(benchmark):
+    """Future-work probe: authenticated checkpoints shift the optimum."""
+    task = _paper_task()
+    reps = _reps(4)
+
+    def study():
+        return security_sweep(
+            task, mac_grid=[0.0, 10.0, 40.0, 160.0], interval=177.0,
+            reps=reps, seed=59,
+        )
+
+    points = benchmark.pedantic(study, rounds=1, iterations=1)
+    print()
+    for point in points:
+        print(
+            f"  mac={point.mac_cycles:5.0f} cycles: optimal m={point.optimal_m} "
+            f"P={point.p:.4f} E={point.e:9.0f}"
+        )
+    assert points[0].optimal_m >= points[-1].optimal_m
+    benchmark.extra_info["m_unsecured"] = points[0].optimal_m
+    benchmark.extra_info["m_most_secured"] = points[-1].optimal_m
+
+
+def test_operating_map(benchmark):
+    """Sensitivity map: which scheme wins across the (U, λ) plane.
+
+    The paper's tables sample four high-pressure points; this bench
+    shows the whole frontier — statics win the easy corner on energy,
+    the paper's scheme owns the hard corner on timeliness.
+    """
+    from repro.experiments.config import table_spec
+    from repro.experiments.sensitivity import operating_map, render_operating_map
+
+    spec = table_spec("1a")
+    reps = _reps(4)
+
+    def build():
+        return operating_map(
+            spec,
+            u_grid=[0.55, 0.70, 0.80, 0.90],
+            lam_grid=[1e-4, 6e-4, 1.4e-3],
+            reps=reps,
+            seed=61,
+        )
+
+    points = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_operating_map(points, spec.schemes))
+    hard = next(p for p in points if p.u == 0.90 and p.lam == 1.4e-3)
+    easy = next(p for p in points if p.u == 0.55 and p.lam == 1e-4)
+    assert hard.winner in ("A_D_S", "A_D")
+    assert easy.winner in ("Poisson", "k-f-t")
+    benchmark.extra_info["hard_corner_winner"] = hard.winner
+    benchmark.extra_info["easy_corner_winner"] = easy.winner

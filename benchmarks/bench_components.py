@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the hot components.
+
+These justify the simulator's throughput claims (a full paper table at
+10k reps/cell in minutes) and catch performance regressions in the
+per-run loop and the analytic optimisers.
+"""
+
+from __future__ import annotations
+
+from repro.core.checkpoints import CostModel
+from repro.core.intervals import checkpoint_interval
+from repro.core.optimizer import num_ccp, num_scp
+from repro.core.schemes import AdaptiveSCPPolicy
+from repro.sim.executor import simulate_run
+from repro.sim.faults import PoissonFaults
+from repro.sim.montecarlo import estimate
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+
+TASK = TaskSpec(
+    cycles=7600.0,
+    deadline=10_000.0,
+    fault_budget=5,
+    fault_rate=1.4e-3,
+    costs=CostModel.scp_favourable(),
+)
+
+
+def test_checkpoint_interval_procedure(benchmark):
+    """fig.-4 interval() — called on every fault of every run."""
+    result = benchmark(
+        checkpoint_interval, 10_000.0, 7_600.0, 22.0, 5.0, 1.4e-3
+    )
+    assert 0 < result <= 7_600.0
+
+
+def test_num_scp(benchmark):
+    """num_SCP with the closed-form T̃1 (fig. 2)."""
+    plan = benchmark(
+        num_scp, 177.0, rate=2.8e-3, store=2.0, compare=20.0
+    )
+    assert plan.m >= 1
+
+
+def test_num_ccp(benchmark):
+    """num_CCP with the bounded Brent search."""
+    plan = benchmark(
+        num_ccp, 177.0, rate=2.8e-3, store=20.0, compare=2.0
+    )
+    assert plan.m >= 1
+
+
+def test_single_run_a_d_s(benchmark):
+    """One full A_D_S task execution (the Monte-Carlo unit of work)."""
+    source = RandomSource(7)
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return simulate_run(
+            TASK,
+            AdaptiveSCPPolicy(),
+            PoissonFaults(TASK.fault_rate),
+            rng=source.substream(counter[0] % 4096),
+        )
+
+    result = benchmark(run)
+    assert result.completed or result.failure_reason
+
+
+def test_monte_carlo_cell_100(benchmark):
+    """A 100-rep Monte-Carlo cell end to end."""
+
+    def cell():
+        return estimate(TASK, AdaptiveSCPPolicy, reps=100, seed=3)
+
+    cell_result = benchmark.pedantic(cell, rounds=1, iterations=1)
+    assert cell_result.reps == 100

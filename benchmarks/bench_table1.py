@@ -1,0 +1,17 @@
+"""Paper Table 1 — adapchp-dvs-SCPs vs baselines, static schemes at f1.
+
+Costs t_s=2, t_cp=20, c=22; D=10000.  (a): k=5, λ ∈ {1.4e-3, 1.6e-3},
+U ∈ {0.76..0.82}; (b): k=1, λ ∈ {1e-4, 2e-4}, U ∈ {0.92, 0.95, 1.00}.
+
+Expected shape (published): static P < 0.2 (a) / ≤ 0.4 (b) with
+E ≈ 39k; A_D and A_D_S at P ≈ 1 with E ≈ 53k-85k; A_D_S below A_D on
+energy; U=1.0 infeasible for static schemes (P=0, E=NaN).
+"""
+
+
+def test_table_1a(benchmark, table_runner):
+    table_runner(benchmark, "1a")
+
+
+def test_table_1b(benchmark, table_runner):
+    table_runner(benchmark, "1b")

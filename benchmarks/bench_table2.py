@@ -1,0 +1,17 @@
+"""Paper Table 2 — adapchp-dvs-SCPs vs baselines, static schemes at f2.
+
+Costs t_s=2, t_cp=20, c=22; D=10000; U = N/(f2·D).  (a): k=5; (b): k=1.
+
+Expected shape (published): all energies ≈ 150k (≈4× the table-1
+statics); A_D ≈ static on P (DVS can't help when even f2 is tight);
+A_D_S clearly ahead on P (e.g. 0.49 vs 0.16 at U=0.80, λ=1.6e-3) at
+comparable or lower energy.
+"""
+
+
+def test_table_2a(benchmark, table_runner):
+    table_runner(benchmark, "2a")
+
+
+def test_table_2b(benchmark, table_runner):
+    table_runner(benchmark, "2b")

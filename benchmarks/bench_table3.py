@@ -1,0 +1,14 @@
+"""Paper Table 3 — adapchp-dvs-CCPs vs baselines, static schemes at f1.
+
+Costs t_s=20, t_cp=2, c=22 (store-heavy: extra comparisons are the
+cheap operation, so the CCP variant is the right tool); otherwise as
+Table 1.  Expected shape mirrors Table 1 with A_D_C in place of A_D_S.
+"""
+
+
+def test_table_3a(benchmark, table_runner):
+    table_runner(benchmark, "3a")
+
+
+def test_table_3b(benchmark, table_runner):
+    table_runner(benchmark, "3b")

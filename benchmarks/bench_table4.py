@@ -1,0 +1,13 @@
+"""Paper Table 4 — adapchp-dvs-CCPs vs baselines, static schemes at f2.
+
+Costs t_s=20, t_cp=2, c=22; U = N/(f2·D).  Expected shape mirrors
+Table 2 with A_D_C in place of A_D_S.
+"""
+
+
+def test_table_4a(benchmark, table_runner):
+    table_runner(benchmark, "4a")
+
+
+def test_table_4b(benchmark, table_runner):
+    table_runner(benchmark, "4b")

@@ -1,0 +1,74 @@
+"""Shared machinery for the benchmark harness.
+
+Every paper table gets one benchmark that (a) regenerates it with the
+Monte-Carlo harness, (b) prints the paper-vs-measured comparison,
+(c) asserts the reproduction shape criteria, and (d) reports the key
+numbers through ``benchmark.extra_info`` so they land in the
+pytest-benchmark table.
+
+``REPRO_BENCH_REPS`` (default 800) sets the Monte-Carlo repetitions per
+cell; the paper used 10,000 — raise it for tighter confidence intervals
+at proportionally higher runtime.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.experiments.report import format_table, shape_checks
+from repro.experiments.tables import run_table
+
+DEFAULT_REPS = 800
+SEED = 2006
+
+
+def bench_reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", DEFAULT_REPS))
+
+
+@pytest.fixture
+def table_runner():
+    """Run one table inside the benchmark, then validate its shape."""
+
+    def runner(benchmark, table_id: str):
+        reps = bench_reps()
+
+        def regenerate():
+            return run_table(table_id, reps=reps, seed=SEED)
+
+        result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+        print()
+        print(format_table(result))
+        checks = shape_checks(result)
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "shape criteria failed:\n" + "\n".join(
+            str(c) for c in failed
+        )
+
+        ours = result.schemes[-1]
+        mean_dp = _mean(
+            abs(row.cell(s).p_error)
+            for row in result.rows
+            for s in result.schemes
+            if row.cell(s).paper is not None
+        )
+        mean_eratio = _mean(
+            row.cell(ours).e_ratio
+            for row in result.rows
+            if not math.isnan(row.cell(ours).e_ratio)
+        )
+        benchmark.extra_info["reps_per_cell"] = reps
+        benchmark.extra_info["mean_abs_P_error"] = round(mean_dp, 4)
+        benchmark.extra_info[f"mean_E_ratio_{ours}"] = round(mean_eratio, 4)
+        benchmark.extra_info["shape_checks"] = f"{len(checks)} passed"
+        return result
+
+    return runner
+
+
+def _mean(values) -> float:
+    values = [v for v in values if not math.isnan(v)]
+    return sum(values) / len(values) if values else math.nan

@@ -1,0 +1,81 @@
+"""Explore the analysis behind the paper: R1(m), R2(m) and num_SCP/CCP.
+
+Regenerates the curves behind paper fig. 2 in ASCII: for a grid of CSCP
+interval lengths, how does the expected interval time move with the
+subdivision count m, where is the optimum, and how do the SCP and CCP
+variants differ under store-cheap vs compare-cheap cost models?
+
+Pure analysis — no simulation, runs instantly.
+
+Run:  python examples/checkpoint_interval_explorer.py
+"""
+
+from repro import num_ccp, num_scp
+from repro.core.renewal import (
+    ccp_interval_time_for_m,
+    scp_interval_time_for_m,
+    scp_optimal_sublength,
+)
+
+RATE = 2 * 1.4e-3  # the paper's DMR analysis rate 2λ
+MAX_M = 12
+
+
+def curve(kind: str, span: float, store: float, compare: float):
+    fn = scp_interval_time_for_m if kind == "scp" else ccp_interval_time_for_m
+    return [
+        fn(m, span=span, rate=RATE, store=store, compare=compare)
+        for m in range(1, MAX_M + 1)
+    ]
+
+
+def sparkline(values) -> str:
+    glyphs = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return glyphs[0] * len(values)
+    return "".join(
+        glyphs[int((v - lo) / (hi - lo) * (len(glyphs) - 1))] for v in values
+    )
+
+
+def show(kind: str, store: float, compare: float) -> None:
+    label = "SCP (store between CSCPs)" if kind == "scp" else "CCP (compare between CSCPs)"
+    print(f"\n{label}, t_s={store:.0f}, t_cp={compare:.0f}, rate={RATE}:")
+    print(f"{'span':>6} {'R(m) for m=1..12':24s} {'opt m':>6} "
+          f"{'R(opt)':>9} {'R(1)':>9} {'saving':>7}")
+    for span in (60.0, 120.0, 177.0, 300.0, 500.0):
+        values = curve(kind, span, store, compare)
+        if kind == "scp":
+            plan = num_scp(span, rate=RATE, store=store, compare=compare)
+        else:
+            plan = num_ccp(span, rate=RATE, store=store, compare=compare)
+        saving = 1 - plan.expected_time / values[0]
+        print(
+            f"{span:6.0f} {sparkline(values):24s} {plan.m:6d} "
+            f"{plan.expected_time:9.1f} {values[0]:9.1f} {saving:6.1%}"
+        )
+
+
+def main() -> None:
+    print("Expected CSCP-interval time vs subdivision count m "
+          "(lower is better; sparkline per row).")
+
+    # Paper §4.1: stores cheap → subdividing with SCPs pays.
+    show("scp", store=2.0, compare=20.0)
+    # Paper §4.2: compares cheap → subdividing with CCPs pays.
+    show("ccp", store=20.0, compare=2.0)
+    # Cross-matched costs: the wrong checkpoint type stops paying.
+    show("scp", store=20.0, compare=2.0)
+
+    span = 177.0
+    t1 = scp_optimal_sublength(span, rate=RATE, store=2.0)
+    print(
+        f"\nClosed form check at span={span:.0f}: "
+        f"T̃1 = sqrt(T·t_s·coth(rT/2)) = {t1:.1f} "
+        f"→ m ≈ T/T̃1 = {span / t1:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Schedule a periodic task set with checkpoint-aware EDF.
+
+The paper analyses one task; a deployed flight computer runs several.
+This example builds a three-task avionics-style set, checks
+checkpoint-aware schedulability analytically (fault-tolerant WCETs in
+the EDF/RM tests), then simulates the schedule and compares the
+analytic verdicts with observed deadline behaviour.
+
+Run:  python examples/periodic_taskset.py
+"""
+
+from repro.core.checkpoints import CostModel
+from repro.rts.feasibility import analyze
+from repro.rts.scheduler import simulate_schedule
+from repro.rts.taskset import PeriodicTask, TaskSet
+
+COSTS = CostModel.scp_favourable()
+
+
+def build_taskset(scale: float) -> TaskSet:
+    """An avionics-flavoured set; ``scale`` inflates every WCET."""
+    return TaskSet(
+        [
+            PeriodicTask(
+                name="attitude-control",
+                cycles=scale * 800.0,
+                period=4_000.0,
+                deadline=3_000.0,
+                fault_rate=2e-4,
+                fault_budget=2,
+                costs=COSTS,
+            ),
+            PeriodicTask(
+                name="nav-filter",
+                cycles=scale * 1_500.0,
+                period=8_000.0,
+                deadline=8_000.0,
+                fault_rate=2e-4,
+                fault_budget=2,
+                costs=COSTS,
+            ),
+            PeriodicTask(
+                name="telemetry",
+                cycles=scale * 2_500.0,
+                period=16_000.0,
+                deadline=16_000.0,
+                fault_rate=2e-4,
+                fault_budget=3,
+                costs=COSTS,
+            ),
+        ]
+    )
+
+
+def main() -> None:
+    for scale, label in [(1.0, "nominal load"), (2.6, "overloaded")]:
+        ts = build_taskset(scale)
+        report = analyze(ts)
+        print(f"--- {label} (scale ×{scale}) ---")
+        print(
+            f"raw U = {report.raw_utilization:.3f}, fault-tolerant demand = "
+            f"{report.fault_tolerant_demand:.3f}"
+        )
+        print(f"analysis: EDF {'OK' if report.edf_ok else 'INFEASIBLE'}, "
+              f"RM {'OK' if report.rm_ok else 'INFEASIBLE'}")
+        for name, response in report.rm_responses.items():
+            shown = "unschedulable" if response is None else f"{response:.0f}"
+            print(f"  RM worst-case response {name}: {shown}")
+
+        for policy in ("edf", "rm"):
+            result = simulate_schedule(
+                ts, horizon=160_000.0, policy=policy, seed=11
+            )
+            misses = result.per_task_miss_ratio()
+            summary = ", ".join(
+                f"{name}={ratio:.2f}" for name, ratio in sorted(misses.items())
+            )
+            print(
+                f"  simulated {policy.upper()}: miss ratio "
+                f"{result.deadline_miss_ratio:.3f} ({summary}), "
+                f"busy {result.utilization_achieved:.2f}, "
+                f"energy {result.energy:.2e}"
+            )
+        print()
+
+    print(
+        "Reading: at nominal load both tests pass and the simulation "
+        "meets every deadline;\nthe overloaded set fails the "
+        "checkpoint-aware demand test and the simulation shows\nwho "
+        "actually pays — EDF spreads the misses, RM sacrifices the "
+        "longest-period task."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: protect one task with adaptive checkpointing + DVS.
+
+Builds the paper's table-1(a) headline scenario (U=0.76, λ=1.4e-3,
+k=5), runs all five schemes, and prints the (P, E) comparison — the
+library's one-screen "hello world".
+
+Run:  python examples/quickstart.py  [--reps 2000]
+"""
+
+import argparse
+import os
+
+from repro import (
+    AdaptiveCCPPolicy,
+    AdaptiveDVSPolicy,
+    AdaptiveSCPPolicy,
+    CostModel,
+    KFaultTolerantPolicy,
+    PoissonArrivalPolicy,
+    TaskSpec,
+    estimate,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=int(os.environ.get("REPRO_EXAMPLE_REPS", 2000)),
+        help="Monte-Carlo repetitions per scheme",
+    )
+    args = parser.parse_args()
+
+    # A hard-real-time task on a two-processor (DMR) embedded board:
+    # 7600 cycles of work, a 10000-time-unit deadline, up to 5 faults to
+    # tolerate, transient faults at λ = 1.4e-3 — the paper's table 1(a).
+    task = TaskSpec(
+        cycles=7600,
+        deadline=10_000,
+        fault_budget=5,
+        fault_rate=1.4e-3,
+        costs=CostModel.scp_favourable(),  # cheap stores: t_s=2, t_cp=20
+    )
+
+    # The CCP variant belongs with compare-cheap hardware (paper §4.2):
+    # same task, store-heavy cost model.
+    task_ccp = TaskSpec(
+        cycles=task.cycles,
+        deadline=task.deadline,
+        fault_budget=task.fault_budget,
+        fault_rate=task.fault_rate,
+        costs=CostModel.ccp_favourable(),  # t_s=20, t_cp=2
+    )
+
+    schemes = [
+        ("Poisson (static)", lambda: PoissonArrivalPolicy(frequency=1.0), task),
+        ("k-fault (static)", lambda: KFaultTolerantPolicy(frequency=1.0), task),
+        ("A_D   (DATE'03) ", AdaptiveDVSPolicy, task),
+        ("A_D_S (paper)   ", AdaptiveSCPPolicy, task),
+        ("A_D_C (paper)   ", AdaptiveCCPPolicy, task_ccp),
+    ]
+
+    print(f"task: N={task.cycles:.0f} cycles, D={task.deadline:.0f}, "
+          f"k={task.fault_budget}, λ={task.fault_rate}")
+    print(f"{args.reps} Monte-Carlo runs per scheme "
+          f"(A_D_C shown on its compare-cheap cost model)\n")
+    print(f"{'scheme':18s} {'P(timely)':>10} {'E(timely)':>10} "
+          f"{'faults/run':>11}")
+    for name, factory, scheme_task in schemes:
+        cell = estimate(scheme_task, factory, reps=args.reps, seed=2006)
+        print(
+            f"{name:18s} {cell.p:10.4f} {cell.e:10.0f} "
+            f"{cell.mean_detected_faults:11.2f}"
+        )
+
+    print(
+        "\nReading: the static schemes miss the deadline on most runs "
+        "(P < 0.2);\nthe adaptive schemes hit P ≈ 1, and the paper's "
+        "subdivided variants\n(A_D_S/A_D_C) do it with ~5-10% less "
+        "energy than the DATE'03 baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

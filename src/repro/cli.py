@@ -1,0 +1,276 @@
+"""Command-line interface: regenerate tables, validate shapes, demo runs.
+
+Usage (installed as ``repro`` or via ``python -m repro``)::
+
+    repro table 1a --reps 2000          # regenerate paper table 1(a)
+    repro validate --reps 500           # all 8 tables + shape criteria
+    repro demo --scheme A_D_S           # trace one simulated run
+    repro list                          # available tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import List, Optional
+
+from repro.core.schemes import (
+    AdaptiveCCPPolicy,
+    AdaptiveDVSPolicy,
+    AdaptiveSCPPolicy,
+    KFaultTolerantPolicy,
+    PoissonArrivalPolicy,
+)
+from repro.errors import ReproError
+from repro.experiments.config import all_table_specs, table_spec
+from repro.experiments.paper_data import TABLE_IDS
+from repro.experiments.report import format_table, markdown_table, shape_checks
+from repro.experiments.tables import run_table
+from repro.sim.energy import EnergyModel
+from repro.sim.executor import simulate_run
+from repro.sim.faults import PoissonFaults
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+from repro.sim.trace import Trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Energy-aware adaptive checkpointing for DMR real-time systems "
+            "(reproduction of Li, Chen & Yu, DATE 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="regenerate one paper table")
+    p_table.add_argument("table_id", choices=list(TABLE_IDS))
+    p_table.add_argument("--reps", type=int, default=2000)
+    p_table.add_argument("--seed", type=int, default=2006)
+    p_table.add_argument("--json", action="store_true", help="emit JSON")
+    p_table.add_argument(
+        "--markdown", action="store_true", help="emit a markdown table"
+    )
+    p_table.add_argument(
+        "--no-paper", action="store_true", help="hide published values"
+    )
+
+    p_val = sub.add_parser(
+        "validate", help="run every table and check the reproduction shape"
+    )
+    p_val.add_argument("--reps", type=int, default=400)
+    p_val.add_argument("--seed", type=int, default=2006)
+
+    p_demo = sub.add_parser("demo", help="trace one simulated run")
+    p_demo.add_argument(
+        "--scheme",
+        default="A_D_S",
+        choices=["Poisson", "k-f-t", "A_D", "A_D_S", "A_D_C"],
+    )
+    p_demo.add_argument("--utilization", type=float, default=0.8)
+    p_demo.add_argument("--lam", type=float, default=1.4e-3)
+    p_demo.add_argument("--k", type=int, default=5)
+    p_demo.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a sensitivity sweep / ablation study"
+    )
+    p_sweep.add_argument(
+        "study",
+        choices=["operating-map", "fixed-m", "cost-ratio", "benefit"],
+    )
+    p_sweep.add_argument("--reps", type=int, default=300)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--table", default="1a", choices=list(TABLE_IDS))
+
+    sub.add_parser("list", help="list the available tables")
+    return parser
+
+
+def _demo_policy(scheme: str):
+    if scheme == "Poisson":
+        return PoissonArrivalPolicy(1.0)
+    if scheme == "k-f-t":
+        return KFaultTolerantPolicy(1.0)
+    if scheme == "A_D":
+        return AdaptiveDVSPolicy()
+    if scheme == "A_D_C":
+        return AdaptiveCCPPolicy()
+    return AdaptiveSCPPolicy()
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    result = run_table(args.table_id, reps=args.reps, seed=args.seed)
+    if args.json:
+        payload = {
+            "table": args.table_id,
+            "reps": args.reps,
+            "seed": args.seed,
+            "rows": [
+                {
+                    "u": row.u,
+                    "lam": row.lam,
+                    "cells": {
+                        scheme: {
+                            "p": row.cell(scheme).p,
+                            "e": None
+                            if math.isnan(row.cell(scheme).e)
+                            else row.cell(scheme).e,
+                            "paper_p": getattr(row.cell(scheme).paper, "p", None),
+                            "paper_e": _none_if_nan(
+                                getattr(row.cell(scheme).paper, "e", None)
+                            ),
+                        }
+                        for scheme in result.schemes
+                    },
+                }
+                for row in result.rows
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    elif args.markdown:
+        print(markdown_table(result))
+    else:
+        print(format_table(result, show_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failures: List[str] = []
+    for spec in all_table_specs():
+        result = run_table(spec, reps=args.reps, seed=args.seed)
+        checks = shape_checks(result)
+        bad = [c for c in checks if not c.passed]
+        status = "ok" if not bad else f"{len(bad)} FAILED"
+        print(f"table {spec.table_id}: {len(checks)} checks, {status}")
+        for check in bad:
+            print(f"  {check}")
+            failures.append(f"{spec.table_id}: {check.name}")
+    if failures:
+        print(f"\n{len(failures)} shape criteria failed")
+        return 1
+    print("\nall shape criteria passed")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.checkpoints import CostModel
+
+    costs = (
+        CostModel.ccp_favourable()
+        if args.scheme == "A_D_C"
+        else CostModel.scp_favourable()
+    )
+    task = TaskSpec(
+        cycles=args.utilization * 10_000,
+        deadline=10_000,
+        fault_budget=args.k,
+        fault_rate=args.lam,
+        costs=costs,
+    )
+    trace = Trace()
+    result = simulate_run(
+        task,
+        _demo_policy(args.scheme),
+        PoissonFaults(task.fault_rate),
+        EnergyModel.paper_dmr(),
+        RandomSource(args.seed).generator(),
+        recorder=trace,
+    )
+    print(
+        f"scheme={args.scheme} U={args.utilization} λ={args.lam} k={args.k} "
+        f"seed={args.seed}"
+    )
+    print(trace.render())
+    print(
+        f"completed={result.completed} timely={result.timely} "
+        f"t={result.finish_time:.1f} E={result.energy:.0f} "
+        f"faults={result.detected_faults} checkpoints={result.checkpoints}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import (
+        cost_ratio_frontier,
+        operating_map,
+        render_operating_map,
+        subdivision_benefit,
+    )
+    from repro.experiments.sweeps import fixed_m_study
+
+    spec = table_spec(args.table)
+    if args.study == "operating-map":
+        points = operating_map(
+            spec,
+            u_grid=[0.55, 0.70, 0.80, 0.90],
+            lam_grid=[1e-4, 6e-4, 1.4e-3],
+            reps=args.reps,
+            seed=args.seed,
+        )
+        print(render_operating_map(points, spec.schemes))
+    elif args.study == "fixed-m":
+        task = spec.task(*spec.rows[0])
+        results = fixed_m_study(
+            task, ms=[1, 2, 4, 8, 16], reps=args.reps, seed=args.seed
+        )
+        print(f"fixed m vs num_SCP at U={spec.rows[0][0]}, λ={spec.rows[0][1]}:")
+        for name in ["m=1", "m=2", "m=4", "m=8", "m=16", "adaptive"]:
+            cell = results[name]
+            print(f"  {name:>9}: P={cell.p:.4f} E={cell.e:9.0f}")
+    elif args.study == "cost-ratio":
+        print("t_s/t_cp ratio vs optimal subdivision (span=200, λ=5e-4):")
+        print(f"{'ratio':>8} {'m_SCP':>6} {'m_CCP':>6}")
+        for ratio, m_scp, m_ccp in cost_ratio_frontier(200.0, rate=5e-4):
+            print(f"{ratio:8.2f} {m_scp:6d} {m_ccp:6d}")
+    else:
+        print("subdivision benefit vs fault pressure λ·T "
+              "(t_s=2, t_cp=20, rate=2.8e-3):")
+        print(f"{'λ·T':>8} {'SCP saving':>11} {'CCP saving':>11}")
+        rows = subdivision_benefit(
+            [50.0, 100.0, 200.0, 400.0, 800.0],
+            rate=2.8e-3,
+            store=2.0,
+            compare=20.0,
+        )
+        for pressure, scp, ccp in rows:
+            print(f"{pressure:8.3f} {scp:11.1%} {ccp:11.1%}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for spec in all_table_specs():
+        print(f"{spec.table_id}: {spec.title}")
+    return 0
+
+
+def _none_if_nan(value: Optional[float]) -> Optional[float]:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return None
+    return value
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table": _cmd_table,
+        "validate": _cmd_validate,
+        "demo": _cmd_demo,
+        "sweep": _cmd_sweep,
+        "list": _cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

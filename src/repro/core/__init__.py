@@ -1,0 +1,23 @@
+"""Core algorithms of the paper: interval formulas, renewal models,
+subdivision optimisers, DVS speed selection and the five checkpointing
+schemes."""
+
+from repro.core import (
+    analysis,
+    checkpoints,
+    dvs,
+    intervals,
+    optimizer,
+    renewal,
+    schemes,
+)
+
+__all__ = [
+    "analysis",
+    "checkpoints",
+    "dvs",
+    "intervals",
+    "optimizer",
+    "renewal",
+    "schemes",
+]

@@ -1,0 +1,201 @@
+"""Checkpoint-interval formulas and the DATE'03 ``interval()`` procedure.
+
+These are the building blocks of the adaptive schemes (paper fig. 4,
+taken from Zhang & Chakrabarty, DATE'03):
+
+* :func:`poisson_interval` — ``I1(C, λ) = sqrt(2C/λ)``, the interval
+  that minimises the *average* execution time under Poisson fault
+  arrivals (Duda 1983).
+* :func:`k_fault_interval` — ``I2(N, k, C) = sqrt(N·C/k)``, the interval
+  that minimises the *worst-case* execution time when up to ``k`` faults
+  must be tolerated (Lee, Shin & Min 1999).
+* :func:`deadline_interval` — ``I3(N, D, C) = 2·N·C/(D + C − N)``, the
+  interval that spends (half of) the remaining deadline slack on
+  checkpoint overhead.
+* :func:`poisson_threshold` / :func:`k_fault_threshold` — the remaining
+  work thresholds ``Th_λ`` and ``Th`` that decide which interval rule is
+  still feasible.
+* :func:`checkpoint_interval` — the full decision procedure of paper
+  fig. 4.
+
+All quantities are in consistent *time units at the current speed*:
+``work`` / ``deadline_left`` in time, ``cost`` as ``C = c/f``, ``rate``
+as faults per time unit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InfeasibleError, ParameterError
+
+__all__ = [
+    "poisson_interval",
+    "k_fault_interval",
+    "deadline_interval",
+    "poisson_threshold",
+    "k_fault_threshold",
+    "checkpoint_interval",
+]
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not value > 0:
+        raise ParameterError(f"{name} must be > 0, got {value}")
+
+
+def _require_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value}")
+
+
+def poisson_interval(cost: float, rate: float) -> float:
+    """``I1(C, λ) = sqrt(2C/λ)`` — Poisson-arrival optimal interval.
+
+    Minimises the expected execution time when faults arrive as a
+    Poisson process of the given rate and each checkpoint costs ``cost``
+    time units (first-order approximation due to Duda [8]).
+    """
+    _require_positive("cost", cost)
+    _require_positive("rate", rate)
+    return math.sqrt(2.0 * cost / rate)
+
+
+def k_fault_interval(work: float, faults: float, cost: float) -> float:
+    """``I2(N, k, C) = sqrt(N·C/k)`` — k-fault-tolerant optimal interval.
+
+    Minimises the worst-case execution time of ``work`` time units of
+    computation when up to ``faults`` faults must be tolerated.
+    ``faults`` may be fractional: the adaptive procedure passes the
+    *expected* number of faults ``λ·Rt`` here (paper fig. 4 line 6).
+    """
+    _require_positive("work", work)
+    _require_positive("faults", faults)
+    _require_positive("cost", cost)
+    return math.sqrt(work * cost / faults)
+
+
+def deadline_interval(work: float, deadline_left: float, cost: float) -> float:
+    """``I3(N, D, C) = 2·N·C/(D + C − N)`` — deadline-driven interval.
+
+    Chooses the interval so that checkpoint overhead consumes half the
+    remaining slack ``D + C − N``.  Raises :class:`InfeasibleError` when
+    there is no slack at all (``work >= deadline_left + cost``): no
+    finite interval can then meet the deadline.
+    """
+    _require_positive("work", work)
+    _require_positive("cost", cost)
+    slack = deadline_left + cost - work
+    if slack <= 0:
+        raise InfeasibleError(
+            f"no deadline slack: work={work}, deadline_left={deadline_left}, "
+            f"cost={cost}"
+        )
+    return 2.0 * work * cost / slack
+
+
+def poisson_threshold(deadline_left: float, rate: float, cost: float) -> float:
+    """``Th_λ(Rd, λ, C) = (Rd + C) / (1 + sqrt(λC/2))``.
+
+    The largest remaining work for which Poisson-interval checkpointing
+    (interval ``I1``, overhead factor ``1 + C/I1 = 1 + sqrt(λC/2)``)
+    still fits in the remaining deadline.  Above this threshold the
+    deadline-driven interval ``I3`` must be used instead.
+    """
+    _require_non_negative("deadline_left", deadline_left)
+    _require_positive("rate", rate)
+    _require_positive("cost", cost)
+    return (deadline_left + cost) / (1.0 + math.sqrt(rate * cost / 2.0))
+
+
+def k_fault_threshold(deadline_left: float, faults: float, cost: float) -> float:
+    """``Th(Rd, Rf, C) = (sqrt(Rd + (Rf+1)C) − sqrt((Rf+1)C))²``.
+
+    The largest remaining work for which the k-fault-tolerant scheme
+    (interval ``I2``, worst case ``Rt + 2·sqrt(Rt·(Rf+1)·C)``) still
+    meets the remaining deadline.  Expanding the square gives the
+    paper's printed form
+    ``Rd + 2RfC + 2C − 2·sqrt((RfC + C)(Rd + RfC + C))``.
+    Returns 0 when the deadline is already exhausted.
+    """
+    _require_non_negative("deadline_left", deadline_left)
+    _require_non_negative("faults", faults)
+    _require_positive("cost", cost)
+    budget = (faults + 1.0) * cost
+    root = math.sqrt(deadline_left + budget) - math.sqrt(budget)
+    if root <= 0:
+        return 0.0
+    return root * root
+
+
+def checkpoint_interval(
+    deadline_left: float,
+    work: float,
+    cost: float,
+    faults_left: float,
+    rate: float,
+) -> float:
+    """The adaptive interval procedure of paper fig. 4 (from DATE'03).
+
+    Parameters
+    ----------
+    deadline_left:
+        ``Rd`` — time remaining before the deadline.
+    work:
+        ``Rt`` — remaining fault-free execution time at current speed.
+    cost:
+        ``C = c/f`` — checkpoint duration at current speed.
+    faults_left:
+        ``Rf`` — remaining fault-tolerance budget (may reach 0 or go
+        negative after many faults; the k-fault branch is then skipped).
+    rate:
+        ``λ`` — fault arrival rate.
+
+    Returns the checkpoint interval in time units, clamped to
+    ``(0, work]`` (an interval longer than the remaining work simply
+    means "checkpoint once, at the end").
+
+    Degenerate cases are handled explicitly rather than left to raise:
+
+    * ``rate <= 0`` (no faults expected): one checkpoint at the end.
+    * no deadline slack for ``I3`` where it is selected: the interval
+      collapses to the remaining work — the run is doomed and the
+      executor's deadline check will terminate it.
+    """
+    _require_positive("work", work)
+    _require_positive("cost", cost)
+    if rate <= 0:
+        return work
+
+    expected_faults = rate * work
+
+    if expected_faults <= faults_left:
+        # The k-fault-tolerant requirement is at least as stringent as
+        # the Poisson-arrival criterion (fig. 4 lines 2-7).
+        if work > poisson_threshold(deadline_left, rate, cost):
+            interval = _deadline_or_work(work, deadline_left, cost)
+        elif work > k_fault_threshold(deadline_left, faults_left, cost):
+            interval = k_fault_interval(work, expected_faults, cost)
+        else:
+            interval = k_fault_interval(work, faults_left, cost)
+    else:
+        # Expected faults exceed the budget (fig. 4 lines 8-10).
+        if work > poisson_threshold(deadline_left, rate, cost):
+            interval = _deadline_or_work(work, deadline_left, cost)
+        else:
+            interval = poisson_interval(cost, rate)
+
+    return min(max(interval, _MIN_INTERVAL), work)
+
+
+#: Lower clamp for returned intervals; prevents pathological zero-length
+#: intervals when the deadline slack collapses.
+_MIN_INTERVAL = 1e-9
+
+
+def _deadline_or_work(work: float, deadline_left: float, cost: float) -> float:
+    """``I3`` with a graceful fallback when there is no slack left."""
+    try:
+        return deadline_interval(work, deadline_left, cost)
+    except InfeasibleError:
+        return work

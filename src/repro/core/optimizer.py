@@ -1,0 +1,229 @@
+"""Optimal checkpoint-subdivision procedures (paper fig. 2).
+
+``num_scp`` / ``num_ccp`` compute the number of sub-intervals ``m`` that
+minimises the expected CSCP-interval time ``R1(m)`` / ``R2(m)``:
+
+1. find the continuous minimiser ``T̃`` of the renewal model over
+   ``(0, T]`` — closed form for SCPs, bounded Brent search for CCPs;
+2. if ``T̃ ≥ T`` the interval is not subdivided (``m = 1``);
+3. otherwise round ``T/T̃`` down and compare ``R(m)`` with ``R(m+1)``,
+   keeping the smaller (paper fig. 2 lines 3-6).
+
+Brute-force search over all integers is provided for validation and as
+a safety net for callers who prefer exactness over speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from scipy.optimize import minimize_scalar
+
+from repro.core import renewal
+from repro.errors import ParameterError
+
+__all__ = [
+    "SubdivisionPlan",
+    "num_scp",
+    "num_ccp",
+    "brute_force_num_scp",
+    "brute_force_num_ccp",
+    "DEFAULT_MAX_SUBDIVISIONS",
+]
+
+#: Upper clamp on the subdivision count.  Only reachable for degenerate
+#: inputs (e.g. free stores, ``t_s = 0``); real parameterisations stay
+#: far below it.
+DEFAULT_MAX_SUBDIVISIONS = 4096
+
+
+@dataclass(frozen=True)
+class SubdivisionPlan:
+    """Result of a subdivision optimisation.
+
+    Attributes
+    ----------
+    m:
+        Number of equal sub-intervals of the CSCP interval (``m − 1``
+        additional SCPs/CCPs are inserted).
+    sublength:
+        ``T/m`` — length of each sub-interval (time units).
+    expected_time:
+        Modelled expected time to complete the CSCP interval.
+    """
+
+    m: int
+    sublength: float
+    expected_time: float
+
+
+def _integer_refine(
+    span: float,
+    continuous_opt: float,
+    objective: Callable[[int], float],
+    max_m: int,
+) -> SubdivisionPlan:
+    """Paper fig. 2: floor ``T/T̃`` and compare with its successor."""
+    if not continuous_opt > 0 or continuous_opt >= span:
+        m = 1
+    else:
+        m = max(1, min(int(span / continuous_opt), max_m - 1))
+        if objective(m) > objective(m + 1):
+            m += 1
+    return SubdivisionPlan(m=m, sublength=span / m, expected_time=objective(m))
+
+
+def num_scp(
+    span: float,
+    *,
+    rate: float,
+    store: float,
+    compare: float,
+    rollback: float = 0.0,
+    max_m: int = DEFAULT_MAX_SUBDIVISIONS,
+) -> SubdivisionPlan:
+    """Optimal SCP subdivision of a CSCP interval (paper ``num_SCP``).
+
+    Uses the closed-form continuous minimiser
+    ``T̃1 = sqrt(T·t_s·coth(rT/2))`` (see
+    :func:`repro.core.renewal.scp_optimal_sublength`) followed by the
+    floor/ceil comparison of paper fig. 2.
+
+    Degenerate inputs: with ``rate = 0`` extra stores can only cost
+    time, so ``m = 1``; with ``store = 0`` stores are free and the model
+    improves monotonically with ``m`` — the count is clamped to
+    ``max_m``.
+    """
+    _check_args(span, rate, max_m)
+
+    def objective(m: int) -> float:
+        return renewal.scp_interval_time_for_m(
+            m, span=span, rate=rate, store=store, compare=compare, rollback=rollback
+        )
+
+    if rate == 0:
+        return SubdivisionPlan(m=1, sublength=span, expected_time=objective(1))
+    if store == 0:
+        return SubdivisionPlan(
+            m=max_m, sublength=span / max_m, expected_time=objective(max_m)
+        )
+    opt = renewal.scp_optimal_sublength(span, rate=rate, store=store)
+    return _integer_refine(span, opt, objective, max_m)
+
+
+def num_ccp(
+    span: float,
+    *,
+    rate: float,
+    store: float,
+    compare: float,
+    rollback: float = 0.0,
+    max_m: int = DEFAULT_MAX_SUBDIVISIONS,
+) -> SubdivisionPlan:
+    """Optimal CCP subdivision of a CSCP interval (paper ``num_CCP``).
+
+    ``R2`` has no elementary continuous minimiser; the paper prescribes
+    "the similar approach described in figure 2", which we realise with
+    a bounded Brent search for ``T̃2`` over ``(0, T]`` followed by the
+    same floor/ceil integer refinement.
+
+    With ``rate = 0`` extra comparisons are pure overhead, so ``m = 1``;
+    with ``compare = 0`` they are free and ``m`` clamps to ``max_m``.
+    """
+    _check_args(span, rate, max_m)
+
+    def objective(m: int) -> float:
+        return renewal.ccp_interval_time_for_m(
+            m, span=span, rate=rate, store=store, compare=compare, rollback=rollback
+        )
+
+    if rate == 0:
+        return SubdivisionPlan(m=1, sublength=span, expected_time=objective(1))
+    if compare == 0:
+        return SubdivisionPlan(
+            m=max_m, sublength=span / max_m, expected_time=objective(max_m)
+        )
+
+    def continuous(t2: float) -> float:
+        return renewal.ccp_interval_time(
+            t2, span=span, rate=rate, store=store, compare=compare, rollback=rollback
+        )
+
+    lo = span / max_m
+    result = minimize_scalar(continuous, bounds=(lo, span), method="bounded")
+    opt = float(result.x) if result.success else span
+    return _integer_refine(span, opt, objective, max_m)
+
+
+def brute_force_num_scp(
+    span: float,
+    *,
+    rate: float,
+    store: float,
+    compare: float,
+    rollback: float = 0.0,
+    max_m: int = DEFAULT_MAX_SUBDIVISIONS,
+) -> SubdivisionPlan:
+    """Exact integer argmin of ``R1(m)`` by exhaustive search.
+
+    ``R1(m)`` is convex in ``m`` for positive costs, so the scan stops
+    as soon as the objective starts increasing.
+    """
+    _check_args(span, rate, max_m)
+
+    def objective(m: int) -> float:
+        return renewal.scp_interval_time_for_m(
+            m, span=span, rate=rate, store=store, compare=compare, rollback=rollback
+        )
+
+    return _scan(span, objective, max_m)
+
+
+def brute_force_num_ccp(
+    span: float,
+    *,
+    rate: float,
+    store: float,
+    compare: float,
+    rollback: float = 0.0,
+    max_m: int = DEFAULT_MAX_SUBDIVISIONS,
+) -> SubdivisionPlan:
+    """Exact integer argmin of ``R2(m)`` by exhaustive search."""
+    _check_args(span, rate, max_m)
+
+    def objective(m: int) -> float:
+        return renewal.ccp_interval_time_for_m(
+            m, span=span, rate=rate, store=store, compare=compare, rollback=rollback
+        )
+
+    return _scan(span, objective, max_m)
+
+
+def _scan(
+    span: float, objective: Callable[[int], float], max_m: int
+) -> SubdivisionPlan:
+    best_m, best_val = 1, objective(1)
+    rising = 0
+    for m in range(2, max_m + 1):
+        val = objective(m)
+        if val < best_val:
+            best_m, best_val = m, val
+            rising = 0
+        else:
+            # The objectives are unimodal in m; a short patience window
+            # guards against flat plateaus from floating-point noise.
+            rising += 1
+            if rising >= 8:
+                break
+    return SubdivisionPlan(m=best_m, sublength=span / best_m, expected_time=best_val)
+
+
+def _check_args(span: float, rate: float, max_m: int) -> None:
+    if not span > 0 or not math.isfinite(span):
+        raise ParameterError(f"span must be positive and finite, got {span}")
+    if rate < 0:
+        raise ParameterError(f"rate must be >= 0, got {rate}")
+    if max_m < 1:
+        raise ParameterError(f"max_m must be >= 1, got {max_m}")

@@ -1,0 +1,309 @@
+"""The five checkpointing schemes evaluated by the paper.
+
+===========================  ====================================================
+Scheme (paper name)          Class
+===========================  ====================================================
+``Poisson``                  :class:`PoissonArrivalPolicy` — static interval
+                             ``I1 = sqrt(2C/λ)`` at a fixed speed.
+``k-f-t``                    :class:`KFaultTolerantPolicy` — static interval
+                             ``I2 = sqrt(N·C/k)`` at a fixed speed.
+``A_D`` (ADT_DVS, DATE'03)   :class:`AdaptiveDVSPolicy` — CSCPs only, interval
+                             from ``interval()``, two-speed DVS via ``t_est``.
+``A_D_S`` (paper fig. 6)     :class:`AdaptiveSCPPolicy` — ``A_D`` plus ``m − 1``
+                             store-checkpoints per interval via ``num_SCP``.
+``A_D_C`` (paper fig. 7)     :class:`AdaptiveCCPPolicy` — ``A_D`` plus ``m − 1``
+                             compare-checkpoints per interval via ``num_CCP``.
+===========================  ====================================================
+
+A policy owns no simulation state; it reads the executor's
+:class:`~repro.sim.state.ExecutionState` and answers "what is the next
+CSCP interval, how is it subdivided, and at what speed?".  Adaptive
+policies replan at task start and after every detected fault — exactly
+the recompute points of the paper's pseudocode (figs. 6/7 lines 2-4 and
+14-17) — never in between.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core import optimizer
+from repro.core.checkpoints import CheckpointKind
+from repro.core.dvs import SpeedLadder
+from repro.core.intervals import (
+    checkpoint_interval,
+    k_fault_interval,
+    poisson_interval,
+)
+from repro.errors import ParameterError
+from repro.sim.state import ExecutionState
+
+__all__ = [
+    "Plan",
+    "CheckpointPolicy",
+    "PoissonArrivalPolicy",
+    "KFaultTolerantPolicy",
+    "AdaptiveDVSPolicy",
+    "AdaptiveSCPPolicy",
+    "AdaptiveCCPPolicy",
+    "AdaptiveConfig",
+]
+
+#: Deadline floor used when replanning a run that has already overshot
+#: its deadline (the executor will terminate it at the next boundary).
+_EPS_DEADLINE = 1e-9
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One CSCP interval: length (time units at current speed), its
+    subdivision count and the kind of the interior sub-checkpoints."""
+
+    interval_time: float
+    m: int
+    sub_kind: CheckpointKind
+
+    def __post_init__(self) -> None:
+        if self.interval_time <= 0:
+            raise ParameterError(
+                f"interval_time must be > 0, got {self.interval_time}"
+            )
+        if self.m < 1:
+            raise ParameterError(f"m must be >= 1, got {self.m}")
+
+
+class CheckpointPolicy(abc.ABC):
+    """Strategy interface consumed by :func:`repro.sim.executor.simulate_run`."""
+
+    #: Human-readable identifier used in reports.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def start(self, state: ExecutionState) -> None:
+        """Initialise speed and plan at task start."""
+
+    @abc.abstractmethod
+    def plan(self, state: ExecutionState) -> Plan:
+        """Current CSCP interval plan (cached between replans)."""
+
+    @abc.abstractmethod
+    def on_fault(self, state: ExecutionState) -> None:
+        """React to a detected fault (``Rf`` already decremented)."""
+
+
+class _StaticPolicy(CheckpointPolicy):
+    """Shared behaviour of the two non-adaptive baselines."""
+
+    def __init__(self, frequency: float = 1.0) -> None:
+        if frequency <= 0:
+            raise ParameterError(f"frequency must be > 0, got {frequency}")
+        self.frequency = frequency
+        self._plan: Plan | None = None
+
+    def start(self, state: ExecutionState) -> None:
+        state.frequency = self.frequency
+        self._plan = Plan(
+            interval_time=self._interval(state),
+            m=1,
+            sub_kind=CheckpointKind.CSCP,
+        )
+
+    def plan(self, state: ExecutionState) -> Plan:
+        assert self._plan is not None, "start() must run before plan()"
+        return self._plan
+
+    def on_fault(self, state: ExecutionState) -> None:
+        """Static schemes never replan."""
+
+    @abc.abstractmethod
+    def _interval(self, state: ExecutionState) -> float:
+        """Constant checkpoint interval in time units at ``frequency``."""
+
+
+class PoissonArrivalPolicy(_StaticPolicy):
+    """Constant interval ``I1(C, λ) = sqrt(2C/λ)`` (Duda [8]).
+
+    Minimises the *average* execution time under Poisson faults; ignores
+    the deadline entirely, which is exactly why the paper shows it
+    failing at high utilisation.
+    """
+
+    name = "Poisson"
+
+    def _interval(self, state: ExecutionState) -> float:
+        task = state.task
+        cost = task.costs.checkpoint_cycles / self.frequency
+        if task.fault_rate <= 0:
+            return task.cycles / self.frequency
+        return min(
+            poisson_interval(cost, task.fault_rate),
+            task.cycles / self.frequency,
+        )
+
+
+class KFaultTolerantPolicy(_StaticPolicy):
+    """Constant interval ``I2(N, k, C) = sqrt(N·C/k)`` (Lee et al. [9]).
+
+    Minimises the *worst-case* execution time under at most ``k``
+    faults.
+    """
+
+    name = "k-f-t"
+
+    def _interval(self, state: ExecutionState) -> float:
+        task = state.task
+        work = task.cycles / self.frequency
+        cost = task.costs.checkpoint_cycles / self.frequency
+        if task.fault_budget <= 0:
+            return work
+        return min(k_fault_interval(work, task.fault_budget, cost), work)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Shared knobs of the adaptive schemes.
+
+    Parameters
+    ----------
+    ladder:
+        Available processor speeds (paper: ``f1 = 1``, ``f2 = 2``).
+    analysis_rate_factor:
+        Multiplier applied to the task fault rate inside the *renewal
+        models* that choose ``m``.  The paper's equations carry the DMR
+        pair-divergence factor 2 while its simulation injects a single
+        stream at ``λ``; the default 1.0 keeps model and simulator
+        consistent (see DESIGN.md §5), 2.0 reproduces the printed
+        equations verbatim.  The ablation bench quantifies the gap.
+    max_m:
+        Safety clamp on the subdivision count.
+    """
+
+    ladder: SpeedLadder = field(default_factory=SpeedLadder.paper_two_level)
+    analysis_rate_factor: float = 1.0
+    max_m: int = optimizer.DEFAULT_MAX_SUBDIVISIONS
+
+    def __post_init__(self) -> None:
+        if self.analysis_rate_factor <= 0:
+            raise ParameterError(
+                f"analysis_rate_factor must be > 0, got {self.analysis_rate_factor}"
+            )
+        if self.max_m < 1:
+            raise ParameterError(f"max_m must be >= 1, got {self.max_m}")
+
+
+class _AdaptiveBase(CheckpointPolicy):
+    """Common machinery of ``A_D``, ``A_D_S`` and ``A_D_C``.
+
+    Implements paper figs. 6/7: speed selection by ``t_est`` at start
+    and after every fault; CSCP interval from the DATE'03 ``interval()``
+    procedure; subdivision delegated to the concrete subclass.
+    """
+
+    def __init__(self, config: AdaptiveConfig | None = None) -> None:
+        self.config = config or AdaptiveConfig()
+        self._plan: Plan | None = None
+
+    def start(self, state: ExecutionState) -> None:
+        self._select_speed(state)
+        self._replan(state)
+
+    def plan(self, state: ExecutionState) -> Plan:
+        assert self._plan is not None, "start() must run before plan()"
+        return self._plan
+
+    def on_fault(self, state: ExecutionState) -> None:
+        self._select_speed(state)
+        self._replan(state)
+
+    def _select_speed(self, state: ExecutionState) -> None:
+        task = state.task
+        state.frequency = self.config.ladder.select_speed(
+            state.remaining_cycles,
+            state.deadline_left,
+            rate=task.fault_rate,
+            checkpoint_cycles=task.costs.checkpoint_cycles,
+        )
+
+    def _replan(self, state: ExecutionState) -> None:
+        task = state.task
+        frequency = state.frequency
+        cost = task.costs.checkpoint_cycles / frequency
+        work = state.remaining_cycles / frequency
+        deadline_left = max(state.deadline_left, _EPS_DEADLINE)
+        interval = checkpoint_interval(
+            deadline_left, work, cost, state.faults_left, task.fault_rate
+        )
+        m = self._subdivide(state, interval)
+        self._plan = Plan(interval_time=interval, m=m, sub_kind=self._sub_kind())
+
+    @abc.abstractmethod
+    def _subdivide(self, state: ExecutionState, interval: float) -> int:
+        """Number of sub-intervals for a CSCP interval of this length."""
+
+    @abc.abstractmethod
+    def _sub_kind(self) -> CheckpointKind:
+        """Kind of the interior sub-checkpoints."""
+
+    def _analysis_args(self, state: ExecutionState) -> dict:
+        """Renewal-model arguments in time units at the current speed."""
+        task = state.task
+        frequency = state.frequency
+        return {
+            "rate": task.fault_rate * self.config.analysis_rate_factor,
+            "store": task.costs.store_cycles / frequency,
+            "compare": task.costs.compare_cycles / frequency,
+            "rollback": task.costs.rollback_cycles / frequency,
+            "max_m": self.config.max_m,
+        }
+
+
+class AdaptiveDVSPolicy(_AdaptiveBase):
+    """``A_D`` — the ADT_DVS baseline of Zhang & Chakrabarty (DATE'03).
+
+    Plain CSCPs (no subdivision): faults are detected at the closing
+    comparison and roll back a whole interval.
+    """
+
+    name = "A_D"
+
+    def _subdivide(self, state: ExecutionState, interval: float) -> int:
+        return 1
+
+    def _sub_kind(self) -> CheckpointKind:
+        return CheckpointKind.CSCP
+
+
+class AdaptiveSCPPolicy(_AdaptiveBase):
+    """``A_D_S`` — adaptive checkpointing with additional SCPs (fig. 6).
+
+    Each CSCP interval is split into ``m`` parts by store-checkpoints;
+    ``m`` minimises the renewal model ``R1`` (procedure ``num_SCP``).
+    On a fault the pair rolls back only to the last clean store.
+    """
+
+    name = "A_D_S"
+
+    def _subdivide(self, state: ExecutionState, interval: float) -> int:
+        return optimizer.num_scp(interval, **self._analysis_args(state)).m
+
+    def _sub_kind(self) -> CheckpointKind:
+        return CheckpointKind.SCP
+
+
+class AdaptiveCCPPolicy(_AdaptiveBase):
+    """``A_D_C`` — adaptive checkpointing with additional CCPs (fig. 7).
+
+    Each CSCP interval is split into ``m`` parts by compare-checkpoints;
+    ``m`` minimises the renewal model ``R2`` (procedure ``num_CCP``).
+    Faults are detected at the next comparison (early) but rollback goes
+    to the interval's opening CSCP.
+    """
+
+    name = "A_D_C"
+
+    def _subdivide(self, state: ExecutionState, interval: float) -> int:
+        return optimizer.num_ccp(interval, **self._analysis_args(state)).m
+
+    def _sub_kind(self) -> CheckpointKind:
+        return CheckpointKind.CCP

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model parameter is outside its mathematically valid domain."""
+
+
+class InfeasibleError(ReproError):
+    """The requested configuration can never meet its deadline.
+
+    Raised by analytical routines when asked for a quantity that does
+    not exist (for example a finite checkpoint interval for a task whose
+    fault-free execution time already exceeds the deadline).  The
+    simulator never raises this: an infeasible run simply completes with
+    ``timely=False``.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator detected an internal inconsistency.
+
+    This signals a bug (e.g. the event loop exceeded its safety bound),
+    never an ordinary task failure.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An experiment/table specification is malformed or unknown."""

@@ -1,0 +1,243 @@
+"""Experiment specifications for the paper's tables.
+
+A :class:`TableSpec` captures everything needed to regenerate one of the
+paper's tables: checkpoint costs, fault budget ``k``, the speed at which
+the static baselines run, the reference speed defining utilisation
+(``U = N/(f_ref·D)``), and the (U, λ) grid.  :func:`table_spec` returns
+the spec for a published table id; :func:`all_table_specs` enumerates
+all eight.
+
+Common parameters (paper §4): ``D = 10000``, ``c = 22``, ``t_r = 0``,
+``f1 = 1``, ``f2 = 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.checkpoints import CostModel
+from repro.core.schemes import (
+    AdaptiveCCPPolicy,
+    AdaptiveConfig,
+    AdaptiveDVSPolicy,
+    AdaptiveSCPPolicy,
+    CheckpointPolicy,
+    KFaultTolerantPolicy,
+    PoissonArrivalPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import paper_data
+from repro.sim.task import TaskSpec
+
+__all__ = ["TableSpec", "table_spec", "all_table_specs", "DEADLINE"]
+
+#: The paper's deadline, shared by every experiment.
+DEADLINE = 10_000.0
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declarative description of one table of the evaluation."""
+
+    table_id: str
+    title: str
+    costs: CostModel
+    fault_budget: int
+    static_frequency: float
+    reference_frequency: float
+    rows: Tuple[Tuple[float, float], ...]
+    adaptive_variant: str  # 'scp' or 'ccp'
+    deadline: float = DEADLINE
+    adaptive_config: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+
+    def __post_init__(self) -> None:
+        if self.adaptive_variant not in ("scp", "ccp"):
+            raise ConfigurationError(
+                f"adaptive_variant must be 'scp' or 'ccp', got "
+                f"{self.adaptive_variant!r}"
+            )
+
+    @property
+    def schemes(self) -> Tuple[str, ...]:
+        """Column order, matching the paper."""
+        last = "A_D_S" if self.adaptive_variant == "scp" else "A_D_C"
+        return ("Poisson", "k-f-t", "A_D", last)
+
+    def task(self, u: float, lam: float) -> TaskSpec:
+        """The task of row (U, λ): ``N = U·f_ref·D`` cycles."""
+        return TaskSpec.from_utilization(
+            u,
+            deadline=self.deadline,
+            frequency=self.reference_frequency,
+            fault_budget=self.fault_budget,
+            fault_rate=lam,
+            costs=self.costs,
+        )
+
+    def policy_factory(self, scheme: str) -> Callable[[], CheckpointPolicy]:
+        """Fresh-policy factory for a scheme column."""
+        if scheme == "Poisson":
+            frequency = self.static_frequency
+            return lambda: PoissonArrivalPolicy(frequency)
+        if scheme == "k-f-t":
+            frequency = self.static_frequency
+            return lambda: KFaultTolerantPolicy(frequency)
+        if scheme == "A_D":
+            config = self.adaptive_config
+            return lambda: AdaptiveDVSPolicy(config)
+        if scheme == "A_D_S":
+            config = self.adaptive_config
+            return lambda: AdaptiveSCPPolicy(config)
+        if scheme == "A_D_C":
+            config = self.adaptive_config
+            return lambda: AdaptiveCCPPolicy(config)
+        raise ConfigurationError(f"unknown scheme {scheme!r}")
+
+    def with_adaptive_config(self, config: AdaptiveConfig) -> "TableSpec":
+        """Copy of this spec with different adaptive-scheme knobs."""
+        return replace(self, adaptive_config=config)
+
+
+def _rows_a() -> Tuple[Tuple[float, float], ...]:
+    return tuple(
+        (u, lam) for u in (0.76, 0.78, 0.80, 0.82) for lam in (1.4e-3, 1.6e-3)
+    )
+
+
+def _rows_b_f1() -> Tuple[Tuple[float, float], ...]:
+    return tuple((u, lam) for u in (0.92, 0.95, 1.00) for lam in (1e-4, 2e-4))
+
+
+def _rows_b_f2() -> Tuple[Tuple[float, float], ...]:
+    return tuple((u, lam) for u in (0.92, 0.95) for lam in (1e-4, 2e-4))
+
+
+def _build_specs() -> Dict[str, TableSpec]:
+    scp_costs = CostModel.scp_favourable()
+    ccp_costs = CostModel.ccp_favourable()
+    specs = [
+        TableSpec(
+            table_id="1a",
+            title=(
+                "adapchp-dvs-SCPs vs baselines; static schemes at f1; k=5 "
+                "(paper Tab. 1a)"
+            ),
+            costs=scp_costs,
+            fault_budget=5,
+            static_frequency=1.0,
+            reference_frequency=1.0,
+            rows=_rows_a(),
+            adaptive_variant="scp",
+        ),
+        TableSpec(
+            table_id="1b",
+            title=(
+                "adapchp-dvs-SCPs vs baselines; static schemes at f1; k=1 "
+                "(paper Tab. 1b)"
+            ),
+            costs=scp_costs,
+            fault_budget=1,
+            static_frequency=1.0,
+            reference_frequency=1.0,
+            rows=_rows_b_f1(),
+            adaptive_variant="scp",
+        ),
+        TableSpec(
+            table_id="2a",
+            title=(
+                "adapchp-dvs-SCPs vs baselines; static schemes at f2; k=5 "
+                "(paper Tab. 2a)"
+            ),
+            costs=scp_costs,
+            fault_budget=5,
+            static_frequency=2.0,
+            reference_frequency=2.0,
+            rows=_rows_a(),
+            adaptive_variant="scp",
+        ),
+        TableSpec(
+            table_id="2b",
+            title=(
+                "adapchp-dvs-SCPs vs baselines; static schemes at f2; k=1 "
+                "(paper Tab. 2b)"
+            ),
+            costs=scp_costs,
+            fault_budget=1,
+            static_frequency=2.0,
+            reference_frequency=2.0,
+            rows=_rows_b_f2(),
+            adaptive_variant="scp",
+        ),
+        TableSpec(
+            table_id="3a",
+            title=(
+                "adapchp-dvs-CCPs vs baselines; static schemes at f1; k=5 "
+                "(paper Tab. 3a)"
+            ),
+            costs=ccp_costs,
+            fault_budget=5,
+            static_frequency=1.0,
+            reference_frequency=1.0,
+            rows=_rows_a(),
+            adaptive_variant="ccp",
+        ),
+        TableSpec(
+            table_id="3b",
+            title=(
+                "adapchp-dvs-CCPs vs baselines; static schemes at f1; k=1 "
+                "(paper Tab. 3b)"
+            ),
+            costs=ccp_costs,
+            fault_budget=1,
+            static_frequency=1.0,
+            reference_frequency=1.0,
+            rows=_rows_b_f1(),
+            adaptive_variant="ccp",
+        ),
+        TableSpec(
+            table_id="4a",
+            title=(
+                "adapchp-dvs-CCPs vs baselines; static schemes at f2; k=5 "
+                "(paper Tab. 4a)"
+            ),
+            costs=ccp_costs,
+            fault_budget=5,
+            static_frequency=2.0,
+            reference_frequency=2.0,
+            rows=_rows_a(),
+            adaptive_variant="ccp",
+        ),
+        TableSpec(
+            table_id="4b",
+            title=(
+                "adapchp-dvs-CCPs vs baselines; static schemes at f2; k=1 "
+                "(paper Tab. 4b)"
+            ),
+            costs=ccp_costs,
+            fault_budget=1,
+            static_frequency=2.0,
+            reference_frequency=2.0,
+            rows=_rows_b_f2(),
+            adaptive_variant="ccp",
+        ),
+    ]
+    return {spec.table_id: spec for spec in specs}
+
+
+_SPECS = _build_specs()
+
+
+def table_spec(table_id: str) -> TableSpec:
+    """The spec of a published table id ('1a' ... '4b')."""
+    if table_id not in _SPECS:
+        raise ConfigurationError(
+            f"unknown table {table_id!r}; valid ids: "
+            f"{', '.join(paper_data.TABLE_IDS)}"
+        )
+    return _SPECS[table_id]
+
+
+def all_table_specs() -> List[TableSpec]:
+    """All eight published table specs, in order."""
+    return [_SPECS[tid] for tid in paper_data.TABLE_IDS]

@@ -1,0 +1,6 @@
+"""Extensions beyond the paper's core contribution: TMR voting,
+multi-level DVS ladders and authenticated (secure) checkpointing."""
+
+from repro.extensions import multi_speed, security, tmr
+
+__all__ = ["multi_speed", "security", "tmr"]

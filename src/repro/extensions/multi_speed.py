@@ -1,0 +1,87 @@
+"""Multi-level DVS ladders (beyond the paper's two speeds).
+
+The paper restricts the analysis to two speeds "to simplify the
+analysis and to allow for the derivation of analytical formulas"; the
+adaptive machinery itself generalises directly: the speed-selection
+rule "slowest frequency whose ``t_est`` meets the remaining deadline"
+works for any ladder (see
+:meth:`repro.core.dvs.SpeedLadder.select_speed`).  This module provides
+ladder constructors and a comparison harness quantifying the energy
+head-room finer ladders unlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.dvs import SpeedLadder
+from repro.core.schemes import AdaptiveConfig, AdaptiveSCPPolicy
+from repro.errors import ParameterError
+from repro.sim.montecarlo import CellEstimate, estimate
+from repro.sim.task import TaskSpec
+
+__all__ = ["uniform_ladder", "paper_ladder", "LadderComparison", "compare_ladders"]
+
+
+def paper_ladder() -> SpeedLadder:
+    """The paper's two speeds: ``f ∈ {1, 2}``."""
+    return SpeedLadder.paper_two_level()
+
+
+def uniform_ladder(levels: int, f_max: float = 2.0) -> SpeedLadder:
+    """``levels`` equally spaced frequencies over ``[1, f_max]``.
+
+    ``uniform_ladder(2)`` reproduces the paper's ladder; more levels let
+    the DVS policy shave energy by running *just* fast enough.
+    """
+    if levels < 2:
+        raise ParameterError(f"levels must be >= 2, got {levels}")
+    if f_max <= 1.0:
+        raise ParameterError(f"f_max must be > 1, got {f_max}")
+    step = (f_max - 1.0) / (levels - 1)
+    return SpeedLadder.from_frequencies(
+        tuple(1.0 + i * step for i in range(levels))
+    )
+
+
+@dataclass(frozen=True)
+class LadderComparison:
+    """(P, E) of the same task/scheme across several ladders."""
+
+    task: TaskSpec
+    results: Dict[str, CellEstimate]
+
+    def energy_saving_vs(self, baseline: str, candidate: str) -> float:
+        """Relative energy saving of ``candidate`` over ``baseline``
+        (positive = candidate cheaper), computed on timely-run energy."""
+        base = self.results[baseline].e
+        cand = self.results[candidate].e
+        return 1.0 - cand / base
+
+
+def compare_ladders(
+    task: TaskSpec,
+    ladders: Dict[str, SpeedLadder],
+    *,
+    reps: int = 1000,
+    seed: int = 0,
+    policy_class=AdaptiveSCPPolicy,
+) -> LadderComparison:
+    """Monte-Carlo (P, E) of ``policy_class`` under each ladder.
+
+    All ladders see identical fault realisations (same seed), so the
+    comparison isolates the ladder effect.
+    """
+    if not ladders:
+        raise ParameterError("need at least one ladder to compare")
+    results: Dict[str, CellEstimate] = {}
+    for label, ladder in ladders.items():
+        config = AdaptiveConfig(ladder=ladder)
+        results[label] = estimate(
+            task,
+            lambda config=config: policy_class(config),
+            reps=reps,
+            seed=seed,
+        )
+    return LadderComparison(task=task, results=results)

@@ -1,0 +1,109 @@
+"""Secure checkpointing: the paper's stated future work.
+
+The conclusion announces an extension "to other task duplication
+systems with security needs".  In a hostile environment, stored
+checkpoints must be authenticated (MAC on store, verification on load /
+compare) or an attacker who can flip bits in checkpoint storage defeats
+the rollback.  Authentication is pure overhead on exactly the knobs the
+paper's analysis exposes — ``t_s`` and ``t_cp`` — so the machinery
+extends without modification:
+
+* :func:`secure_cost_model` inflates a base
+  :class:`~repro.core.checkpoints.CostModel` with MAC/verify cycles;
+* :func:`security_sweep` quantifies how the optimal subdivision ``m``
+  and the (P, E) outcome move as authentication gets more expensive —
+  heavier stores push ``num_SCP`` toward fewer stores, i.e. security
+  pressure *shifts the optimum*, it does not just scale the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.core.checkpoints import CostModel
+from repro.core.optimizer import num_scp
+from repro.core.schemes import AdaptiveSCPPolicy
+from repro.errors import ParameterError
+from repro.sim.montecarlo import CellEstimate, estimate
+from repro.sim.task import TaskSpec
+
+__all__ = ["secure_cost_model", "SecurityPoint", "security_sweep"]
+
+
+def secure_cost_model(
+    base: CostModel, *, mac_cycles: float, verify_cycles: float = 0.0
+) -> CostModel:
+    """Checkpoint costs inflated by authentication.
+
+    ``mac_cycles`` is added to every store (computing the MAC over the
+    stored state); ``verify_cycles`` to every compare (checking the
+    peer's authenticated digest instead of raw state).
+    """
+    if mac_cycles < 0 or verify_cycles < 0:
+        raise ParameterError("authentication costs must be >= 0")
+    return CostModel(
+        store_cycles=base.store_cycles + mac_cycles,
+        compare_cycles=base.compare_cycles + verify_cycles,
+        rollback_cycles=base.rollback_cycles,
+    )
+
+
+@dataclass(frozen=True)
+class SecurityPoint:
+    """Outcome at one authentication cost level."""
+
+    mac_cycles: float
+    optimal_m: int
+    expected_interval_time: float
+    cell: CellEstimate
+
+    @property
+    def p(self) -> float:
+        return self.cell.p
+
+    @property
+    def e(self) -> float:
+        return self.cell.e
+
+
+def security_sweep(
+    task: TaskSpec,
+    mac_grid: Sequence[float],
+    *,
+    interval: float = 200.0,
+    reps: int = 500,
+    seed: int = 0,
+    verify_per_mac: float = 0.0,
+) -> List[SecurityPoint]:
+    """(optimal m, P, E) as authentication cost grows.
+
+    ``interval`` is a representative CSCP interval (time units) for the
+    analytic ``num_SCP`` read-out; the Monte-Carlo cell uses the full
+    adaptive scheme with the inflated cost model.
+    """
+    if not mac_grid:
+        raise ParameterError("mac_grid must be non-empty")
+    points: List[SecurityPoint] = []
+    for mac in mac_grid:
+        costs = secure_cost_model(
+            task.costs, mac_cycles=mac, verify_cycles=verify_per_mac * mac
+        )
+        secured = replace(task, costs=costs)
+        plan = num_scp(
+            interval,
+            rate=task.fault_rate,
+            store=costs.store_cycles,
+            compare=costs.compare_cycles,
+            rollback=costs.rollback_cycles,
+        )
+        cell = estimate(secured, AdaptiveSCPPolicy, reps=reps, seed=seed)
+        points.append(
+            SecurityPoint(
+                mac_cycles=mac,
+                optimal_m=plan.m,
+                expected_interval_time=plan.expected_time,
+                cell=cell,
+            )
+        )
+    return points

@@ -1,0 +1,239 @@
+"""Triple modular redundancy (TMR) with majority voting.
+
+The paper builds on Nakagawa, Fukumoto & Ishii [5], who analysed both
+double and triple modular redundancy; the paper itself develops the DMR
+case and leaves other duplication systems as future work.  This module
+supplies the TMR side:
+
+* three processors execute the task; each suffers independent Poisson
+  faults at ``rate_per_processor``;
+* at every comparison point (interior CCP or closing CSCP) a majority
+  vote runs: if at most one processor has diverged, its state is
+  *masked* — repaired from the agreeing pair — and execution continues
+  without rollback; if two or more diverged there is no majority and
+  the pair rolls back to the last stored state;
+* energy triples (three processors execute every cycle).
+
+:func:`tmr_interval_time` is the renewal model of one CSCP interval
+(success probability ``p²(3 − 2p)`` with ``p = e^{−λT}``);
+:func:`simulate_tmr_run` is the Monte-Carlo executor.  SCP subdivision
+is not offered: store-checkpoints do not vote, so TMR's masking cannot
+act between comparisons (use CCP subdivision or plain CSCPs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.checkpoints import CheckpointKind
+from repro.core.schemes import CheckpointPolicy
+from repro.errors import ParameterError, SimulationError
+from repro.sim.energy import EnergyAccount, EnergyModel
+from repro.sim.executor import RunResult, SimulationLimits
+from repro.sim.faults import FaultStream, PoissonFaults
+from repro.sim.state import ExecutionState
+from repro.sim.task import TaskSpec
+
+__all__ = ["tmr_interval_time", "tmr_success_probability", "simulate_tmr_run",
+           "tmr_energy_model"]
+
+
+def tmr_success_probability(span: float, rate_per_processor: float) -> float:
+    """P(majority survives an interval): ``p²·(3 − 2p)``, ``p = e^{−λT}``.
+
+    At most one of the three processors may fault during the interval
+    for the vote to mask it.
+    """
+    if span < 0:
+        raise ParameterError(f"span must be >= 0, got {span}")
+    if rate_per_processor < 0:
+        raise ParameterError(
+            f"rate_per_processor must be >= 0, got {rate_per_processor}"
+        )
+    p = math.exp(-rate_per_processor * span)
+    return p * p * (3.0 - 2.0 * p)
+
+
+def tmr_interval_time(
+    span: float,
+    *,
+    rate_per_processor: float,
+    cost: float,
+    rollback: float = 0.0,
+) -> float:
+    """Expected time of one CSCP interval under TMR voting.
+
+    Renewal argument: each attempt costs ``T + cost`` and commits with
+    probability ``q = p²(3 − 2p)``; a failed attempt additionally pays
+    the rollback.  ``R = (T + cost)/q + t_r·(1/q − 1)``.
+
+    Compare :func:`repro.core.renewal.cscp_interval_time` for DMR, whose
+    success probability is ``e^{−2λT}`` — strictly smaller than ``q``
+    for every ``λT > 0``, which is exactly the TMR advantage (bought
+    with 1.5× the energy per cycle).
+    """
+    if span <= 0:
+        raise ParameterError(f"span must be > 0, got {span}")
+    if cost < 0 or rollback < 0:
+        raise ParameterError("cost and rollback must be >= 0")
+    q = tmr_success_probability(span, rate_per_processor)
+    if q <= 0.0:  # pragma: no cover - q > 0 for finite spans
+        return math.inf
+    return (span + cost) / q + rollback * (1.0 / q - 1.0)
+
+
+def tmr_energy_model() -> EnergyModel:
+    """The calibrated paper voltage map with three processors."""
+    return EnergyModel(voltage_of=lambda f: (2.0 * f) ** 0.5, n_processors=3)
+
+
+@dataclass
+class _Divergence:
+    """Per-processor corruption flags since the last consistent state."""
+
+    flags: list
+
+    @classmethod
+    def clean(cls) -> "_Divergence":
+        return cls(flags=[False, False, False])
+
+    @property
+    def count(self) -> int:
+        return sum(self.flags)
+
+    def reset(self) -> None:
+        self.flags = [False, False, False]
+
+
+def simulate_tmr_run(
+    task: TaskSpec,
+    policy: CheckpointPolicy,
+    *,
+    rate_per_processor: Optional[float] = None,
+    energy_model: Optional[EnergyModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    limits: SimulationLimits = SimulationLimits(),
+) -> RunResult:
+    """Simulate one TMR execution of ``task`` under ``policy``.
+
+    ``rate_per_processor`` defaults to ``task.fault_rate`` (each of the
+    three processors then faults at the task's rate).  The policy's plan
+    machinery is reused unchanged; plans carrying SCP subdivision are
+    rejected (see module docstring).
+    """
+    if rate_per_processor is None:
+        rate_per_processor = task.fault_rate
+    if energy_model is None:
+        energy_model = tmr_energy_model()
+    if rng is None:
+        rng = np.random.default_rng()
+
+    streams = [
+        PoissonFaults(rate_per_processor).stream(child)
+        for child in (rng.spawn(3) if hasattr(rng, "spawn") else _split(rng))
+    ]
+    state = ExecutionState.fresh(task)
+    account = EnergyAccount(energy_model)
+    policy.start(state)
+
+    intervals = 0
+    failure: Optional[str] = None
+    while state.remaining_cycles > 1e-9:
+        intervals += 1
+        if intervals > limits.max_intervals:
+            raise SimulationError("TMR run exceeded the interval safety bound")
+        if state.remaining_time > state.deadline_left:
+            failure = "deadline_infeasible"
+            break
+        if state.clock > limits.horizon(task):
+            failure = "horizon"
+            break
+
+        plan = policy.plan(state)
+        if plan.sub_kind is CheckpointKind.SCP and plan.m > 1:
+            raise ParameterError(
+                "TMR masking needs comparison points; SCP subdivision is "
+                "not supported (use AdaptiveCCPPolicy or AdaptiveDVSPolicy)"
+            )
+        committed, detected = _run_tmr_interval(
+            state, account, streams, plan, task
+        )
+        state.remaining_cycles -= committed
+        if detected:
+            state.detected_faults += 1
+            state.rollbacks += 1
+            state.faults_left -= 1
+            policy.on_fault(state)
+
+    completed = state.remaining_cycles <= 1e-9
+    timely = completed and state.clock <= task.deadline + 1e-9
+    return RunResult(
+        completed=completed,
+        timely=timely,
+        finish_time=state.clock,
+        energy=account.total,
+        cycles_executed=account.total_cycles,
+        cycles_by_frequency=dict(account.cycles_by_frequency),
+        detected_faults=state.detected_faults,
+        injected_faults=state.injected_faults,
+        checkpoints=state.checkpoints,
+        sub_checkpoints=state.sub_checkpoints,
+        rollbacks=state.rollbacks,
+        failure_reason=None if completed else (failure or "deadline_infeasible"),
+    )
+
+
+def _run_tmr_interval(state, account, streams, plan, task):
+    """One CSCP interval with majority votes at every comparison."""
+    frequency = state.frequency
+    costs = task.costs
+    interval_cycles = min(plan.interval_time * frequency, state.remaining_cycles)
+    m = max(1, plan.m)
+    sub = interval_cycles / m
+    divergence = _Divergence.clean()
+
+    def advance(cycles: float) -> None:
+        start = state.clock
+        end = start + cycles / frequency
+        for index, stream in enumerate(streams):
+            while stream.peek() <= end:
+                stream.pop()
+                state.injected_faults += 1
+                divergence.flags[index] = True
+        state.clock = end
+        account.charge(frequency, cycles)
+
+    def vote() -> bool:
+        """True when the vote fails (no majority): rollback needed."""
+        if divergence.count >= 2:
+            return True
+        if divergence.count == 1:
+            # Masked: repair the dissenting processor from the majority.
+            state.counters["masked"] = state.counters.get("masked", 0) + 1
+            divergence.reset()
+        return False
+
+    for index in range(1, m + 1):
+        advance(sub)
+        if index < m:
+            state.sub_checkpoints += 1
+            advance(costs.compare_cycles)
+            if vote():
+                advance(costs.rollback_cycles)
+                return 0.0, True
+    advance(costs.checkpoint_cycles)
+    state.checkpoints += 1
+    if vote():
+        advance(costs.rollback_cycles)
+        return 0.0, True
+    return interval_cycles, False
+
+
+def _split(rng: np.random.Generator):
+    """Fallback stream split for generators without ``spawn``."""
+    seeds = rng.integers(0, 2**63 - 1, size=3)
+    return [np.random.default_rng(int(s)) for s in seeds]

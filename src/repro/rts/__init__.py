@@ -1,0 +1,6 @@
+"""Real-time-systems substrate: periodic task sets, checkpoint-aware
+feasibility analysis, and an EDF/RM schedule simulator."""
+
+from repro.rts import feasibility, scheduler, taskset
+
+__all__ = ["feasibility", "scheduler", "taskset"]

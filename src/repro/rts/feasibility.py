@@ -1,0 +1,152 @@
+"""Checkpoint-aware schedulability analysis for periodic task sets.
+
+A job that must survive ``k`` faults with checkpoint overhead ``C`` has
+a fault-tolerant worst-case execution time (Lee, Shin & Min [9], the
+same model behind the paper's ``I2`` interval)
+
+``W(N, k, C) = N + n·C + k·(N/n + C + t_r)``,
+
+minimised at ``n* = sqrt(k·N/C)`` giving
+``W* = N + 2·sqrt(k·N·C) + k·(C + t_r)``.
+
+The classic tests then apply with ``W`` in place of ``N``:
+
+* EDF (dynamic priority): feasible iff ``Σ W_i/T_i ≤ 1``;
+* RM (static priority): response-time analysis
+  ``R = W_i + Σ_{j∈hp(i)} ⌈R/T_j⌉·W_j`` iterated to fixpoint.
+
+These are *sufficient* tests under the worst-case fault assumption; the
+scheduler simulation gives the complementary empirical view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ParameterError
+from repro.rts.taskset import PeriodicTask, TaskSet
+
+__all__ = [
+    "fault_tolerant_wcet",
+    "optimal_checkpoint_count",
+    "edf_feasible",
+    "rm_response_times",
+    "FeasibilityReport",
+    "analyze",
+]
+
+
+def optimal_checkpoint_count(cycles: float, faults: int, cost: float) -> int:
+    """``n* = sqrt(k·N/C)`` rounded to the better integer neighbour."""
+    if cycles <= 0:
+        raise ParameterError(f"cycles must be > 0, got {cycles}")
+    if cost <= 0:
+        raise ParameterError(f"cost must be > 0, got {cost}")
+    if faults <= 0:
+        return 1
+    ideal = math.sqrt(faults * cycles / cost)
+    floor_n = max(1, int(ideal))
+
+    def wcet(n: int) -> float:
+        return cycles + n * cost + faults * (cycles / n + cost)
+
+    return floor_n if wcet(floor_n) <= wcet(floor_n + 1) else floor_n + 1
+
+
+def fault_tolerant_wcet(
+    cycles: float,
+    faults: int,
+    cost: float,
+    *,
+    rollback: float = 0.0,
+    frequency: float = 1.0,
+) -> float:
+    """Worst-case time (at ``frequency``) to finish under ``k`` faults.
+
+    Uses the optimal equidistant checkpoint count; all cycle quantities
+    are converted to time at the given speed.
+    """
+    if frequency <= 0:
+        raise ParameterError(f"frequency must be > 0, got {frequency}")
+    work = cycles / frequency
+    c = cost / frequency
+    r = rollback / frequency
+    if faults <= 0:
+        return work + c  # single closing checkpoint
+    n = optimal_checkpoint_count(cycles, faults, cost)
+    return work + n * c + faults * (work / n + c + r)
+
+
+def _task_wcet(task: PeriodicTask, frequency: float) -> float:
+    return fault_tolerant_wcet(
+        task.cycles,
+        task.fault_budget,
+        task.costs.checkpoint_cycles,
+        rollback=task.costs.rollback_cycles,
+        frequency=frequency,
+    )
+
+
+def edf_feasible(taskset: TaskSet, frequency: float = 1.0) -> bool:
+    """EDF schedulability with fault-tolerant WCETs: ``Σ W_i/T_i ≤ 1``."""
+    demand = sum(_task_wcet(t, frequency) / t.period for t in taskset)
+    return demand <= 1.0 + 1e-12
+
+
+def rm_response_times(
+    taskset: TaskSet, frequency: float = 1.0, *, max_iterations: int = 10_000
+) -> Dict[str, Optional[float]]:
+    """Worst-case response time per task under rate-monotonic priority.
+
+    Returns ``None`` for a task whose response-time recurrence exceeds
+    its deadline (unschedulable).
+    """
+    ordered = taskset.rate_monotonic_order()
+    responses: Dict[str, Optional[float]] = {}
+    for index, task in enumerate(ordered):
+        wcet = _task_wcet(task, frequency)
+        higher = ordered[:index]
+        response = wcet
+        for _ in range(max_iterations):
+            interference = sum(
+                math.ceil(response / hp.period) * _task_wcet(hp, frequency)
+                for hp in higher
+            )
+            candidate = wcet + interference
+            if candidate > task.deadline:
+                response = None
+                break
+            if abs(candidate - response) < 1e-9:
+                response = candidate
+                break
+            response = candidate
+        responses[task.name] = response
+    return responses
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Combined verdicts of the checkpoint-aware tests."""
+
+    frequency: float
+    raw_utilization: float
+    fault_tolerant_demand: float
+    edf_ok: bool
+    rm_ok: bool
+    rm_responses: Dict[str, Optional[float]]
+
+
+def analyze(taskset: TaskSet, frequency: float = 1.0) -> FeasibilityReport:
+    """Run both tests and package the results."""
+    demand = sum(_task_wcet(t, frequency) / t.period for t in taskset)
+    responses = rm_response_times(taskset, frequency)
+    return FeasibilityReport(
+        frequency=frequency,
+        raw_utilization=taskset.total_utilization(frequency),
+        fault_tolerant_demand=demand,
+        edf_ok=demand <= 1.0 + 1e-12,
+        rm_ok=all(r is not None for r in responses.values()),
+        rm_responses=responses,
+    )

@@ -1,0 +1,129 @@
+"""Periodic task sets: the real-time-systems substrate.
+
+The paper analyses a single task with period ``T`` and deadline ``D``;
+real deployments run *sets* of such tasks.  This module provides the
+periodic task model used by the checkpoint-aware scheduler and
+feasibility analysis — the substrate a downstream user needs to apply
+the paper's schemes beyond a single job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.core.checkpoints import CostModel
+from repro.errors import ParameterError
+from repro.sim.task import TaskSpec
+
+__all__ = ["PeriodicTask", "TaskSet"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic hard-real-time task protected by checkpointing.
+
+    ``cycles`` is the per-job WCET in cycles at ``f1``; ``deadline`` is
+    relative to each release and must not exceed ``period``
+    (constrained-deadline model).
+    """
+
+    name: str
+    cycles: float
+    period: float
+    deadline: float
+    fault_rate: float
+    fault_budget: int
+    costs: CostModel
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("task name must be non-empty")
+        if self.cycles <= 0:
+            raise ParameterError(f"cycles must be > 0, got {self.cycles}")
+        if self.period <= 0:
+            raise ParameterError(f"period must be > 0, got {self.period}")
+        if not 0 < self.deadline <= self.period:
+            raise ParameterError(
+                f"deadline must be in (0, period]; got {self.deadline} with "
+                f"period {self.period}"
+            )
+        if self.fault_rate < 0:
+            raise ParameterError(f"fault_rate must be >= 0, got {self.fault_rate}")
+        if self.fault_budget < 0:
+            raise ParameterError(
+                f"fault_budget must be >= 0, got {self.fault_budget}"
+            )
+
+    def utilization(self, frequency: float = 1.0) -> float:
+        """Raw (checkpoint-free) utilisation ``N/(f·T)``."""
+        if frequency <= 0:
+            raise ParameterError(f"frequency must be > 0, got {frequency}")
+        return self.cycles / (frequency * self.period)
+
+    def job_spec(self) -> TaskSpec:
+        """The single-job :class:`TaskSpec` of one release."""
+        return TaskSpec(
+            cycles=self.cycles,
+            deadline=self.deadline,
+            fault_budget=self.fault_budget,
+            fault_rate=self.fault_rate,
+            costs=self.costs,
+        )
+
+    def release_times(self, horizon: float) -> Iterator[float]:
+        """Job release instants in ``[0, horizon)``."""
+        if horizon <= 0:
+            return
+        k = 0
+        while k * self.period < horizon:
+            yield k * self.period
+            k += 1
+
+
+@dataclass(frozen=True)
+class TaskSet:
+    """An ordered collection of periodic tasks on one (DMR) processor."""
+
+    tasks: tuple
+
+    def __init__(self, tasks: Sequence[PeriodicTask]) -> None:
+        if not tasks:
+            raise ParameterError("TaskSet needs at least one task")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate task names: {names}")
+        object.__setattr__(self, "tasks", tuple(tasks))
+
+    def __iter__(self) -> Iterator[PeriodicTask]:
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def by_name(self, name: str) -> PeriodicTask:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise ParameterError(f"no task named {name!r}")
+
+    def total_utilization(self, frequency: float = 1.0) -> float:
+        """Sum of raw task utilisations at a given speed."""
+        return sum(t.utilization(frequency) for t in self.tasks)
+
+    def hyperperiod(self) -> float:
+        """LCM of the task periods (exact for integral periods, else an
+        LCM of the rational approximations)."""
+        result = 1
+        scale = 1_000_000  # 1e-6 resolution for non-integral periods
+        for task in self.tasks:
+            period = int(round(task.period * scale))
+            if period <= 0:
+                raise ParameterError("period too small for hyperperiod computation")
+            result = result * period // math.gcd(result, period)
+        return result / scale
+
+    def rate_monotonic_order(self) -> List[PeriodicTask]:
+        """Tasks sorted by period (shortest first — highest RM priority)."""
+        return sorted(self.tasks, key=lambda t: (t.period, t.name))

@@ -1,0 +1,30 @@
+"""Simulation substrate: fault processes, the DMR executor, energy
+accounting, tracing, metrics and the Monte-Carlo harness."""
+
+from repro.sim import (
+    energy,
+    engine,
+    executor,
+    fastpath,
+    faults,
+    metrics,
+    montecarlo,
+    rng,
+    state,
+    task,
+    trace,
+)
+
+__all__ = [
+    "energy",
+    "engine",
+    "executor",
+    "fastpath",
+    "faults",
+    "metrics",
+    "montecarlo",
+    "rng",
+    "state",
+    "task",
+    "trace",
+]

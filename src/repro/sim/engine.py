@@ -1,0 +1,122 @@
+"""A small deterministic discrete-event simulation engine.
+
+The checkpoint executor has its own specialised loop for speed; this
+generic engine backs the coarser-grained substrates (the periodic-task
+scheduler in :mod:`repro.rts.scheduler`, trace demos).  Events at equal
+times fire in (priority, insertion) order, which makes multi-task
+simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ParameterError, SimulationError
+
+__all__ = ["Event", "Engine"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Handle to a scheduled callback (cancellable)."""
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Engine:
+    """Priority-queue event loop with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[tuple] = []
+        self._sequence = itertools.count()
+        self._cancelled: set = set()
+        self._clock = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._clock
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], *, priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now.
+
+        Lower ``priority`` fires first among simultaneous events.
+        """
+        if delay < 0:
+            raise ParameterError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._clock + delay, action, priority=priority)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], *, priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._clock:
+            raise ParameterError(
+                f"cannot schedule in the past: {time} < now={self._clock}"
+            )
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._sequence),
+            action=action,
+        )
+        heapq.heappush(
+            self._queue, (event.time, event.priority, event.sequence, event)
+        )
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (no-op if it already fired)."""
+        self._cancelled.add(event.sequence)
+
+    def run(
+        self, *, until: Optional[float] = None, max_events: int = 10_000_000
+    ) -> int:
+        """Process events (optionally up to time ``until``); returns the
+        number of events fired.  The clock ends at ``until`` (if given)
+        or at the last event time."""
+        fired = 0
+        while self._queue:
+            time, _priority, sequence, event = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if sequence in self._cancelled:
+                self._cancelled.discard(sequence)
+                continue
+            self._clock = time
+            event.action()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"event loop exceeded {max_events} events; likely a "
+                    "scheduling loop"
+                )
+        if until is not None and (not self._queue or self._clock < until):
+            self._clock = max(self._clock, until)
+        return fired
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, skipping cancelled ones."""
+        while self._queue:
+            time, _priority, sequence, _event = self._queue[0]
+            if sequence in self._cancelled:
+                heapq.heappop(self._queue)
+                self._cancelled.discard(sequence)
+                continue
+            return time
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._queue) - len(self._cancelled)

@@ -1,0 +1,372 @@
+"""Event-driven execution of one checkpointed DMR task run.
+
+:func:`simulate_run` drives a :class:`~repro.core.schemes.CheckpointPolicy`
+over one realisation of a fault process and produces a
+:class:`RunResult`.  The loop structure mirrors the paper's pseudocode
+(figs. 3, 6, 7):
+
+1. abort with *task failure* when the remaining fault-free execution
+   time exceeds the remaining deadline (``Rt > Rd`` — line 5/6);
+2. execute one CSCP interval, subdivided per the policy's plan:
+
+   * **SCP subdivision** — state is stored at every sub-boundary;
+     divergence is detected at the closing CSCP comparison and the pair
+     rolls back to the last store preceding the first fault;
+   * **CCP subdivision** — states are compared at every sub-boundary;
+     divergence is detected at the first comparison after the fault and
+     the pair rolls back to the interval's opening CSCP;
+   * **plain CSCP** (``m = 1``) — detect at the end, roll back the whole
+     interval;
+
+3. on a detected fault: decrement ``Rf``, charge the rollback cost and
+   let the policy replan (speed + interval).
+
+Timing and energy: an operation of ``x`` cycles at frequency ``f`` takes
+``x/f`` time units and charges the energy model with ``x`` cycles at
+``f``.  Fault arrivals live in wall-clock time.  By default faults
+landing inside checkpoint overhead windows are ignored — the convention
+of the paper's analysis and, empirically, of its simulator (DESIGN.md
+§5); set ``faults_during_overhead=True`` to have them corrupt state
+too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.core.checkpoints import CheckpointKind
+from repro.errors import ParameterError, SimulationError
+from repro.sim.energy import EnergyAccount, EnergyModel
+from repro.sim.faults import FaultProcess, FaultStream
+from repro.sim.state import ExecutionState
+from repro.sim.task import TaskSpec
+from repro.sim.trace import NULL_RECORDER, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.schemes import CheckpointPolicy
+
+__all__ = ["RunResult", "SimulationLimits", "simulate_run"]
+
+#: Work below this many cycles counts as "finished" (guards float drift).
+_CYCLE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SimulationLimits:
+    """Safety bounds for one run.
+
+    ``max_intervals`` bounds the number of CSCP intervals (a run that
+    exceeds it raises :class:`SimulationError` — it indicates a bug, not
+    a slow task, because the deadline check terminates doomed runs).
+    ``horizon_factor`` caps the wall-clock at ``factor × deadline``.
+    """
+
+    max_intervals: int = 2_000_000
+    horizon_factor: float = 64.0
+
+    def horizon(self, task: TaskSpec) -> float:
+        return self.horizon_factor * task.deadline
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated task execution."""
+
+    completed: bool
+    timely: bool
+    finish_time: float
+    energy: float
+    cycles_executed: float
+    cycles_by_frequency: Dict[float, float]
+    detected_faults: int
+    injected_faults: int
+    checkpoints: int
+    sub_checkpoints: int
+    rollbacks: int
+    failure_reason: Optional[str] = None
+
+    @property
+    def deadline_met(self) -> bool:
+        """Alias for :attr:`timely` (paper's "timely completion")."""
+        return self.timely
+
+
+@dataclass
+class _Corruption:
+    """Tracks state divergence since the last consistent point."""
+
+    first_fault_time: Optional[float] = None
+    count: int = 0
+
+    def record(self, time: float) -> None:
+        if self.first_fault_time is None:
+            self.first_fault_time = time
+        self.count += 1
+
+    @property
+    def corrupted(self) -> bool:
+        return self.first_fault_time is not None
+
+
+@dataclass
+class _Interval:
+    """Bookkeeping for executing one CSCP interval."""
+
+    committed_cycles: float = 0.0
+    detected: bool = False
+    corruption: _Corruption = field(default_factory=_Corruption)
+    #: Corruption introduced during the rollback overhead itself (only
+    #: possible with ``faults_during_overhead``); it poisons the *next*
+    #: attempt, whose comparison will detect it.
+    carry: Optional[_Corruption] = None
+
+
+def simulate_run(
+    task: TaskSpec,
+    policy: "CheckpointPolicy",
+    faults: FaultProcess,
+    energy_model: Optional[EnergyModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    faults_during_overhead: bool = False,
+    limits: SimulationLimits = SimulationLimits(),
+    recorder: TraceRecorder = NULL_RECORDER,
+) -> RunResult:
+    """Simulate one execution of ``task`` under ``policy``.
+
+    Parameters
+    ----------
+    task:
+        The task to execute.
+    policy:
+        Checkpointing scheme; a *fresh* policy instance should be used
+        per run (policies cache their plan).
+    faults:
+        Fault-arrival process; one realisation is drawn via ``rng``.
+    energy_model:
+        Defaults to the calibrated paper model
+        (:meth:`EnergyModel.paper_dmr`).
+    rng:
+        NumPy generator for the fault stream (unused by
+        :class:`~repro.sim.faults.ScriptedFaults`).
+    faults_during_overhead:
+        Whether faults arriving during checkpoint/rollback overhead
+        corrupt state (default ``False``; see module docstring).
+    limits:
+        Safety bounds.
+    recorder:
+        Optional :class:`~repro.sim.trace.TraceRecorder`.
+    """
+    if energy_model is None:
+        energy_model = EnergyModel.paper_dmr()
+    if rng is None:
+        rng = np.random.default_rng()
+
+    stream = faults.stream(rng)
+    state = ExecutionState.fresh(task)
+    account = EnergyAccount(energy_model)
+    env = _Environment(
+        state=state,
+        account=account,
+        stream=stream,
+        faults_during_overhead=faults_during_overhead,
+        recorder=recorder,
+    )
+
+    policy.start(state)
+    recorder.speed(state.clock, state.frequency)
+
+    failure: Optional[str] = None
+    carried: Optional[_Corruption] = None
+    intervals = 0
+    while state.remaining_cycles > _CYCLE_EPS:
+        intervals += 1
+        if intervals > limits.max_intervals:
+            raise SimulationError(
+                f"run exceeded {limits.max_intervals} CSCP intervals; "
+                "policy/executor inconsistency"
+            )
+        if state.remaining_time > state.deadline_left:
+            failure = "deadline_infeasible"
+            break
+        if state.clock > limits.horizon(task):
+            failure = "horizon"
+            break
+
+        plan = policy.plan(state)
+        outcome = _run_interval(env, plan, carried)
+        carried = outcome.carry
+        state.remaining_cycles -= outcome.committed_cycles
+        if outcome.detected:
+            state.detected_faults += 1
+            state.rollbacks += 1
+            state.faults_left -= 1
+            previous_frequency = state.frequency
+            policy.on_fault(state)
+            if state.frequency != previous_frequency:
+                recorder.speed(state.clock, state.frequency)
+
+    completed = state.remaining_cycles <= _CYCLE_EPS
+    timely = completed and state.clock <= task.deadline + _CYCLE_EPS
+    if completed:
+        failure = None
+    elif failure is None:
+        failure = "deadline_infeasible"
+    recorder.finish(state.clock, completed=completed, timely=timely)
+
+    return RunResult(
+        completed=completed,
+        timely=timely,
+        finish_time=state.clock,
+        energy=account.total,
+        cycles_executed=account.total_cycles,
+        cycles_by_frequency=dict(account.cycles_by_frequency),
+        detected_faults=state.detected_faults,
+        injected_faults=state.injected_faults,
+        checkpoints=state.checkpoints,
+        sub_checkpoints=state.sub_checkpoints,
+        rollbacks=state.rollbacks,
+        failure_reason=None if completed else failure,
+    )
+
+
+@dataclass
+class _Environment:
+    """Bundles the per-run context threaded through the interval runner."""
+
+    state: ExecutionState
+    account: EnergyAccount
+    stream: FaultStream
+    faults_during_overhead: bool
+    recorder: TraceRecorder
+
+    def advance_execution(self, cycles: float, corruption: _Corruption) -> None:
+        """Advance time executing useful work; faults corrupt state."""
+        self._advance(cycles, corruption, corrupting=True, label="exec")
+
+    def advance_overhead(
+        self, cycles: float, corruption: _Corruption, label: str
+    ) -> None:
+        """Advance time on checkpoint/rollback overhead."""
+        self._advance(
+            cycles, corruption, corrupting=self.faults_during_overhead, label=label
+        )
+
+    def _advance(
+        self, cycles: float, corruption: _Corruption, *, corrupting: bool, label: str
+    ) -> None:
+        if cycles < 0:
+            raise ParameterError(f"cannot advance by negative cycles: {cycles}")
+        if cycles == 0:
+            return
+        state = self.state
+        frequency = state.frequency
+        start = state.clock
+        end = start + cycles / frequency
+        while self.stream.peek() <= end:
+            fault_time = self.stream.pop()
+            state.injected_faults += 1
+            self.recorder.fault(fault_time, corrupting=corrupting)
+            if corrupting:
+                corruption.record(fault_time)
+        state.clock = end
+        self.account.charge(frequency, cycles)
+        self.recorder.segment(label, frequency, start, end, cycles)
+
+
+def _run_interval(
+    env: _Environment, plan, carried: Optional[_Corruption] = None
+) -> _Interval:
+    """Execute one CSCP interval according to ``plan``.
+
+    ``carried`` is corruption inherited from a preceding rollback window
+    (see :class:`_Interval`).  Returns the committed work and whether a
+    fault was detected (the rollback cost is already charged when it
+    was).
+    """
+    state = env.state
+    costs = state.task.costs
+    frequency = state.frequency
+
+    interval_cycles = min(plan.interval_time * frequency, state.remaining_cycles)
+    m = _effective_subdivisions(plan.m, interval_cycles)
+    sub_cycles = interval_cycles / m
+    sub_kind: CheckpointKind = plan.sub_kind
+
+    outcome = _Interval()
+    if carried is not None and carried.corrupted:
+        outcome.corruption = carried
+    corruption = outcome.corruption
+    clean_boundary = 0  # index of last sub-boundary with consistent stored state
+
+    for index in range(1, m + 1):
+        env.advance_execution(sub_cycles, corruption)
+        if index < m:
+            state.sub_checkpoints += 1
+            if sub_kind is CheckpointKind.SCP:
+                # Store without comparing: detection waits for the CSCP.
+                env.advance_overhead(costs.store_cycles, corruption, "scp")
+                env.recorder.checkpoint(state.clock, CheckpointKind.SCP)
+                if not corruption.corrupted:
+                    clean_boundary = index
+            elif sub_kind is CheckpointKind.CCP:
+                env.advance_overhead(costs.compare_cycles, corruption, "ccp")
+                env.recorder.checkpoint(state.clock, CheckpointKind.CCP)
+                if corruption.corrupted:
+                    # Early detection: roll back to the opening CSCP.
+                    _detect(env, outcome, committed=0.0)
+                    return outcome
+            else:
+                # Interior CSCP: compare AND store — detect early, and a
+                # clean pass becomes the new rollback target.
+                env.advance_overhead(costs.checkpoint_cycles, corruption, "cscp")
+                env.recorder.checkpoint(state.clock, CheckpointKind.CSCP)
+                if corruption.corrupted:
+                    _detect(
+                        env, outcome, committed=clean_boundary * sub_cycles
+                    )
+                    return outcome
+                clean_boundary = index
+
+    # Closing CSCP: compare (detects any divergence) and store.
+    env.advance_overhead(costs.checkpoint_cycles, corruption, "cscp")
+    state.checkpoints += 1
+    env.recorder.checkpoint(state.clock, CheckpointKind.CSCP)
+
+    if corruption.corrupted:
+        if sub_kind is CheckpointKind.SCP:
+            committed = clean_boundary * sub_cycles
+        else:
+            committed = 0.0
+        _detect(env, outcome, committed=committed)
+        return outcome
+
+    outcome.committed_cycles = interval_cycles
+    return outcome
+
+
+def _detect(env: _Environment, outcome: _Interval, *, committed: float) -> None:
+    """Charge the rollback and fill in the outcome of a failed interval.
+
+    Faults arriving *during* the rollback operation (possible only with
+    ``faults_during_overhead``) corrupt the freshly restored state; they
+    are tracked separately and carried into the next attempt.
+    """
+    costs = env.state.task.costs
+    carry = _Corruption()
+    env.advance_overhead(costs.rollback_cycles, carry, "rollback")
+    env.recorder.rollback(env.state.clock, committed)
+    outcome.detected = True
+    outcome.committed_cycles = committed
+    outcome.carry = carry if carry.corrupted else None
+
+
+def _effective_subdivisions(m: int, interval_cycles: float) -> int:
+    """Clamp ``m`` so every sub-interval spans a meaningful cycle count."""
+    if interval_cycles <= 0:
+        return 1
+    largest = max(1, int(interval_cycles / 1e-6))
+    return max(1, min(m, largest))

@@ -1,0 +1,261 @@
+"""Fault-arrival processes for the DMR simulator.
+
+The paper's evaluation injects "faults into system using a Poisson
+process" — a single stream of state-divergence events at rate ``λ``
+(:class:`PoissonFaults`).  For sensitivity studies the library also
+provides:
+
+* :class:`DualPoissonFaults` — independent per-processor streams of
+  rate ``λ`` each; any event diverges the pair, so the merged stream is
+  Poisson at ``2λ`` (the rate the paper's *analysis* uses);
+* :class:`WeibullFaults` — renewal process with Weibull inter-arrivals
+  (shape 1 reduces to Poisson); models infant-mortality/wear-out;
+* :class:`BurstyFaults` — a two-state Markov-modulated Poisson process
+  for radiation-burst environments (e.g. South Atlantic Anomaly
+  crossings of the paper's motivating space systems);
+* :class:`ScriptedFaults` — an explicit list of arrival times, used by
+  the unit tests to exercise exact rollback semantics.
+
+A *process* is an immutable description; calling :meth:`stream` with a
+generator yields a :class:`FaultStream` — a stateful iterator of
+strictly increasing arrival times in wall-clock time units.  Fault
+arrivals are in wall-clock time and therefore independent of the
+processor speed, matching the paper's DVS model (slower execution means
+longer exposure).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "FaultStream",
+    "FaultProcess",
+    "PoissonFaults",
+    "DualPoissonFaults",
+    "WeibullFaults",
+    "BurstyFaults",
+    "ScriptedFaults",
+]
+
+
+class FaultStream:
+    """Stateful view of one realisation of a fault process.
+
+    ``peek()`` returns the next arrival time without consuming it;
+    ``pop()`` consumes and returns it.  Arrivals are strictly
+    increasing; an exhausted stream reports ``inf``.
+    """
+
+    def __init__(self, draw_gap, start: float = 0.0) -> None:
+        self._draw_gap = draw_gap
+        self._clock = float(start)
+        self._next: Optional[float] = None
+
+    def peek(self) -> float:
+        """Time of the next fault (``inf`` if none will ever occur)."""
+        if self._next is None:
+            gap = self._draw_gap()
+            self._next = math.inf if gap is None else self._clock + gap
+        return self._next
+
+    def pop(self) -> float:
+        """Consume and return the next fault time."""
+        value = self.peek()
+        if math.isfinite(value):
+            self._clock = value
+        self._next = None
+        return value
+
+    def advance_past(self, time: float) -> int:
+        """Consume every arrival at or before ``time``; return count."""
+        count = 0
+        while self.peek() <= time:
+            self.pop()
+            count += 1
+        return count
+
+
+class FaultProcess:
+    """Base class: a distribution over fault-arrival traces."""
+
+    def stream(self, rng: np.random.Generator) -> FaultStream:
+        raise NotImplementedError
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrivals per time unit (for analysis)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonFaults(FaultProcess):
+    """Single Poisson stream at rate ``rate`` (the paper's injector)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ParameterError(f"rate must be >= 0, got {self.rate}")
+
+    def stream(self, rng: np.random.Generator) -> FaultStream:
+        if self.rate == 0:
+            return FaultStream(lambda: None)
+        rate = self.rate
+        return FaultStream(lambda: rng.exponential(1.0 / rate))
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class DualPoissonFaults(FaultProcess):
+    """Independent Poisson faults on each of the two processors.
+
+    Any single-processor fault diverges the pair state, so the merged
+    divergence stream is Poisson with rate ``2·rate_per_processor``.
+    """
+
+    rate_per_processor: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_processor < 0:
+            raise ParameterError(
+                f"rate_per_processor must be >= 0, got {self.rate_per_processor}"
+            )
+
+    def stream(self, rng: np.random.Generator) -> FaultStream:
+        merged = 2.0 * self.rate_per_processor
+        if merged == 0:
+            return FaultStream(lambda: None)
+        return FaultStream(lambda: rng.exponential(1.0 / merged))
+
+    @property
+    def mean_rate(self) -> float:
+        return 2.0 * self.rate_per_processor
+
+
+@dataclass(frozen=True)
+class WeibullFaults(FaultProcess):
+    """Renewal process with Weibull(shape, scale) inter-arrival times.
+
+    ``shape < 1`` models infant mortality (bursty early failures),
+    ``shape > 1`` wear-out.  ``shape = 1`` is exponential with rate
+    ``1/scale``.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0:
+            raise ParameterError(f"shape must be > 0, got {self.shape}")
+        if self.scale <= 0:
+            raise ParameterError(f"scale must be > 0, got {self.scale}")
+
+    def stream(self, rng: np.random.Generator) -> FaultStream:
+        shape, scale = self.shape, self.scale
+        return FaultStream(lambda: scale * rng.weibull(shape))
+
+    @property
+    def mean_rate(self) -> float:
+        return 1.0 / (self.scale * math.gamma(1.0 + 1.0 / self.shape))
+
+
+@dataclass(frozen=True)
+class BurstyFaults(FaultProcess):
+    """Two-state MMPP: quiet rate / burst rate with exponential dwell.
+
+    The process alternates between a quiet state (arrival rate
+    ``quiet_rate``, mean dwell ``quiet_dwell``) and a burst state
+    (``burst_rate``, ``burst_dwell``).  Arrivals inside each state are
+    Poisson.  Models environments such as orbital radiation-belt
+    crossings.
+    """
+
+    quiet_rate: float
+    burst_rate: float
+    quiet_dwell: float
+    burst_dwell: float
+
+    def __post_init__(self) -> None:
+        if self.quiet_rate < 0 or self.burst_rate < 0:
+            raise ParameterError("rates must be >= 0")
+        if self.quiet_dwell <= 0 or self.burst_dwell <= 0:
+            raise ParameterError("dwell times must be > 0")
+
+    def stream(self, rng: np.random.Generator) -> FaultStream:
+        state = {"bursting": False, "until": rng.exponential(self.quiet_dwell)}
+        process = self
+
+        def draw_gap() -> float:
+            # Piece together exponential fragments across state changes
+            # (memorylessness makes restarting the draw in the new state
+            # statistically exact).  state["until"] holds the remaining
+            # dwell time of the current regime.
+            gap = 0.0
+            while True:
+                rate = process.burst_rate if state["bursting"] else process.quiet_rate
+                window = state["until"]
+                candidate = rng.exponential(1.0 / rate) if rate > 0 else math.inf
+                if candidate <= window:
+                    state["until"] = window - candidate
+                    return gap + candidate
+                gap += window
+                state["bursting"] = not state["bursting"]
+                dwell = (
+                    process.burst_dwell if state["bursting"] else process.quiet_dwell
+                )
+                state["until"] = rng.exponential(dwell)
+
+        return FaultStream(draw_gap)
+
+    @property
+    def mean_rate(self) -> float:
+        total = self.quiet_dwell + self.burst_dwell
+        return (
+            self.quiet_rate * self.quiet_dwell + self.burst_rate * self.burst_dwell
+        ) / total
+
+
+@dataclass(frozen=True)
+class ScriptedFaults(FaultProcess):
+    """Deterministic fault times — the unit tests' scalpel."""
+
+    times: tuple
+
+    def __init__(self, times: Iterable[float]) -> None:
+        ordered = tuple(float(t) for t in times)
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ParameterError("scripted fault times must be strictly increasing")
+        if any(t < 0 for t in ordered):
+            raise ParameterError("scripted fault times must be >= 0")
+        object.__setattr__(self, "times", ordered)
+
+    def stream(self, rng: np.random.Generator = None) -> FaultStream:  # noqa: ARG002
+        remaining: List[float] = list(self.times)
+        last = [0.0]
+
+        def draw_gap() -> Optional[float]:
+            if not remaining:
+                return None
+            nxt = remaining.pop(0)
+            gap = nxt - last[0]
+            last[0] = nxt
+            return gap
+
+        return FaultStream(draw_gap)
+
+    @property
+    def mean_rate(self) -> float:
+        if not self.times:
+            return 0.0
+        horizon = self.times[-1]
+        return len(self.times) / horizon if horizon > 0 else math.inf

@@ -1,0 +1,172 @@
+"""Statistical summaries for Monte-Carlo experiment cells.
+
+The paper reports two numbers per cell: ``P`` (fraction of 10,000 runs
+completing by the deadline) and ``E`` (mean energy — of the timely runs,
+as evidenced by the ``NaN`` entries at ``P = 0``).  This module adds the
+uncertainty quantification a reproduction needs: Wilson score intervals
+for proportions and normal-approximation intervals for means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["wilson_interval", "mean_interval", "ProportionEstimate", "MeanEstimate"]
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because experiment cells
+    routinely sit at ``P ≈ 0`` or ``P ≈ 1`` where the latter collapses.
+    """
+    if trials <= 0:
+        raise ParameterError(f"trials must be > 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ParameterError(
+            f"successes must be in [0, trials]; got {successes}/{trials}"
+        )
+    z = _z_value(confidence)
+    n = float(trials)
+    phat = successes / n
+    denom = 1.0 + z * z / n
+    centre = (phat + z * z / (2.0 * n)) / denom
+    margin = (
+        z * math.sqrt(phat * (1.0 - phat) / n + z * z / (4.0 * n * n)) / denom
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def mean_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for a sample mean."""
+    n = len(values)
+    if n == 0:
+        return (math.nan, math.nan)
+    mean = sum(values) / n
+    if n == 1:
+        return (mean, mean)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = _z_value(confidence) * math.sqrt(var / n)
+    return (mean - half, mean + half)
+
+
+def _z_value(confidence: float) -> float:
+    if not 0 < confidence < 1:
+        raise ParameterError(f"confidence must be in (0, 1), got {confidence}")
+    # Acklam-style rational approximation of the normal quantile; more
+    # than accurate enough for reporting intervals.
+    p = 1.0 - (1.0 - confidence) / 2.0
+    return _norm_ppf(p)
+
+
+def _norm_ppf(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's approximation)."""
+    if not 0 < p < 1:
+        raise ParameterError(f"p must be in (0, 1), got {p}")
+    a = (
+        -3.969683028665376e01,
+        2.209460984245205e02,
+        -2.759285104469687e02,
+        1.383577518672690e02,
+        -3.066479806614716e01,
+        2.506628277459239e00,
+    )
+    b = (
+        -5.447609879822406e01,
+        1.615858368580409e02,
+        -1.556989798598866e02,
+        6.680131188771972e01,
+        -1.328068155288572e01,
+    )
+    c = (
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e00,
+        -2.549732539343734e00,
+        4.374664141464968e00,
+        2.938163982698783e00,
+    )
+    d = (
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e00,
+        3.754408661907416e00,
+    )
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (
+            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
+            * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+        )
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(
+        ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+    ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """A proportion with its Wilson interval."""
+
+    value: float
+    low: float
+    high: float
+    trials: int
+
+    @classmethod
+    def from_counts(
+        cls, successes: int, trials: int, confidence: float = 0.95
+    ) -> "ProportionEstimate":
+        low, high = wilson_interval(successes, trials, confidence)
+        return cls(value=successes / trials, low=low, high=high, trials=trials)
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """A sample mean with its confidence interval (NaN when empty)."""
+
+    value: float
+    low: float
+    high: float
+    count: int
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], confidence: float = 0.95
+    ) -> "MeanEstimate":
+        if not values:
+            return cls(value=math.nan, low=math.nan, high=math.nan, count=0)
+        low, high = mean_interval(values, confidence)
+        return cls(
+            value=sum(values) / len(values), low=low, high=high, count=len(values)
+        )
+
+    @property
+    def is_nan(self) -> bool:
+        return math.isnan(self.value)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ParameterError(f"count must be >= 0, got {self.count}")
+
+
+def describe(estimate: Optional[MeanEstimate]) -> str:  # pragma: no cover - helper
+    if estimate is None or estimate.is_nan:
+        return "NaN"
+    return f"{estimate.value:.0f}"

@@ -1,0 +1,143 @@
+"""Monte-Carlo harness: repeated runs → the paper's (P, E) estimates.
+
+One :func:`estimate` call reproduces one cell of the paper's tables:
+``reps`` independent runs of a (task, scheme) pair, aggregated into the
+probability of timely completion and the mean energy of timely runs
+(``NaN`` when no run is timely — the paper's own convention), plus the
+all-runs energy and diagnostic counters that the paper does not report
+but a user of the library will want.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.errors import ParameterError
+from repro.sim.energy import EnergyModel
+from repro.sim.executor import RunResult, SimulationLimits, simulate_run
+from repro.sim.faults import FaultProcess, PoissonFaults
+from repro.sim.metrics import MeanEstimate, ProportionEstimate
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.schemes import CheckpointPolicy
+
+__all__ = ["CellEstimate", "estimate", "run_many"]
+
+PolicyFactory = Callable[[], "CheckpointPolicy"]
+
+
+@dataclass(frozen=True)
+class CellEstimate:
+    """Aggregated outcome of one Monte-Carlo cell."""
+
+    p_timely: ProportionEstimate
+    energy_timely: MeanEstimate
+    energy_all: MeanEstimate
+    mean_finish_time_timely: float
+    mean_detected_faults: float
+    mean_checkpoints: float
+    mean_sub_checkpoints: float
+    reps: int
+
+    @property
+    def p(self) -> float:
+        """``P`` — the paper's probability of timely completion."""
+        return self.p_timely.value
+
+    @property
+    def e(self) -> float:
+        """``E`` — the paper's energy (mean over timely runs; NaN if none)."""
+        return self.energy_timely.value
+
+
+def run_many(
+    task: TaskSpec,
+    policy_factory: PolicyFactory,
+    *,
+    reps: int,
+    seed: int = 0,
+    faults: Optional[FaultProcess] = None,
+    energy_model: Optional[EnergyModel] = None,
+    faults_during_overhead: bool = False,
+    limits: SimulationLimits = SimulationLimits(),
+) -> List[RunResult]:
+    """Execute ``reps`` independent runs and return every result.
+
+    ``policy_factory`` must build a fresh policy per run (policies cache
+    plans).  Fault realisations come from independent substreams of
+    ``seed``, so results are reproducible and adding reps never changes
+    earlier runs.
+    """
+    if reps <= 0:
+        raise ParameterError(f"reps must be > 0, got {reps}")
+    if faults is None:
+        faults = PoissonFaults(task.fault_rate)
+    if energy_model is None:
+        energy_model = EnergyModel.paper_dmr()
+    source = RandomSource(seed)
+    results: List[RunResult] = []
+    for rng in source.substreams(reps):
+        results.append(
+            simulate_run(
+                task,
+                policy_factory(),
+                faults,
+                energy_model,
+                rng,
+                faults_during_overhead=faults_during_overhead,
+                limits=limits,
+            )
+        )
+    return results
+
+
+def estimate(
+    task: TaskSpec,
+    policy_factory: PolicyFactory,
+    *,
+    reps: int,
+    seed: int = 0,
+    faults: Optional[FaultProcess] = None,
+    energy_model: Optional[EnergyModel] = None,
+    faults_during_overhead: bool = False,
+    limits: SimulationLimits = SimulationLimits(),
+) -> CellEstimate:
+    """Monte-Carlo estimate of one experiment cell (see module doc)."""
+    results = run_many(
+        task,
+        policy_factory,
+        reps=reps,
+        seed=seed,
+        faults=faults,
+        energy_model=energy_model,
+        faults_during_overhead=faults_during_overhead,
+        limits=limits,
+    )
+    return summarize(results)
+
+
+def summarize(results: List[RunResult]) -> CellEstimate:
+    """Aggregate raw run results into a :class:`CellEstimate`."""
+    if not results:
+        raise ParameterError("cannot summarise zero results")
+    reps = len(results)
+    timely = [r for r in results if r.timely]
+    energy_timely = [r.energy for r in timely]
+    energy_all = [r.energy for r in results]
+    mean_finish = (
+        sum(r.finish_time for r in timely) / len(timely) if timely else math.nan
+    )
+    return CellEstimate(
+        p_timely=ProportionEstimate.from_counts(len(timely), reps),
+        energy_timely=MeanEstimate.from_values(energy_timely),
+        energy_all=MeanEstimate.from_values(energy_all),
+        mean_finish_time_timely=mean_finish,
+        mean_detected_faults=sum(r.detected_faults for r in results) / reps,
+        mean_checkpoints=sum(r.checkpoints for r in results) / reps,
+        mean_sub_checkpoints=sum(r.sub_checkpoints for r in results) / reps,
+        reps=reps,
+    )

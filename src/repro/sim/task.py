@@ -1,0 +1,89 @@
+"""Task model: the unit of work the checkpointing schemes protect.
+
+A task is characterised (paper §2 and §3) by:
+
+* ``cycles`` — ``N``, worst-case CPU cycles at the minimum speed
+  (``f1 = 1``), so ``N`` equals the fault-free execution time at ``f1``;
+* ``deadline`` — ``D``, in time units at the minimum speed;
+* ``fault_budget`` — ``k``, the number of fault occurrences that must be
+  tolerated (feeds ``Rf``);
+* ``fault_rate`` — ``λ``, the Poisson fault arrival rate;
+* ``costs`` — the checkpoint :class:`~repro.core.checkpoints.CostModel`.
+
+``utilization`` is the paper's ``U = N / (f·D)`` for a reference speed
+``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.checkpoints import CostModel
+from repro.errors import ParameterError
+
+__all__ = ["TaskSpec"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Immutable description of one real-time task."""
+
+    cycles: float
+    deadline: float
+    fault_budget: int
+    fault_rate: float
+    costs: CostModel
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ParameterError(f"cycles must be > 0, got {self.cycles}")
+        if self.deadline <= 0:
+            raise ParameterError(f"deadline must be > 0, got {self.deadline}")
+        if self.fault_budget < 0:
+            raise ParameterError(
+                f"fault_budget must be >= 0, got {self.fault_budget}"
+            )
+        if self.fault_rate < 0:
+            raise ParameterError(f"fault_rate must be >= 0, got {self.fault_rate}")
+
+    def utilization(self, frequency: float = 1.0) -> float:
+        """``U = N / (f·D)`` — task utilisation at a reference speed."""
+        if frequency <= 0:
+            raise ParameterError(f"frequency must be > 0, got {frequency}")
+        return self.cycles / (frequency * self.deadline)
+
+    @classmethod
+    def from_utilization(
+        cls,
+        utilization: float,
+        *,
+        deadline: float,
+        frequency: float,
+        fault_budget: int,
+        fault_rate: float,
+        costs: CostModel,
+    ) -> "TaskSpec":
+        """Build a task from ``U`` the way the paper's tables do.
+
+        Tables 1/3 define ``U = N/(f1·D)``; tables 2/4 use
+        ``U = N/(f2·D)``.  Pass the matching reference ``frequency``.
+        """
+        if utilization <= 0:
+            raise ParameterError(f"utilization must be > 0, got {utilization}")
+        if frequency <= 0:
+            raise ParameterError(f"frequency must be > 0, got {frequency}")
+        return cls(
+            cycles=utilization * frequency * deadline,
+            deadline=deadline,
+            fault_budget=fault_budget,
+            fault_rate=fault_rate,
+            costs=costs,
+        )
+
+    def with_fault_rate(self, fault_rate: float) -> "TaskSpec":
+        """Copy of this task with a different fault rate."""
+        return replace(self, fault_rate=fault_rate)
+
+    def with_cycles(self, cycles: float) -> "TaskSpec":
+        """Copy of this task with a different cycle count."""
+        return replace(self, cycles=cycles)

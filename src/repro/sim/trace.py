@@ -1,0 +1,184 @@
+"""Execution traces: optional structured recording of a simulated run.
+
+A :class:`TraceRecorder` receives callbacks from the executor (time
+segments, checkpoints, faults, rollbacks, speed changes).  The default
+:data:`NULL_RECORDER` ignores everything at near-zero cost; pass a
+:class:`Trace` to capture the full history, inspect it programmatically
+or render a compact ASCII timeline for debugging and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.checkpoints import CheckpointKind
+
+__all__ = [
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Trace",
+    "SegmentRecord",
+    "CheckpointRecord",
+    "FaultRecord",
+    "RollbackRecord",
+    "SpeedRecord",
+]
+
+
+class TraceRecorder:
+    """Callback interface; all methods default to no-ops."""
+
+    def segment(
+        self, label: str, frequency: float, start: float, end: float, cycles: float
+    ) -> None:
+        """A contiguous span of execution or overhead."""
+
+    def checkpoint(self, time: float, kind: CheckpointKind) -> None:
+        """A checkpoint operation completed at ``time``."""
+
+    def fault(self, time: float, *, corrupting: bool) -> None:
+        """A fault arrived (``corrupting`` per the overhead setting)."""
+
+    def rollback(self, time: float, committed_cycles: float) -> None:
+        """A detected fault rolled the pair back."""
+
+    def speed(self, time: float, frequency: float) -> None:
+        """The DVS policy (re)selected a speed."""
+
+    def finish(self, time: float, *, completed: bool, timely: bool) -> None:
+        """The run terminated."""
+
+
+class NullRecorder(TraceRecorder):
+    """Explicitly does nothing (singleton :data:`NULL_RECORDER`)."""
+
+
+NULL_RECORDER = NullRecorder()
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    label: str
+    frequency: float
+    start: float
+    end: float
+    cycles: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    time: float
+    kind: CheckpointKind
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    time: float
+    corrupting: bool
+
+
+@dataclass(frozen=True)
+class RollbackRecord:
+    time: float
+    committed_cycles: float
+
+
+@dataclass(frozen=True)
+class SpeedRecord:
+    time: float
+    frequency: float
+
+
+@dataclass
+class Trace(TraceRecorder):
+    """Captures the complete event history of one run."""
+
+    segments: List[SegmentRecord] = field(default_factory=list)
+    checkpoints: List[CheckpointRecord] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    rollbacks: List[RollbackRecord] = field(default_factory=list)
+    speeds: List[SpeedRecord] = field(default_factory=list)
+    finish_time: Optional[float] = None
+    completed: Optional[bool] = None
+    timely: Optional[bool] = None
+
+    def segment(
+        self, label: str, frequency: float, start: float, end: float, cycles: float
+    ) -> None:
+        self.segments.append(SegmentRecord(label, frequency, start, end, cycles))
+
+    def checkpoint(self, time: float, kind: CheckpointKind) -> None:
+        self.checkpoints.append(CheckpointRecord(time, kind))
+
+    def fault(self, time: float, *, corrupting: bool) -> None:
+        self.faults.append(FaultRecord(time, corrupting))
+
+    def rollback(self, time: float, committed_cycles: float) -> None:
+        self.rollbacks.append(RollbackRecord(time, committed_cycles))
+
+    def speed(self, time: float, frequency: float) -> None:
+        self.speeds.append(SpeedRecord(time, frequency))
+
+    def finish(self, time: float, *, completed: bool, timely: bool) -> None:
+        self.finish_time = time
+        self.completed = completed
+        self.timely = timely
+
+    @property
+    def total_overhead_time(self) -> float:
+        """Time spent on checkpoint/rollback operations."""
+        return sum(s.duration for s in self.segments if s.label != "exec")
+
+    @property
+    def total_execution_time(self) -> float:
+        """Time spent on useful (possibly later discarded) work."""
+        return sum(s.duration for s in self.segments if s.label == "exec")
+
+    def render(self, width: int = 72) -> str:
+        """Compact ASCII timeline of the run.
+
+        One character per time bucket: ``=`` execution, ``s``/``c``/``#``
+        SCP/CCP/CSCP overhead, ``r`` rollback, ``!`` marks a bucket with
+        a corrupting fault.  A header line reports outcome and totals.
+        """
+        if not self.segments:
+            return "(empty trace)"
+        horizon = max(s.end for s in self.segments)
+        if horizon <= 0:
+            return "(empty trace)"
+        scale = width / horizon
+        chars = [" "] * width
+        order = {"exec": 0, "scp": 1, "ccp": 1, "cscp": 2, "rollback": 3}
+        glyph = {"exec": "=", "scp": "s", "ccp": "c", "cscp": "#", "rollback": "r"}
+        for seg in self.segments:
+            lo = min(width - 1, int(seg.start * scale))
+            hi = min(width - 1, int(max(seg.start, seg.end - 1e-12) * scale))
+            for i in range(lo, hi + 1):
+                current = chars[i]
+                if current == " " or order.get(seg.label, 0) > _glyph_order(current):
+                    chars[i] = glyph.get(seg.label, "?")
+        for fault in self.faults:
+            if fault.corrupting:
+                i = min(width - 1, int(fault.time * scale))
+                chars[i] = "!"
+        outcome = (
+            "timely"
+            if self.timely
+            else ("late" if self.completed else "failed")
+        )
+        header = (
+            f"[{outcome}] t={self.finish_time:.1f} "
+            f"faults={sum(1 for f in self.faults if f.corrupting)} "
+            f"rollbacks={len(self.rollbacks)} cscp={sum(1 for c in self.checkpoints if c.kind is CheckpointKind.CSCP)}"
+        )
+        return header + "\n" + "".join(chars)
+
+
+def _glyph_order(char: str) -> int:
+    return {"=": 0, "s": 1, "c": 1, "#": 2, "r": 3, "!": 4}.get(char, 0)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_defaults(self):
+        args = build_parser().parse_args(["table", "1a"])
+        assert args.table_id == "1a"
+        assert args.reps == 2000
+        assert args.seed == 2006
+
+    def test_rejects_unknown_table(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "7q"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "1a" in out and "4b" in out
+
+    def test_table_text(self, capsys):
+        assert main(["table", "2b", "--reps", "25", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2b" in out
+        assert "A_D_S" in out
+
+    def test_table_json(self, capsys):
+        assert main(["table", "2b", "--reps", "25", "--seed", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["table"] == "2b"
+        assert len(payload["rows"]) == 4
+        first = payload["rows"][0]["cells"]["Poisson"]
+        assert set(first) == {"p", "e", "paper_p", "paper_e"}
+
+    def test_table_markdown(self, capsys):
+        assert main(["table", "2b", "--reps", "25", "--markdown"]) == 0
+        assert "| U | λ | scheme |" in capsys.readouterr().out
+
+    def test_table_without_paper_columns(self, capsys):
+        assert main(["table", "2b", "--reps", "25", "--no-paper"]) == 0
+        assert "P paper" not in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--scheme", "A_D_S", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "completed=" in out
+
+    def test_demo_every_scheme(self, capsys):
+        for scheme in ("Poisson", "k-f-t", "A_D", "A_D_S", "A_D_C"):
+            assert main(["demo", "--scheme", scheme, "--seed", "1"]) == 0
+        assert "scheme=" in capsys.readouterr().out
+
+    def test_json_nan_serialised_as_null(self, capsys):
+        # Table 1b has U=1.0 rows with NaN energies for static schemes.
+        assert main(["table", "1b", "--reps", "25", "--seed", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        u1_rows = [r for r in payload["rows"] if r["u"] == 1.0]
+        assert u1_rows
+        assert u1_rows[0]["cells"]["Poisson"]["e"] is None
+
+
+class TestSweepCommand:
+    def test_cost_ratio(self, capsys):
+        assert main(["sweep", "cost-ratio"]) == 0
+        out = capsys.readouterr().out
+        assert "m_SCP" in out and "m_CCP" in out
+
+    def test_benefit(self, capsys):
+        assert main(["sweep", "benefit"]) == 0
+        out = capsys.readouterr().out
+        assert "λ·T" in out
+        assert "%" in out
+
+    def test_fixed_m(self, capsys):
+        assert main(["sweep", "fixed-m", "--reps", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+
+    def test_operating_map(self, capsys):
+        assert main(["sweep", "operating-map", "--reps", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "winner per" in out
+
+    def test_unknown_study_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "bogus"])

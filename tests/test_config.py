@@ -1,0 +1,112 @@
+"""Unit tests for the experiment table specs."""
+
+import pytest
+
+from repro.core.schemes import (
+    AdaptiveCCPPolicy,
+    AdaptiveConfig,
+    AdaptiveDVSPolicy,
+    AdaptiveSCPPolicy,
+    KFaultTolerantPolicy,
+    PoissonArrivalPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.config import DEADLINE, all_table_specs, table_spec
+from repro.experiments.paper_data import TABLE_IDS, paper_rows
+
+
+class TestTableSpecs:
+    def test_all_published_ids_resolvable(self):
+        for table_id in TABLE_IDS:
+            assert table_spec(table_id).table_id == table_id
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_spec("5a")
+
+    def test_rows_match_paper_data(self):
+        for table_id in TABLE_IDS:
+            spec = table_spec(table_id)
+            assert list(spec.rows) == paper_rows(table_id)
+
+    def test_cost_families(self):
+        assert table_spec("1a").costs.store_cycles == 2
+        assert table_spec("2b").costs.store_cycles == 2
+        assert table_spec("3a").costs.store_cycles == 20
+        assert table_spec("4b").costs.compare_cycles == 2
+
+    def test_static_frequencies(self):
+        assert table_spec("1a").static_frequency == 1.0
+        assert table_spec("2a").static_frequency == 2.0
+        assert table_spec("3b").static_frequency == 1.0
+        assert table_spec("4a").static_frequency == 2.0
+
+    def test_fault_budgets(self):
+        assert table_spec("1a").fault_budget == 5
+        assert table_spec("1b").fault_budget == 1
+        assert table_spec("4a").fault_budget == 5
+        assert table_spec("4b").fault_budget == 1
+
+    def test_scheme_columns(self):
+        assert table_spec("1a").schemes == ("Poisson", "k-f-t", "A_D", "A_D_S")
+        assert table_spec("3a").schemes == ("Poisson", "k-f-t", "A_D", "A_D_C")
+
+    def test_task_cycles_use_reference_frequency(self):
+        # Tables 1/3: N = U·f1·D; tables 2/4: N = U·f2·D.
+        assert table_spec("1a").task(0.76, 1.4e-3).cycles == pytest.approx(7600)
+        assert table_spec("2a").task(0.76, 1.4e-3).cycles == pytest.approx(15200)
+
+    def test_task_carries_row_parameters(self):
+        task = table_spec("1b").task(0.92, 2e-4)
+        assert task.fault_rate == 2e-4
+        assert task.fault_budget == 1
+        assert task.deadline == DEADLINE
+
+    def test_policy_factories_build_fresh_instances(self):
+        spec = table_spec("1a")
+        factory = spec.policy_factory("A_D_S")
+        a, b = factory(), factory()
+        assert isinstance(a, AdaptiveSCPPolicy)
+        assert a is not b
+
+    def test_policy_factory_types(self):
+        spec_scp = table_spec("2a")
+        spec_ccp = table_spec("4a")
+        assert isinstance(spec_scp.policy_factory("Poisson")(), PoissonArrivalPolicy)
+        assert isinstance(spec_scp.policy_factory("k-f-t")(), KFaultTolerantPolicy)
+        assert isinstance(spec_scp.policy_factory("A_D")(), AdaptiveDVSPolicy)
+        assert isinstance(spec_ccp.policy_factory("A_D_C")(), AdaptiveCCPPolicy)
+
+    def test_static_policies_use_spec_frequency(self):
+        policy = table_spec("2a").policy_factory("Poisson")()
+        assert policy.frequency == 2.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_spec("1a").policy_factory("bogus")
+
+    def test_with_adaptive_config(self):
+        spec = table_spec("1a").with_adaptive_config(
+            AdaptiveConfig(analysis_rate_factor=2.0)
+        )
+        policy = spec.policy_factory("A_D_S")()
+        assert policy.config.analysis_rate_factor == 2.0
+
+    def test_all_table_specs_ordered(self):
+        assert [s.table_id for s in all_table_specs()] == list(TABLE_IDS)
+
+    def test_invalid_variant_rejected(self):
+        from repro.experiments.config import TableSpec
+        from repro.core.checkpoints import CostModel
+
+        with pytest.raises(ConfigurationError):
+            TableSpec(
+                table_id="x",
+                title="bad",
+                costs=CostModel.scp_favourable(),
+                fault_budget=1,
+                static_frequency=1.0,
+                reference_frequency=1.0,
+                rows=((0.5, 1e-4),),
+                adaptive_variant="nope",
+            )

@@ -1,0 +1,53 @@
+"""Unit tests for the energy model and account."""
+
+import pytest
+
+from repro.core.dvs import SpeedLadder
+from repro.errors import ParameterError
+from repro.sim.energy import EnergyAccount, EnergyModel
+
+
+class TestEnergyModel:
+    def test_paper_dmr_calibration(self):
+        # E = 2 proc · V² · cycles with V = sqrt(2f):
+        # 4·cycles at f1, 8·cycles at f2 — the published table scale.
+        model = EnergyModel.paper_dmr()
+        assert model.segment_energy(1.0, 100.0) == pytest.approx(400.0)
+        assert model.segment_energy(2.0, 100.0) == pytest.approx(800.0)
+
+    def test_linear_voltage(self):
+        model = EnergyModel.linear_voltage()
+        assert model.segment_energy(1.0, 100.0) == pytest.approx(200.0)
+        assert model.segment_energy(2.0, 100.0) == pytest.approx(800.0)
+
+    def test_from_ladder_uses_ladder_voltages(self):
+        ladder = SpeedLadder(frequencies=(1.0, 2.0), voltages=(1.0, 3.0))
+        model = EnergyModel.from_ladder(ladder)
+        assert model.segment_energy(2.0, 10.0) == pytest.approx(2 * 9 * 10)
+
+    def test_single_processor(self):
+        model = EnergyModel(voltage_of=lambda f: 1.0, n_processors=1)
+        assert model.segment_energy(1.0, 50.0) == pytest.approx(50.0)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ParameterError):
+            EnergyModel.paper_dmr().segment_energy(1.0, -1.0)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ParameterError):
+            EnergyModel(voltage_of=lambda f: 1.0, n_processors=0)
+
+
+class TestEnergyAccount:
+    def test_accumulates_by_frequency(self):
+        account = EnergyAccount(EnergyModel.paper_dmr())
+        account.charge(1.0, 100.0)
+        account.charge(2.0, 50.0)
+        account.charge(1.0, 25.0)
+        assert account.total == pytest.approx(4 * 125 + 8 * 50)
+        assert account.cycles_by_frequency == {1.0: 125.0, 2.0: 50.0}
+        assert account.total_cycles == pytest.approx(175.0)
+
+    def test_charge_returns_segment_energy(self):
+        account = EnergyAccount(EnergyModel.paper_dmr())
+        assert account.charge(2.0, 10.0) == pytest.approx(80.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the generic discrete-event engine."""
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_simultaneous_events_by_priority_then_fifo(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("low"), priority=5)
+        engine.schedule(1.0, lambda: fired.append("hi"), priority=0)
+        engine.schedule(1.0, lambda: fired.append("low2"), priority=5)
+        engine.run()
+        assert fired == ["hi", "low", "low2"]
+
+    def test_actions_can_schedule_more(self):
+        engine = Engine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                engine.schedule(10.0, chain)
+
+        engine.schedule(0.0, chain)
+        engine.run()
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_cancel(self):
+        engine = Engine()
+        fired = []
+        keep = engine.schedule(1.0, lambda: fired.append("keep"))
+        drop = engine.schedule(2.0, lambda: fired.append("drop"))
+        engine.cancel(drop)
+        engine.run()
+        assert fired == ["keep"]
+        assert keep.time == 1.0
+
+    def test_run_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        count = engine.run(until=2.0)
+        assert count == 1
+        assert fired == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ParameterError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_runaway_loop_detected(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(0.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_peek_time_skips_cancelled(self):
+        engine = Engine()
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(first)
+        assert engine.peek_time() == 2.0
+
+    def test_pending_counts_live_events(self):
+        engine = Engine()
+        a = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending == 2
+        engine.cancel(a)
+        assert engine.pending == 1

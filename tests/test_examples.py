@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end to end.
+
+``REPRO_EXAMPLE_REPS`` is set low so the whole file stays fast; the
+examples' own defaults are higher.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(path: Path, extra_env=None, args=()) -> str:
+    env = dict(os.environ, REPRO_EXAMPLE_REPS="60")
+    env.update(extra_env or {})
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    out = run_example(path, args=["--reps", "40"] if "explorer" not in path.name
+                      and "taskset" not in path.name else ())
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_quickstart_output_shape():
+    out = run_example(EXAMPLES[EXAMPLES.index(
+        next(p for p in EXAMPLES if p.name == "quickstart.py")
+    )], args=["--reps", "60"])
+    assert "A_D_S" in out
+    assert "P(timely)" in out
+
+
+def test_explorer_is_deterministic():
+    path = next(p for p in EXAMPLES if p.name == "checkpoint_interval_explorer.py")
+    assert run_example(path) == run_example(path)

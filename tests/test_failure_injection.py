@@ -1,0 +1,240 @@
+"""Failure-injection and edge-case tests across the stack.
+
+Deliberately hostile configurations: saturating fault rates, zero
+budgets, pathological intervals, and overhead-corruption mode — the
+executor must stay consistent (never hang, never mis-account) even
+where the paper's formulas degenerate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoints import CheckpointKind, CostModel
+from repro.core.schemes import (
+    AdaptiveCCPPolicy,
+    AdaptiveDVSPolicy,
+    AdaptiveSCPPolicy,
+    PoissonArrivalPolicy,
+)
+from repro.sim.executor import SimulationLimits, simulate_run
+from repro.sim.faults import DualPoissonFaults, PoissonFaults, ScriptedFaults
+from repro.sim.montecarlo import estimate
+from repro.sim.task import TaskSpec
+
+from tests.conftest import make_fixed_policy
+
+COSTS = CostModel.scp_favourable()
+
+
+def make_task(**overrides):
+    params = dict(
+        cycles=1000.0,
+        deadline=5_000.0,
+        fault_budget=5,
+        fault_rate=1e-3,
+        costs=COSTS,
+    )
+    params.update(overrides)
+    return TaskSpec(**params)
+
+
+class TestSaturatingFaultRates:
+    @pytest.mark.parametrize("policy_cls", [AdaptiveDVSPolicy, AdaptiveSCPPolicy])
+    def test_hopeless_rate_terminates_and_fails(self, policy_cls):
+        # λ·c ≥ f everywhere: t_est is infinite at every speed, and the
+        # workload cannot converge before the deadline; the run must
+        # fail cleanly (not hang, not crash).
+        task = make_task(cycles=2_000.0, deadline=2_200.0, fault_rate=0.1)
+        result = simulate_run(
+            task,
+            policy_cls(),
+            PoissonFaults(0.1),
+            rng=np.random.default_rng(0),
+            limits=SimulationLimits(horizon_factor=4.0),
+        )
+        assert not result.timely
+        assert result.failure_reason in ("deadline_infeasible", "horizon")
+
+    def test_adaptive_ccp_with_hostile_rate(self):
+        task = make_task(fault_rate=0.05, costs=CostModel.ccp_favourable())
+        result = simulate_run(
+            task,
+            AdaptiveCCPPolicy(),
+            PoissonFaults(0.05),
+            rng=np.random.default_rng(1),
+            limits=SimulationLimits(horizon_factor=4.0),
+        )
+        assert result.failure_reason or result.completed
+
+
+class TestZeroBudget:
+    def test_zero_fault_budget_still_runs(self):
+        task = make_task(fault_budget=0)
+        result = simulate_run(task, AdaptiveSCPPolicy(), ScriptedFaults([]))
+        assert result.completed and result.timely
+
+    def test_budget_can_go_negative_without_crash(self):
+        task = make_task(fault_budget=0, deadline=50_000.0)
+        result = simulate_run(
+            task, AdaptiveSCPPolicy(), ScriptedFaults([100.0, 700.0, 1400.0])
+        )
+        assert result.completed
+        assert result.detected_faults >= 1
+
+
+class TestPathologicalIntervals:
+    def test_interval_longer_than_task(self):
+        task = make_task()
+        policy = make_fixed_policy(interval_time=1e9)
+        result = simulate_run(task, policy, ScriptedFaults([]))
+        # Clamped to the remaining work: one interval, one CSCP.
+        assert result.checkpoints == 1
+        assert result.finish_time == pytest.approx(1022.0)
+
+    def test_tiny_interval_many_checkpoints(self):
+        task = make_task(cycles=100.0)
+        policy = make_fixed_policy(interval_time=1.0)
+        result = simulate_run(task, policy, ScriptedFaults([]))
+        assert result.checkpoints == 100
+        assert result.finish_time == pytest.approx(100 + 100 * 22)
+
+    def test_m_larger_than_interval_cycles_is_clamped(self):
+        task = make_task(cycles=10.0)
+        policy = make_fixed_policy(
+            interval_time=10.0, m=1000, sub_kind=CheckpointKind.SCP
+        )
+        result = simulate_run(task, policy, ScriptedFaults([]))
+        assert result.completed
+
+
+class TestOverheadCorruptionMode:
+    def test_ccp_fault_during_interior_compare_detected_there(self):
+        task = make_task(cycles=100.0, deadline=50_000.0)
+        policy = make_fixed_policy(
+            interval_time=100.0, m=4, sub_kind=CheckpointKind.CCP
+        )
+        # Interior compare windows: (25,45), (70,90), (115,135).
+        result = simulate_run(
+            task,
+            policy,
+            ScriptedFaults([30.0]),
+            faults_during_overhead=True,
+        )
+        # Detected at the very compare it corrupted (ends 45).
+        assert result.detected_faults == 1
+        assert result.finish_time == pytest.approx(45.0 + 182.0)
+
+    def test_scp_fault_during_store_invalidates_that_boundary(self):
+        task = make_task(cycles=100.0, deadline=50_000.0)
+        policy = make_fixed_policy(
+            interval_time=100.0, m=4, sub_kind=CheckpointKind.SCP
+        )
+        # Store windows: (25,27), (52,54), (79,81).  Fault at 53.0
+        # corrupts boundary 2's store → rollback target is boundary 1.
+        result = simulate_run(
+            task,
+            policy,
+            ScriptedFaults([53.0]),
+            faults_during_overhead=True,
+        )
+        assert result.detected_faults == 1
+        # 25 cycles commit; retry 75 with m=4: 75 + 3·2 + 22 = 103.
+        assert result.finish_time == pytest.approx(128.0 + 103.0)
+
+    def test_estimate_plumbs_flag_through(self):
+        task = make_task(fault_rate=2e-3)
+        relaxed = estimate(
+            task, lambda: PoissonArrivalPolicy(1.0), reps=400, seed=5
+        )
+        strict = estimate(
+            task,
+            lambda: PoissonArrivalPolicy(1.0),
+            reps=400,
+            seed=5,
+            faults_during_overhead=True,
+        )
+        # Corrupting overhead can only add detected faults.
+        assert strict.mean_detected_faults >= relaxed.mean_detected_faults
+
+    def test_rollback_overhead_can_chain_detections(self):
+        costs = CostModel(store_cycles=2, compare_cycles=20, rollback_cycles=50)
+        task = make_task(cycles=100.0, deadline=50_000.0, costs=costs)
+        policy = make_fixed_policy(interval_time=100.0)
+        # First fault in execution; second inside the rollback window
+        # (122, 172): it corrupts the restored state, so the retry's
+        # CSCP at 294 detects again, costing another rollback + attempt.
+        result = simulate_run(
+            task,
+            policy,
+            ScriptedFaults([50.0, 125.0]),
+            faults_during_overhead=True,
+        )
+        assert result.detected_faults == 2
+        assert result.completed
+        assert result.finish_time == pytest.approx(294.0 + 50.0 + 122.0)
+
+
+class TestDualStreamMode:
+    def test_dual_stream_p_lower_than_single(self):
+        task = make_task(cycles=7600.0, deadline=10_000.0, fault_rate=1.4e-3)
+        single = estimate(
+            task,
+            lambda: PoissonArrivalPolicy(1.0),
+            reps=600,
+            seed=9,
+            faults=PoissonFaults(1.4e-3),
+        )
+        dual = estimate(
+            task,
+            lambda: PoissonArrivalPolicy(1.0),
+            reps=600,
+            seed=9,
+            faults=DualPoissonFaults(1.4e-3),
+        )
+        assert dual.p < single.p
+
+    def test_adaptive_survives_dual_stream(self):
+        task = make_task(cycles=7600.0, deadline=10_000.0, fault_rate=1.4e-3)
+        # The planner still assumes λ; the environment delivers 2λ —
+        # model mismatch the adaptive scheme must absorb.
+        cell = estimate(
+            task,
+            AdaptiveSCPPolicy,
+            reps=400,
+            seed=11,
+            faults=DualPoissonFaults(1.4e-3),
+        )
+        assert cell.p > 0.9
+
+
+class TestNumericalRobustness:
+    def test_float_cycle_counts(self):
+        task = make_task(cycles=997.3)
+        policy = make_fixed_policy(interval_time=123.456)
+        result = simulate_run(task, policy, ScriptedFaults([]))
+        assert result.completed
+        assert result.cycles_executed == pytest.approx(
+            997.3 + result.checkpoints * 22.0
+        )
+
+    def test_no_drift_across_many_intervals(self):
+        task = make_task(cycles=10_000.0, deadline=1e9)
+        policy = make_fixed_policy(interval_time=7.77)
+        result = simulate_run(task, policy, ScriptedFaults([]))
+        assert result.completed
+        useful = result.cycles_executed - result.checkpoints * 22.0
+        assert useful == pytest.approx(10_000.0, abs=1e-6)
+
+    def test_energy_is_finite_and_positive_always(self):
+        task = make_task(fault_rate=0.02)
+        result = simulate_run(
+            task,
+            AdaptiveDVSPolicy(),
+            PoissonFaults(0.02),
+            rng=np.random.default_rng(3),
+            limits=SimulationLimits(horizon_factor=4.0),
+        )
+        assert math.isfinite(result.energy)
+        assert result.energy > 0

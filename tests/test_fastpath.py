@@ -1,0 +1,150 @@
+"""The vectorised static fast path against the event executor.
+
+The two implementations share no code in the hot path, so agreement is
+strong evidence both are right.
+"""
+
+import math
+
+import pytest
+
+from repro.core.checkpoints import CostModel
+from repro.core.schemes import KFaultTolerantPolicy, PoissonArrivalPolicy
+from repro.errors import ParameterError
+from repro.sim.fastpath import (
+    StaticCellSpec,
+    simulate_static_cell,
+    static_cell_for_scheme,
+)
+from repro.sim.montecarlo import estimate
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+
+COSTS = CostModel.scp_favourable()
+
+
+def make_task(**overrides):
+    params = dict(
+        cycles=9200.0,
+        deadline=10_000.0,
+        fault_budget=1,
+        fault_rate=1e-4,
+        costs=COSTS,
+    )
+    params.update(overrides)
+    return TaskSpec(**params)
+
+
+class TestSpecConstruction:
+    def test_poisson_spec_interval(self):
+        task = make_task()
+        spec = static_cell_for_scheme(task, "Poisson", 1.0)
+        assert spec.interval_time == pytest.approx(math.sqrt(2 * 22 / 1e-4))
+
+    def test_kft_spec_interval(self):
+        task = make_task(fault_budget=5)
+        spec = static_cell_for_scheme(task, "k-f-t", 1.0)
+        assert spec.interval_time == pytest.approx(math.sqrt(9200 * 22 / 5))
+
+    def test_interval_clamped_to_work(self):
+        task = make_task(fault_rate=1e-9)
+        spec = static_cell_for_scheme(task, "Poisson", 1.0)
+        assert spec.interval_time == pytest.approx(9200.0)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ParameterError):
+            static_cell_for_scheme(make_task(), "A_D", 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StaticCellSpec(task=make_task(), interval_time=0.0)
+        with pytest.raises(ParameterError):
+            StaticCellSpec(task=make_task(), interval_time=10.0, frequency=0.0)
+
+
+class TestAgreementWithExecutor:
+    @pytest.mark.parametrize(
+        "scheme,policy_cls,kw",
+        [
+            ("Poisson", PoissonArrivalPolicy, dict()),
+            ("k-f-t", KFaultTolerantPolicy, dict(fault_budget=5)),
+        ],
+    )
+    def test_p_and_e_match(self, scheme, policy_cls, kw):
+        task = make_task(fault_rate=1.4e-3, **kw)
+        slow = estimate(
+            task, lambda: policy_cls(1.0), reps=3000, seed=71
+        )
+        spec = static_cell_for_scheme(task, scheme, 1.0)
+        fast = simulate_static_cell(
+            spec, reps=30_000, rng=RandomSource(72).generator()
+        )
+        # Different samplers: agree within combined Monte-Carlo noise.
+        # (energy_all is intentionally NOT compared: the executor
+        # truncates doomed runs early, the fast path runs them out —
+        # see the fastpath module docstring.)
+        assert fast.p == pytest.approx(slow.p, abs=0.03)
+        if not math.isnan(slow.e) and not math.isnan(fast.e):
+            assert fast.e == pytest.approx(slow.e, rel=0.02)
+            assert fast.mean_finish_time_timely == pytest.approx(
+                slow.mean_finish_time_timely, rel=0.02
+            )
+
+    def test_matches_published_cell(self):
+        # Table 1(b) U=0.92, λ=1e-4: published Poisson P = 0.3914.
+        task = make_task()
+        spec = static_cell_for_scheme(task, "Poisson", 1.0)
+        fast = simulate_static_cell(
+            spec, reps=50_000, rng=RandomSource(73).generator()
+        )
+        assert fast.p == pytest.approx(0.3914, abs=0.03)
+        assert fast.e == pytest.approx(38_032, rel=0.02)
+
+    def test_fault_free_is_exact(self):
+        task = make_task(fault_rate=0.0, cycles=1000.0)
+        spec = StaticCellSpec(task=task, interval_time=100.0)
+        fast = simulate_static_cell(
+            spec, reps=100, rng=RandomSource(74).generator()
+        )
+        assert fast.p == 1.0
+        assert fast.e == pytest.approx(4 * (1000 + 10 * 22))
+
+    def test_frequency_two(self):
+        task = make_task(fault_rate=1.4e-3, cycles=15_200.0, fault_budget=5)
+        slow = estimate(task, lambda: PoissonArrivalPolicy(2.0), reps=2000, seed=75)
+        spec = static_cell_for_scheme(task, "Poisson", 2.0)
+        fast = simulate_static_cell(
+            spec, reps=20_000, rng=RandomSource(76).generator()
+        )
+        assert fast.p == pytest.approx(slow.p, abs=0.04)
+        assert fast.e == pytest.approx(slow.e, rel=0.02)
+
+    def test_nan_when_never_timely(self):
+        task = make_task(cycles=10_000.0)
+        spec = static_cell_for_scheme(task, "Poisson", 1.0)
+        fast = simulate_static_cell(
+            spec, reps=500, rng=RandomSource(77).generator()
+        )
+        assert fast.p == 0.0
+        assert math.isnan(fast.e)
+
+    def test_reps_validated(self):
+        spec = static_cell_for_scheme(make_task(), "Poisson", 1.0)
+        with pytest.raises(ParameterError):
+            simulate_static_cell(spec, reps=0, rng=RandomSource(0).generator())
+
+
+class TestSpeed:
+    def test_fast_path_is_much_faster(self):
+        import time
+
+        task = make_task(fault_rate=1.4e-3, fault_budget=5)
+        spec = static_cell_for_scheme(task, "Poisson", 1.0)
+        t0 = time.perf_counter()
+        simulate_static_cell(spec, reps=20_000, rng=RandomSource(1).generator())
+        fast_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        estimate(task, lambda: PoissonArrivalPolicy(1.0), reps=2000, seed=1)
+        slow_time = time.perf_counter() - t0
+        # 10× the reps in (much) less wall time.
+        assert fast_time < slow_time

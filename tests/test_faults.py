@@ -1,0 +1,174 @@
+"""Unit tests for the fault-arrival processes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.faults import (
+    BurstyFaults,
+    DualPoissonFaults,
+    PoissonFaults,
+    ScriptedFaults,
+    WeibullFaults,
+)
+
+
+def collect(stream, horizon):
+    times = []
+    while stream.peek() <= horizon:
+        times.append(stream.pop())
+    return times
+
+
+class TestFaultStream:
+    def test_peek_does_not_consume(self):
+        stream = ScriptedFaults([5.0, 9.0]).stream()
+        assert stream.peek() == 5.0
+        assert stream.peek() == 5.0
+        assert stream.pop() == 5.0
+        assert stream.peek() == 9.0
+
+    def test_exhausted_stream_reports_inf(self):
+        stream = ScriptedFaults([1.0]).stream()
+        stream.pop()
+        assert stream.peek() == math.inf
+
+    def test_advance_past(self):
+        stream = ScriptedFaults([1.0, 2.0, 3.0, 10.0]).stream()
+        assert stream.advance_past(3.0) == 3
+        assert stream.peek() == 10.0
+
+
+class TestPoissonFaults:
+    def test_empirical_rate(self):
+        process = PoissonFaults(rate=0.01)
+        rng = np.random.default_rng(0)
+        horizon = 100_000.0
+        count = len(collect(process.stream(rng), horizon))
+        # ~1000 expected, σ≈32 → 5σ window.
+        assert abs(count - 1000) < 160
+
+    def test_strictly_increasing(self):
+        stream = PoissonFaults(rate=0.1).stream(np.random.default_rng(1))
+        times = [stream.pop() for _ in range(200)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_zero_rate_never_fires(self):
+        stream = PoissonFaults(rate=0.0).stream(np.random.default_rng(2))
+        assert stream.peek() == math.inf
+
+    def test_mean_rate(self):
+        assert PoissonFaults(rate=0.25).mean_rate == 0.25
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ParameterError):
+            PoissonFaults(rate=-1.0)
+
+    def test_exponential_gap_distribution(self):
+        # Mean inter-arrival should be 1/rate.
+        stream = PoissonFaults(rate=0.05).stream(np.random.default_rng(3))
+        times = [stream.pop() for _ in range(4000)]
+        gaps = [b - a for a, b in zip([0.0] + times, times)]
+        assert np.mean(gaps) == pytest.approx(20.0, rel=0.1)
+
+
+class TestDualPoissonFaults:
+    def test_merged_rate_is_doubled(self):
+        process = DualPoissonFaults(rate_per_processor=0.005)
+        assert process.mean_rate == pytest.approx(0.01)
+        rng = np.random.default_rng(4)
+        count = len(collect(process.stream(rng), 100_000.0))
+        assert abs(count - 1000) < 160
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            DualPoissonFaults(rate_per_processor=-0.1)
+
+
+class TestWeibullFaults:
+    def test_shape_one_is_exponential(self):
+        process = WeibullFaults(shape=1.0, scale=100.0)
+        assert process.mean_rate == pytest.approx(0.01)
+        rng = np.random.default_rng(5)
+        count = len(collect(process.stream(rng), 100_000.0))
+        assert abs(count - 1000) < 160
+
+    def test_mean_rate_uses_gamma(self):
+        process = WeibullFaults(shape=2.0, scale=100.0)
+        expected = 1.0 / (100.0 * math.gamma(1.5))
+        assert process.mean_rate == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            WeibullFaults(shape=0.0, scale=1.0)
+        with pytest.raises(ParameterError):
+            WeibullFaults(shape=1.0, scale=0.0)
+
+
+class TestBurstyFaults:
+    def test_mean_rate_weighted_by_dwell(self):
+        process = BurstyFaults(
+            quiet_rate=0.001, burst_rate=0.1, quiet_dwell=900.0, burst_dwell=100.0
+        )
+        expected = (0.001 * 900 + 0.1 * 100) / 1000
+        assert process.mean_rate == pytest.approx(expected)
+
+    def test_empirical_rate_close_to_mean(self):
+        process = BurstyFaults(
+            quiet_rate=0.001, burst_rate=0.05, quiet_dwell=500.0, burst_dwell=100.0
+        )
+        rng = np.random.default_rng(6)
+        horizon = 200_000.0
+        count = len(collect(process.stream(rng), horizon))
+        expected = process.mean_rate * horizon
+        # MMPP counts are over-dispersed relative to Poisson; allow a
+        # generous (but still diagnostic) 25% relative window.
+        assert abs(count - expected) < 0.25 * expected
+
+    def test_burstiness_visible(self):
+        # Arrivals cluster: variance of per-window counts exceeds the
+        # Poisson variance (index of dispersion > 1).
+        process = BurstyFaults(
+            quiet_rate=0.0005, burst_rate=0.1, quiet_dwell=2000.0, burst_dwell=200.0
+        )
+        rng = np.random.default_rng(7)
+        stream = process.stream(rng)
+        window = 500.0
+        counts = []
+        t = 0.0
+        for _ in range(400):
+            t += window
+            counts.append(stream.advance_past(t))
+        counts = np.array(counts)
+        dispersion = counts.var() / max(counts.mean(), 1e-9)
+        assert dispersion > 1.5
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BurstyFaults(quiet_rate=-1, burst_rate=1, quiet_dwell=1, burst_dwell=1)
+        with pytest.raises(ParameterError):
+            BurstyFaults(quiet_rate=1, burst_rate=1, quiet_dwell=0, burst_dwell=1)
+
+
+class TestScriptedFaults:
+    def test_replays_exact_times(self):
+        stream = ScriptedFaults([1.5, 3.25, 10.0]).stream()
+        assert [stream.pop() for _ in range(3)] == [1.5, 3.25, 10.0]
+        assert stream.peek() == math.inf
+
+    def test_requires_increasing(self):
+        with pytest.raises(ParameterError):
+            ScriptedFaults([2.0, 1.0])
+        with pytest.raises(ParameterError):
+            ScriptedFaults([1.0, 1.0])
+
+    def test_requires_non_negative(self):
+        with pytest.raises(ParameterError):
+            ScriptedFaults([-1.0])
+
+    def test_empty_script(self):
+        stream = ScriptedFaults([]).stream()
+        assert stream.peek() == math.inf
+        assert ScriptedFaults([]).mean_rate == 0.0

@@ -1,0 +1,180 @@
+"""Unit tests for the interval formulas and the fig.-4 procedure."""
+
+import math
+
+import pytest
+
+from repro.core.intervals import (
+    checkpoint_interval,
+    deadline_interval,
+    k_fault_interval,
+    k_fault_threshold,
+    poisson_interval,
+    poisson_threshold,
+)
+from repro.errors import InfeasibleError, ParameterError
+
+
+class TestPoissonInterval:
+    def test_formula_value(self):
+        # I1 = sqrt(2·22/1.4e-3) — the paper's table 1 setting.
+        assert poisson_interval(22.0, 1.4e-3) == pytest.approx(
+            math.sqrt(2 * 22 / 1.4e-3)
+        )
+
+    def test_decreases_with_rate(self):
+        assert poisson_interval(22.0, 2e-3) < poisson_interval(22.0, 1e-3)
+
+    def test_increases_with_cost(self):
+        assert poisson_interval(44.0, 1e-3) > poisson_interval(22.0, 1e-3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            poisson_interval(0.0, 1e-3)
+        with pytest.raises(ParameterError):
+            poisson_interval(22.0, 0.0)
+
+
+class TestKFaultInterval:
+    def test_formula_value(self):
+        assert k_fault_interval(7600.0, 5, 22.0) == pytest.approx(
+            math.sqrt(7600 * 22 / 5)
+        )
+
+    def test_accepts_fractional_faults(self):
+        # The adaptive procedure passes expected faults λ·Rt.
+        assert k_fault_interval(1000.0, 0.5, 22.0) == pytest.approx(
+            math.sqrt(1000 * 22 / 0.5)
+        )
+
+    def test_decreases_with_faults(self):
+        assert k_fault_interval(1000, 10, 22) < k_fault_interval(1000, 1, 22)
+
+    def test_rejects_zero_faults(self):
+        with pytest.raises(ParameterError):
+            k_fault_interval(1000.0, 0, 22.0)
+
+
+class TestDeadlineInterval:
+    def test_formula_value(self):
+        # I3 = 2NC/(D + C − N)
+        assert deadline_interval(9000.0, 10_000.0, 22.0) == pytest.approx(
+            2 * 9000 * 22 / (10_000 + 22 - 9000)
+        )
+
+    def test_shrinks_as_slack_vanishes(self):
+        roomy = deadline_interval(5000.0, 10_000.0, 22.0)
+        tight = deadline_interval(9900.0, 10_000.0, 22.0)
+        assert tight > roomy  # less slack → longer intervals (fewer ckpts)
+
+    def test_infeasible_when_no_slack(self):
+        with pytest.raises(InfeasibleError):
+            deadline_interval(10_000.0, 9000.0, 22.0)
+
+    def test_boundary_exactly_zero_slack(self):
+        with pytest.raises(InfeasibleError):
+            deadline_interval(10_022.0, 10_000.0, 22.0)
+
+
+class TestThresholds:
+    def test_poisson_threshold_value(self):
+        # Th_λ = (Rd + C)/(1 + sqrt(λC/2))
+        expected = (10_000 + 22) / (1 + math.sqrt(1.4e-3 * 22 / 2))
+        assert poisson_threshold(10_000.0, 1.4e-3, 22.0) == pytest.approx(expected)
+
+    def test_poisson_threshold_below_deadline(self):
+        assert poisson_threshold(10_000.0, 1e-3, 22.0) < 10_000 + 22
+
+    def test_k_fault_threshold_closed_form_matches_expansion(self):
+        # (sqrt(Rd+(Rf+1)C) − sqrt((Rf+1)C))² ==
+        # Rd + 2RfC + 2C − 2·sqrt((RfC+C)(Rd+RfC+C))   (paper's print)
+        rd, rf, c = 10_000.0, 5.0, 22.0
+        compact = k_fault_threshold(rd, rf, c)
+        expanded = (
+            rd + 2 * rf * c + 2 * c
+            - 2 * math.sqrt((rf * c + c) * (rd + rf * c + c))
+        )
+        assert compact == pytest.approx(expanded)
+
+    def test_k_fault_threshold_is_feasibility_boundary(self):
+        # At Rt = Th the k-fault worst case Rt + 2·sqrt(Rt(Rf+1)C)
+        # exactly consumes the deadline.
+        rd, rf, c = 10_000.0, 5.0, 22.0
+        th = k_fault_threshold(rd, rf, c)
+        worst = th + 2 * math.sqrt(th * (rf + 1) * c)
+        assert worst == pytest.approx(rd, rel=1e-12)
+
+    def test_k_fault_threshold_decreases_with_faults(self):
+        assert k_fault_threshold(10_000, 10, 22) < k_fault_threshold(10_000, 1, 22)
+
+    def test_k_fault_threshold_zero_when_deadline_gone(self):
+        assert k_fault_threshold(0.0, 5, 22.0) == 0.0
+
+
+class TestCheckpointIntervalProcedure:
+    """Branch coverage of the fig.-4 decision procedure."""
+
+    def test_deadline_branch_when_work_above_poisson_threshold(self):
+        # Huge Rt close to Rd → I3.
+        rd, rt, c, rf, lam = 10_000.0, 9800.0, 22.0, 50.0, 1e-3
+        assert rt > poisson_threshold(rd, lam, c)
+        assert rt * lam <= rf
+        expected = deadline_interval(rt, rd, c)
+        assert checkpoint_interval(rd, rt, c, rf, lam) == pytest.approx(expected)
+
+    def test_expected_fault_branch_between_thresholds(self):
+        rd, c, lam, rf = 10_000.0, 22.0, 1e-4, 1.0
+        th_l = poisson_threshold(rd, lam, c)
+        th_k = k_fault_threshold(rd, rf, c)
+        rt = (th_l + th_k) / 2
+        assert th_k < rt <= th_l
+        assert lam * rt <= rf
+        expected = k_fault_interval(rt, lam * rt, c)
+        assert checkpoint_interval(rd, rt, c, rf, lam) == pytest.approx(expected)
+
+    def test_budget_branch_below_both_thresholds(self):
+        rd, c, lam, rf = 10_000.0, 22.0, 1e-5, 3.0
+        rt = 1000.0
+        assert rt <= k_fault_threshold(rd, rf, c)
+        assert lam * rt <= rf
+        expected = k_fault_interval(rt, rf, c)
+        assert checkpoint_interval(rd, rt, c, rf, lam) == pytest.approx(expected)
+
+    def test_poisson_branch_when_budget_exceeded(self):
+        # λ·Rt > Rf and below the Poisson threshold → I1.
+        rd, c, lam, rf = 100_000.0, 22.0, 1e-2, 1.0
+        rt = 5_000.0
+        assert lam * rt > rf
+        assert rt <= poisson_threshold(rd, lam, c)
+        expected = poisson_interval(c, lam)
+        assert checkpoint_interval(rd, rt, c, rf, lam) == pytest.approx(expected)
+
+    def test_deadline_branch_when_budget_exceeded(self):
+        rd, c, lam, rf = 10_000.0, 22.0, 2e-3, 0.0
+        rt = 9_900.0
+        assert lam * rt > rf
+        assert rt > poisson_threshold(rd, lam, c)
+        expected = deadline_interval(rt, rd, c)
+        assert checkpoint_interval(rd, rt, c, rf, lam) == pytest.approx(expected)
+
+    def test_clamped_to_remaining_work(self):
+        # Tiny work: whatever the rule says, never exceed Rt.
+        interval = checkpoint_interval(10_000.0, 5.0, 22.0, 5.0, 1e-4)
+        assert 0 < interval <= 5.0
+
+    def test_zero_rate_returns_whole_work(self):
+        assert checkpoint_interval(10_000.0, 500.0, 22.0, 5.0, 0.0) == 500.0
+
+    def test_negative_fault_budget_falls_to_poisson_family(self):
+        # After many faults Rf can go below zero; procedure must survive.
+        interval = checkpoint_interval(10_000.0, 5_000.0, 22.0, -2.0, 1e-3)
+        assert 0 < interval <= 5_000.0
+
+    def test_doomed_state_still_returns_positive(self):
+        # Rt beyond any feasibility: fall back to "one checkpoint at end".
+        interval = checkpoint_interval(100.0, 5_000.0, 22.0, 5.0, 1e-3)
+        assert 0 < interval <= 5_000.0
+
+    def test_rejects_bad_work(self):
+        with pytest.raises(ParameterError):
+            checkpoint_interval(10_000.0, 0.0, 22.0, 5.0, 1e-3)

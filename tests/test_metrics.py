@@ -1,0 +1,111 @@
+"""Unit tests for the statistical summaries."""
+
+import math
+
+import pytest
+from scipy.stats import norm
+
+from repro.errors import ParameterError
+from repro.sim.metrics import (
+    MeanEstimate,
+    ProportionEstimate,
+    mean_interval,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.30 < high
+
+    def test_narrows_with_trials(self):
+        low1, high1 = wilson_interval(30, 100)
+        low2, high2 = wilson_interval(300, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_zero_successes_stays_in_unit_interval(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0 < high < 0.15
+
+    def test_all_successes(self):
+        low, high = wilson_interval(50, 50)
+        assert high == pytest.approx(1.0, abs=1e-9)
+        assert 0.85 < low < 1.0
+
+    def test_symmetric_at_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low + high == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_textbook_value(self):
+        # Wilson 95% for 8/10 ≈ (0.490, 0.943).
+        low, high = wilson_interval(8, 10)
+        assert low == pytest.approx(0.490, abs=0.01)
+        assert high == pytest.approx(0.943, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            wilson_interval(1, 0)
+        with pytest.raises(ParameterError):
+            wilson_interval(5, 4)
+        with pytest.raises(ParameterError):
+            wilson_interval(-1, 4)
+
+
+class TestMeanInterval:
+    def test_empty_is_nan(self):
+        low, high = mean_interval([])
+        assert math.isnan(low) and math.isnan(high)
+
+    def test_single_value_collapses(self):
+        low, high = mean_interval([4.2])
+        assert low == high == 4.2
+
+    def test_contains_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = mean_interval(values)
+        assert low < 3.0 < high
+
+    def test_half_width_matches_normal_theory(self):
+        values = list(range(100))
+        low, high = mean_interval(values, confidence=0.95)
+        import statistics
+
+        half = 1.959964 * statistics.stdev(values) / 10
+        assert (high - low) / 2 == pytest.approx(half, rel=1e-3)
+
+
+class TestNormalQuantileApproximation:
+    @pytest.mark.parametrize("confidence", [0.8, 0.9, 0.95, 0.99, 0.999])
+    def test_against_scipy(self, confidence):
+        from repro.sim.metrics import _z_value
+
+        expected = norm.ppf(1 - (1 - confidence) / 2)
+        assert _z_value(confidence) == pytest.approx(expected, abs=2e-4)
+
+    def test_invalid_confidence(self):
+        from repro.sim.metrics import _z_value
+
+        with pytest.raises(ParameterError):
+            _z_value(0.0)
+        with pytest.raises(ParameterError):
+            _z_value(1.0)
+
+
+class TestEstimates:
+    def test_proportion_from_counts(self):
+        est = ProportionEstimate.from_counts(25, 100)
+        assert est.value == 0.25
+        assert est.low < 0.25 < est.high
+        assert est.trials == 100
+
+    def test_mean_from_values(self):
+        est = MeanEstimate.from_values([2.0, 4.0, 6.0])
+        assert est.value == pytest.approx(4.0)
+        assert est.count == 3
+
+    def test_mean_empty_is_nan(self):
+        est = MeanEstimate.from_values([])
+        assert est.is_nan
+        assert est.count == 0

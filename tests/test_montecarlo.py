@@ -1,0 +1,105 @@
+"""Unit tests for the Monte-Carlo harness."""
+
+import math
+
+import pytest
+
+from repro.core.checkpoints import CostModel
+from repro.core.schemes import AdaptiveSCPPolicy, PoissonArrivalPolicy
+from repro.errors import ParameterError
+from repro.sim.montecarlo import estimate, run_many, summarize
+from repro.sim.task import TaskSpec
+
+from tests.conftest import make_fixed_policy
+
+
+@pytest.fixture
+def task():
+    return TaskSpec(
+        cycles=1000.0,
+        deadline=2000.0,
+        fault_budget=5,
+        fault_rate=1e-3,
+        costs=CostModel.scp_favourable(),
+    )
+
+
+class TestRunMany:
+    def test_reproducible_with_seed(self, task):
+        a = run_many(task, lambda: PoissonArrivalPolicy(1.0), reps=50, seed=9)
+        b = run_many(task, lambda: PoissonArrivalPolicy(1.0), reps=50, seed=9)
+        assert [r.finish_time for r in a] == [r.finish_time for r in b]
+        assert [r.energy for r in a] == [r.energy for r in b]
+
+    def test_different_seed_differs(self, task):
+        a = run_many(task, lambda: PoissonArrivalPolicy(1.0), reps=50, seed=1)
+        b = run_many(task, lambda: PoissonArrivalPolicy(1.0), reps=50, seed=2)
+        assert [r.finish_time for r in a] != [r.finish_time for r in b]
+
+    def test_prefix_stability(self, task):
+        # Growing reps must not change earlier runs.
+        short = run_many(task, lambda: PoissonArrivalPolicy(1.0), reps=20, seed=3)
+        long = run_many(task, lambda: PoissonArrivalPolicy(1.0), reps=40, seed=3)
+        assert [r.finish_time for r in short] == [
+            r.finish_time for r in long[:20]
+        ]
+
+    def test_rejects_zero_reps(self, task):
+        with pytest.raises(ParameterError):
+            run_many(task, AdaptiveSCPPolicy, reps=0)
+
+
+class TestEstimate:
+    def test_fields_populated(self, task):
+        cell = estimate(task, AdaptiveSCPPolicy, reps=100, seed=5)
+        assert 0.0 <= cell.p <= 1.0
+        assert cell.reps == 100
+        assert cell.p_timely.low <= cell.p <= cell.p_timely.high
+        assert cell.mean_checkpoints > 0
+
+    def test_energy_nan_when_never_timely(self):
+        # U = 1 at f1 with any overhead: impossible (the paper's NaN cells).
+        task = TaskSpec(
+            cycles=10_000.0,
+            deadline=10_000.0,
+            fault_budget=1,
+            fault_rate=1e-4,
+            costs=CostModel.scp_favourable(),
+        )
+        cell = estimate(
+            task, lambda: PoissonArrivalPolicy(1.0), reps=50, seed=0
+        )
+        assert cell.p == 0.0
+        assert math.isnan(cell.e)
+        assert not math.isnan(cell.energy_all.value)
+
+    def test_deterministic_task_probability_one(self):
+        task = TaskSpec(
+            cycles=100.0,
+            deadline=1000.0,
+            fault_budget=1,
+            fault_rate=0.0,
+            costs=CostModel.scp_favourable(),
+        )
+        cell = estimate(
+            task, lambda: make_fixed_policy(interval_time=100.0), reps=20, seed=0
+        )
+        assert cell.p == 1.0
+        assert cell.e == pytest.approx(4 * 122.0)
+        assert cell.energy_all.value == pytest.approx(cell.e)
+        assert cell.mean_finish_time_timely == pytest.approx(122.0)
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize([])
+
+    def test_counts(self, task):
+        results = run_many(
+            task, lambda: PoissonArrivalPolicy(1.0), reps=30, seed=4
+        )
+        cell = summarize(results)
+        timely = sum(1 for r in results if r.timely)
+        assert cell.p == pytest.approx(timely / 30)
+        assert cell.reps == 30

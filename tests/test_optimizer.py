@@ -1,0 +1,155 @@
+"""Unit tests for num_SCP / num_CCP (paper fig. 2)."""
+
+import pytest
+
+from repro.core.optimizer import (
+    DEFAULT_MAX_SUBDIVISIONS,
+    brute_force_num_ccp,
+    brute_force_num_scp,
+    num_ccp,
+    num_scp,
+)
+from repro.core.renewal import ccp_interval_time_for_m, scp_interval_time_for_m
+from repro.errors import ParameterError
+
+TS, TCP = 2.0, 20.0
+
+
+def scp_cases():
+    """(span, rate) grid spanning the paper's operating regimes."""
+    return [
+        (50.0, 2.8e-3),
+        (100.0, 2.8e-3),
+        (177.0, 2.8e-3),  # ≈ I1 at table-1 parameters
+        (200.0, 1.4e-3),
+        (200.0, 2e-4),
+        (400.0, 2.8e-3),
+        (469.0, 2e-4),
+        (1000.0, 1e-3),
+        (2000.0, 5e-4),
+    ]
+
+
+class TestNumSCP:
+    @pytest.mark.parametrize("span,rate", scp_cases())
+    def test_matches_brute_force(self, span, rate):
+        fast = num_scp(span, rate=rate, store=TS, compare=TCP)
+        exact = brute_force_num_scp(span, rate=rate, store=TS, compare=TCP)
+        # fig. 2 only compares ⌊T/T̃1⌋ with its successor; allow a tie in
+        # expected time but never a worse outcome beyond float noise.
+        assert fast.expected_time == pytest.approx(
+            exact.expected_time, rel=1e-9
+        ) or fast.expected_time <= exact.expected_time * (1 + 1e-6)
+
+    @pytest.mark.parametrize("span,rate", scp_cases())
+    def test_result_is_locally_optimal(self, span, rate):
+        plan = num_scp(span, rate=rate, store=TS, compare=TCP)
+
+        def objective(m):
+            return scp_interval_time_for_m(
+                m, span=span, rate=rate, store=TS, compare=TCP
+            )
+
+        assert plan.expected_time == pytest.approx(objective(plan.m))
+        assert objective(plan.m) <= objective(plan.m + 1) + 1e-9
+        if plan.m > 1:
+            assert objective(plan.m) <= objective(plan.m - 1) + 1e-9
+
+    def test_m_is_one_when_no_subdivision_helps(self):
+        # Tiny rate: extra stores cannot pay for themselves.
+        plan = num_scp(50.0, rate=1e-9, store=TS, compare=TCP)
+        assert plan.m == 1
+
+    def test_zero_rate_shortcut(self):
+        plan = num_scp(200.0, rate=0.0, store=TS, compare=TCP)
+        assert plan.m == 1
+        assert plan.sublength == 200.0
+
+    def test_free_store_clamps_to_max(self):
+        plan = num_scp(200.0, rate=1e-3, store=0.0, compare=TCP, max_m=64)
+        assert plan.m == 64
+
+    def test_subdivides_at_paper_parameters(self):
+        # Table 1(a): high λT → the optimiser must insert SCPs.
+        plan = num_scp(177.0, rate=2.8e-3, store=2.0, compare=20.0)
+        assert plan.m > 1
+
+    def test_sublength_times_m_is_span(self):
+        plan = num_scp(300.0, rate=1e-3, store=TS, compare=TCP)
+        assert plan.m * plan.sublength == pytest.approx(300.0)
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ParameterError):
+            num_scp(0.0, rate=1e-3, store=TS, compare=TCP)
+        with pytest.raises(ParameterError):
+            num_scp(float("inf"), rate=1e-3, store=TS, compare=TCP)
+
+    def test_rejects_bad_max_m(self):
+        with pytest.raises(ParameterError):
+            num_scp(100.0, rate=1e-3, store=TS, compare=TCP, max_m=0)
+
+
+class TestNumCCP:
+    @pytest.mark.parametrize("span,rate", scp_cases())
+    def test_matches_brute_force(self, span, rate):
+        # CCP-favourable costs (paper §4.2): cheap compares.
+        fast = num_ccp(span, rate=rate, store=20.0, compare=2.0)
+        exact = brute_force_num_ccp(span, rate=rate, store=20.0, compare=2.0)
+        assert fast.expected_time <= exact.expected_time * (1 + 1e-6)
+
+    @pytest.mark.parametrize("span,rate", scp_cases())
+    def test_result_is_locally_optimal(self, span, rate):
+        plan = num_ccp(span, rate=rate, store=20.0, compare=2.0)
+
+        def objective(m):
+            return ccp_interval_time_for_m(
+                m, span=span, rate=rate, store=20.0, compare=2.0
+            )
+
+        assert objective(plan.m) <= objective(plan.m + 1) + 1e-9
+        if plan.m > 1:
+            assert objective(plan.m) <= objective(plan.m - 1) + 1e-9
+
+    def test_zero_rate_shortcut(self):
+        plan = num_ccp(200.0, rate=0.0, store=20.0, compare=2.0)
+        assert plan.m == 1
+
+    def test_free_compare_clamps_to_max(self):
+        plan = num_ccp(200.0, rate=1e-3, store=20.0, compare=0.0, max_m=32)
+        assert plan.m == 32
+
+    def test_subdivides_at_paper_parameters(self):
+        plan = num_ccp(177.0, rate=2.8e-3, store=20.0, compare=2.0)
+        assert plan.m > 1
+
+    def test_expensive_compare_discourages_subdivision(self):
+        cheap = num_ccp(200.0, rate=2.8e-3, store=20.0, compare=2.0)
+        pricey = num_ccp(200.0, rate=2.8e-3, store=20.0, compare=40.0)
+        assert pricey.m <= cheap.m
+
+
+class TestBruteForce:
+    def test_brute_force_really_is_argmin_scp(self):
+        span, rate = 200.0, 2.8e-3
+        plan = brute_force_num_scp(span, rate=rate, store=TS, compare=TCP, max_m=64)
+        values = [
+            scp_interval_time_for_m(m, span=span, rate=rate, store=TS, compare=TCP)
+            for m in range(1, 65)
+        ]
+        assert plan.m == values.index(min(values)) + 1
+
+    def test_brute_force_really_is_argmin_ccp(self):
+        span, rate = 200.0, 2.8e-3
+        plan = brute_force_num_ccp(
+            span, rate=rate, store=20.0, compare=2.0, max_m=64
+        )
+        values = [
+            ccp_interval_time_for_m(
+                m, span=span, rate=rate, store=20.0, compare=2.0
+            )
+            for m in range(1, 65)
+        ]
+        assert plan.m == values.index(min(values)) + 1
+
+    def test_default_max_is_sane(self):
+        assert DEFAULT_MAX_SUBDIVISIONS >= 1024

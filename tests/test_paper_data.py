@@ -1,0 +1,113 @@
+"""Integrity tests for the transcribed published tables."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.paper_data import (
+    TABLE_IDS,
+    paper_cell,
+    paper_rows,
+    paper_schemes,
+)
+
+
+class TestStructure:
+    def test_all_eight_tables_present(self):
+        assert TABLE_IDS == ("1a", "1b", "2a", "2b", "3a", "3b", "4a", "4b")
+
+    @pytest.mark.parametrize("table_id", TABLE_IDS)
+    def test_every_row_has_every_scheme(self, table_id):
+        for u, lam in paper_rows(table_id):
+            for scheme in paper_schemes(table_id):
+                cell = paper_cell(table_id, u, lam, scheme)
+                assert cell is not None
+                assert 0.0 <= cell.p <= 1.0
+                assert cell.e_is_nan or cell.e > 0
+
+    def test_row_counts_match_publication(self):
+        assert len(paper_rows("1a")) == 8
+        assert len(paper_rows("1b")) == 6
+        assert len(paper_rows("2a")) == 8
+        assert len(paper_rows("2b")) == 4
+        assert len(paper_rows("3a")) == 8
+        assert len(paper_rows("3b")) == 6
+        assert len(paper_rows("4a")) == 8
+        assert len(paper_rows("4b")) == 4
+
+    def test_scheme_families(self):
+        assert paper_schemes("1a")[-1] == "A_D_S"
+        assert paper_schemes("2b")[-1] == "A_D_S"
+        assert paper_schemes("3a")[-1] == "A_D_C"
+        assert paper_schemes("4b")[-1] == "A_D_C"
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_rows("9z")
+        with pytest.raises(ConfigurationError):
+            paper_cell("9z", 0.76, 1.4e-3, "A_D")
+
+    def test_unknown_scheme_returns_none(self):
+        assert paper_cell("1a", 0.76, 1.4e-3, "A_D_C") is None
+
+    def test_unknown_row_returns_none(self):
+        assert paper_cell("1a", 0.5, 1.4e-3, "A_D") is None
+
+
+class TestSpotValues:
+    """A few cells checked character-by-character against the PDF text."""
+
+    def test_table_1a_first_row(self):
+        assert paper_cell("1a", 0.76, 1.4e-3, "Poisson").p == 0.1185
+        assert paper_cell("1a", 0.76, 1.4e-3, "Poisson").e == 39015
+        assert paper_cell("1a", 0.76, 1.4e-3, "A_D_S").p == 0.9999
+        assert paper_cell("1a", 0.76, 1.4e-3, "A_D_S").e == 52863
+
+    def test_table_1b_nan_cells(self):
+        cell = paper_cell("1b", 1.00, 1e-4, "Poisson")
+        assert cell.p == 0.0
+        assert math.isnan(cell.e)
+        assert cell.e_is_nan
+
+    def test_table_2a_adaptive_wins_P(self):
+        row = [
+            paper_cell("2a", 0.80, 1.6e-3, s).p for s in paper_schemes("2a")
+        ]
+        assert row == [0.1264, 0.1207, 0.1617, 0.4864]
+
+    def test_table_3a_ccp_scheme(self):
+        assert paper_cell("3a", 0.76, 1.4e-3, "A_D_C").e == 52862
+
+    def test_table_4b_last_row(self):
+        assert paper_cell("4b", 0.95, 2e-4, "A_D_C").p == 0.2850
+        assert paper_cell("4b", 0.95, 2e-4, "A_D_C").e == 155597
+
+
+class TestPublishedShape:
+    """The paper's own numbers satisfy the shape criteria we test ours
+    against — guarding the criteria themselves against transcription
+    slips."""
+
+    @pytest.mark.parametrize("table_id", ["1a", "1b", "3a", "3b"])
+    def test_adaptive_beats_static_at_f1(self, table_id):
+        ours = paper_schemes(table_id)[-1]
+        for u, lam in paper_rows(table_id):
+            own = paper_cell(table_id, u, lam, ours)
+            ad = paper_cell(table_id, u, lam, "A_D")
+            poisson = paper_cell(table_id, u, lam, "Poisson")
+            assert own.p >= ad.p - 1e-9
+            assert own.p > poisson.p
+            if not own.e_is_nan and not ad.e_is_nan:
+                # One published row (3b, U=1.0, λ=1e-4) has the proposed
+                # scheme 0.3% above A_D; the claim is "no more energy"
+                # within noise, not strict dominance on every row.
+                assert own.e <= ad.e * 1.01
+
+    @pytest.mark.parametrize("table_id", ["2a", "2b", "4a", "4b"])
+    def test_proposed_scheme_beats_ad_at_f2(self, table_id):
+        ours = paper_schemes(table_id)[-1]
+        for u, lam in paper_rows(table_id):
+            own = paper_cell(table_id, u, lam, ours)
+            ad = paper_cell(table_id, u, lam, "A_D")
+            assert own.p >= ad.p - 1e-9

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoints import CheckpointKind, CostModel
+from repro.core.intervals import (
+    checkpoint_interval,
+    k_fault_threshold,
+    poisson_threshold,
+)
+from repro.core.optimizer import brute_force_num_scp, num_ccp, num_scp
+from repro.core.renewal import (
+    ccp_interval_time_for_m,
+    cscp_interval_time,
+    scp_interval_time_for_m,
+)
+from repro.sim.executor import simulate_run
+from repro.sim.faults import ScriptedFaults
+from repro.sim.metrics import wilson_interval
+from repro.sim.task import TaskSpec
+
+from tests.conftest import make_fixed_policy
+
+positive_work = st.floats(min_value=10.0, max_value=50_000.0)
+deadline_left = st.floats(min_value=10.0, max_value=100_000.0)
+cost = st.floats(min_value=0.5, max_value=200.0)
+rate = st.floats(min_value=1e-6, max_value=5e-2)
+faults = st.floats(min_value=0.0, max_value=50.0)
+span = st.floats(min_value=5.0, max_value=5_000.0)
+small_cost = st.floats(min_value=0.1, max_value=50.0)
+
+
+class TestIntervalProperties:
+    @given(deadline_left, positive_work, cost, faults, rate)
+    @settings(max_examples=200)
+    def test_interval_always_positive_and_bounded(self, rd, rt, c, rf, lam):
+        interval = checkpoint_interval(rd, rt, c, rf, lam)
+        assert 0 < interval <= rt
+
+    @given(deadline_left, cost, rate)
+    @settings(max_examples=100)
+    def test_poisson_threshold_below_deadline_plus_cost(self, rd, c, lam):
+        assert 0 < poisson_threshold(rd, lam, c) <= rd + c
+
+    @given(deadline_left, cost, st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100)
+    def test_k_fault_threshold_monotone_in_deadline(self, rd, c, rf):
+        lo = k_fault_threshold(rd, rf, c)
+        hi = k_fault_threshold(rd * 2 + 1, rf, c)
+        assert hi >= lo >= 0
+
+    @given(deadline_left, cost, st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100)
+    def test_k_fault_threshold_never_exceeds_deadline(self, rd, c, rf):
+        assert k_fault_threshold(rd, rf, c) <= rd
+
+
+class TestRenewalProperties:
+    @given(span, rate, small_cost, small_cost, st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_r1_at_least_fault_free_cost(self, t, r, ts, tcp, m):
+        value = scp_interval_time_for_m(m, span=t, rate=r, store=ts, compare=tcp)
+        assert value >= t + m * ts + tcp - 1e-9
+
+    @given(span, rate, small_cost, small_cost, st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_r2_at_least_fault_free_cost(self, t, r, ts, tcp, m):
+        value = ccp_interval_time_for_m(m, span=t, rate=r, store=ts, compare=tcp)
+        assert value >= t + m * tcp + ts - 1e-9
+
+    @given(span, rate, small_cost, small_cost)
+    @settings(max_examples=150)
+    def test_r_models_agree_at_m1(self, t, r, ts, tcp):
+        reference = cscp_interval_time(t, rate=r, store=ts, compare=tcp)
+        r1 = scp_interval_time_for_m(1, span=t, rate=r, store=ts, compare=tcp)
+        r2 = ccp_interval_time_for_m(1, span=t, rate=r, store=ts, compare=tcp)
+        assert math.isclose(r1, reference, rel_tol=1e-9)
+        assert math.isclose(r2, reference, rel_tol=1e-9)
+
+    @given(span, rate, small_cost, small_cost)
+    @settings(max_examples=150)
+    def test_r1_monotone_in_rate(self, t, r, ts, tcp):
+        lo = scp_interval_time_for_m(4, span=t, rate=r, store=ts, compare=tcp)
+        hi = scp_interval_time_for_m(4, span=t, rate=r * 2, store=ts, compare=tcp)
+        assert hi >= lo - 1e-9
+
+
+class TestOptimizerProperties:
+    @given(span, rate, small_cost, small_cost)
+    @settings(max_examples=100, deadline=None)
+    def test_num_scp_never_worse_than_m1(self, t, r, ts, tcp):
+        plan = num_scp(t, rate=r, store=ts, compare=tcp, max_m=256)
+        m1 = scp_interval_time_for_m(1, span=t, rate=r, store=ts, compare=tcp)
+        assert plan.expected_time <= m1 + 1e-9
+
+    @given(span, rate, small_cost, small_cost)
+    @settings(max_examples=60, deadline=None)
+    def test_num_scp_close_to_brute_force(self, t, r, ts, tcp):
+        fast = num_scp(t, rate=r, store=ts, compare=tcp, max_m=256)
+        exact = brute_force_num_scp(t, rate=r, store=ts, compare=tcp, max_m=256)
+        # fig. 2's floor/ceil rule may be off the true argmin by a hair;
+        # the expected-time gap must stay within half a percent.
+        assert fast.expected_time <= exact.expected_time * 1.005
+
+    @given(span, rate, small_cost, small_cost)
+    @settings(max_examples=60, deadline=None)
+    def test_num_ccp_never_worse_than_m1(self, t, r, ts, tcp):
+        plan = num_ccp(t, rate=r, store=ts, compare=tcp, max_m=256)
+        m1 = ccp_interval_time_for_m(1, span=t, rate=r, store=ts, compare=tcp)
+        assert plan.expected_time <= m1 + 1e-9
+
+
+class TestExecutorProperties:
+    @given(
+        st.floats(min_value=50.0, max_value=500.0),
+        st.floats(min_value=20.0, max_value=200.0),
+        st.integers(1, 6),
+        st.sampled_from([CheckpointKind.CSCP, CheckpointKind.SCP, CheckpointKind.CCP]),
+        st.lists(
+            st.floats(min_value=1.0, max_value=2_000.0),
+            max_size=4,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_run_invariants(self, cycles, interval, m, kind, fault_times):
+        task = TaskSpec(
+            cycles=cycles,
+            deadline=1e7,
+            fault_budget=10,
+            fault_rate=1e-3,
+            costs=CostModel.scp_favourable(),
+        )
+        policy = make_fixed_policy(interval_time=interval, m=m, sub_kind=kind)
+        result = simulate_run(task, policy, ScriptedFaults(sorted(fault_times)))
+        # With an unbounded deadline and finitely many faults the task
+        # always completes...
+        assert result.completed and result.timely
+        # ...having executed at least its own cycles...
+        assert result.cycles_executed >= cycles - 1e-6
+        # ...with time = cycles at f1 and energy = 4·cycles.
+        assert result.finish_time == result.cycles_executed
+        assert math.isclose(result.energy, 4 * result.cycles_executed)
+        # Detection count never exceeds injections.
+        assert result.detected_faults <= result.injected_faults
+        assert result.rollbacks == result.detected_faults
+
+    @given(
+        st.floats(min_value=50.0, max_value=300.0),
+        st.floats(min_value=10.0, max_value=400.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fault_free_time_is_exact(self, cycles, interval):
+        task = TaskSpec(
+            cycles=cycles,
+            deadline=1e7,
+            fault_budget=1,
+            fault_rate=0.0,
+            costs=CostModel.scp_favourable(),
+        )
+        policy = make_fixed_policy(interval_time=interval)
+        result = simulate_run(task, policy, ScriptedFaults([]))
+        n_intervals = math.ceil(round(cycles / min(interval, cycles), 9))
+        expected = cycles + n_intervals * 22.0
+        assert math.isclose(result.finish_time, expected, rel_tol=1e-9)
+
+
+class TestMetricsProperties:
+    @given(st.integers(0, 500), st.integers(1, 500))
+    @settings(max_examples=200)
+    def test_wilson_bounds_contain_estimate(self, successes, trials):
+        assume(successes <= trials)
+        low, high = wilson_interval(successes, trials)
+        p = successes / trials
+        assert 0.0 <= low <= p + 1e-12
+        assert p - 1e-12 <= high <= 1.0

@@ -1,0 +1,254 @@
+"""Unit tests for the renewal models R1/R2 (paper eqs. 1 and 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.renewal import (
+    ccp_interval_time,
+    ccp_interval_time_derivative,
+    ccp_interval_time_for_m,
+    cscp_interval_time,
+    expected_faults_per_interval,
+    scp_interval_time,
+    scp_interval_time_for_m,
+    scp_optimal_sublength,
+)
+from repro.errors import ParameterError
+
+SPAN = 200.0
+RATE = 2 * 1.4e-3  # the paper's 2λ DMR analysis rate
+TS, TCP = 2.0, 20.0
+
+
+class TestExpectedFaults:
+    def test_zero_rate(self):
+        assert expected_faults_per_interval(100.0, 0.0) == 0.0
+
+    def test_matches_expm1(self):
+        assert expected_faults_per_interval(100.0, 1e-3) == pytest.approx(
+            math.expm1(0.1)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            expected_faults_per_interval(-1.0, 1e-3)
+        with pytest.raises(ParameterError):
+            expected_faults_per_interval(1.0, -1e-3)
+
+
+class TestPaperLimits:
+    """The limiting cases the paper states explicitly."""
+
+    def test_r1_at_full_span_is_classical_renewal(self):
+        # T1 = T ⇒ R1 = (T + ts + tcp)·e^{rT}
+        value = scp_interval_time(SPAN, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        assert value == pytest.approx((SPAN + TS + TCP) * math.exp(RATE * SPAN))
+
+    def test_r2_at_full_span_is_classical_renewal(self):
+        value = ccp_interval_time(SPAN, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        assert value == pytest.approx((SPAN + TS + TCP) * math.exp(RATE * SPAN))
+
+    def test_both_agree_with_cscp_interval_time_at_m1(self):
+        reference = cscp_interval_time(SPAN, rate=RATE, store=TS, compare=TCP)
+        assert scp_interval_time_for_m(
+            1, span=SPAN, rate=RATE, store=TS, compare=TCP
+        ) == pytest.approx(reference)
+        assert ccp_interval_time_for_m(
+            1, span=SPAN, rate=RATE, store=TS, compare=TCP
+        ) == pytest.approx(reference)
+
+    def test_r1_diverges_as_sublength_vanishes(self):
+        small = scp_interval_time(
+            1e-4, span=SPAN, rate=RATE, store=TS, compare=TCP
+        )
+        smaller = scp_interval_time(
+            1e-6, span=SPAN, rate=RATE, store=TS, compare=TCP
+        )
+        assert smaller > small > 10 * SPAN
+
+    def test_r2_diverges_as_sublength_vanishes(self):
+        small = ccp_interval_time(1e-4, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        smaller = ccp_interval_time(
+            1e-6, span=SPAN, rate=RATE, store=TS, compare=TCP
+        )
+        assert smaller > small > 10 * SPAN
+
+    def test_rollback_term(self):
+        base = cscp_interval_time(SPAN, rate=RATE, store=TS, compare=TCP)
+        with_rb = cscp_interval_time(
+            SPAN, rate=RATE, store=TS, compare=TCP, rollback=5.0
+        )
+        faults = math.expm1(RATE * SPAN)
+        assert with_rb - base == pytest.approx(5.0 * faults)
+
+
+class TestFaultFreeBehaviour:
+    def test_r1_zero_rate_is_pure_overhead(self):
+        # m stores + one compare + the work.
+        value = scp_interval_time_for_m(
+            4, span=SPAN, rate=0.0, store=TS, compare=TCP
+        )
+        assert value == pytest.approx(SPAN + 4 * TS + TCP)
+
+    def test_r2_zero_rate_is_pure_overhead(self):
+        # m compares (the last belongs to the CSCP) + one store + work.
+        value = ccp_interval_time_for_m(
+            4, span=SPAN, rate=0.0, store=TS, compare=TCP
+        )
+        assert value == pytest.approx(SPAN + 4 * TCP + TS)
+
+    def test_more_subdivision_costs_more_without_faults(self):
+        values = [
+            scp_interval_time_for_m(m, span=SPAN, rate=0.0, store=TS, compare=TCP)
+            for m in (1, 2, 4, 8)
+        ]
+        assert values == sorted(values)
+
+
+class TestSubdivisionPaysUnderFaults:
+    def test_r1_improves_with_m_at_paper_parameters(self):
+        r1 = scp_interval_time_for_m(1, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        r4 = scp_interval_time_for_m(4, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        assert r4 < r1
+
+    def test_r2_improves_with_m_when_compares_cheap(self):
+        r1 = ccp_interval_time_for_m(1, span=SPAN, rate=RATE, store=20.0, compare=2.0)
+        r4 = ccp_interval_time_for_m(4, span=SPAN, rate=RATE, store=20.0, compare=2.0)
+        assert r4 < r1
+
+
+class TestOptimalSublength:
+    def test_closed_form(self):
+        expected = math.sqrt(SPAN * TS / math.tanh(RATE * SPAN / 2.0))
+        assert scp_optimal_sublength(SPAN, rate=RATE, store=TS) == pytest.approx(
+            expected
+        )
+
+    def test_is_a_stationary_point_of_r1(self):
+        opt = scp_optimal_sublength(SPAN, rate=RATE, store=TS)
+        eps = 1e-4
+
+        def r1(t1):
+            return scp_interval_time(
+                t1, span=SPAN, rate=RATE, store=TS, compare=TCP
+            )
+
+        derivative = (r1(opt + eps) - r1(opt - eps)) / (2 * eps)
+        assert abs(derivative) < 1e-6
+
+    def test_is_a_minimum(self):
+        opt = scp_optimal_sublength(SPAN, rate=RATE, store=TS)
+
+        def r1(t1):
+            return scp_interval_time(
+                t1, span=SPAN, rate=RATE, store=TS, compare=TCP
+            )
+
+        if opt < SPAN:
+            assert r1(opt) <= r1(opt * 0.8)
+            assert r1(opt) <= r1(min(SPAN, opt * 1.2))
+
+    def test_degenerate_zero_rate(self):
+        assert scp_optimal_sublength(SPAN, rate=0.0, store=TS) == math.inf
+
+    def test_degenerate_free_store(self):
+        assert scp_optimal_sublength(SPAN, rate=RATE, store=0.0) == 0.0
+
+
+class TestCCPDerivative:
+    def test_matches_numeric_derivative(self):
+        for t2 in (10.0, 40.0, 120.0):
+            eps = 1e-5
+            numeric = (
+                ccp_interval_time(t2 + eps, span=SPAN, rate=RATE, store=TS, compare=TCP)
+                - ccp_interval_time(
+                    t2 - eps, span=SPAN, rate=RATE, store=TS, compare=TCP
+                )
+            ) / (2 * eps)
+            analytic = ccp_interval_time_derivative(
+                t2, span=SPAN, rate=RATE, store=TS, compare=TCP
+            )
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_zero_rate_branch(self):
+        value = ccp_interval_time_derivative(
+            50.0, span=SPAN, rate=0.0, store=TS, compare=TCP
+        )
+        assert value == pytest.approx(-SPAN * TCP / 2500.0)
+
+
+class TestMonteCarloAgreement:
+    """The renewal models predict simulated interval times."""
+
+    def _simulate_cscp(self, span, rate, store, compare, reps, seed):
+        rng = np.random.default_rng(seed)
+        total = 0.0
+        for _ in range(reps):
+            t = 0.0
+            while True:
+                t += span + store + compare
+                if rng.random() < math.exp(-rate * span):
+                    break
+            total += t
+        return total / reps
+
+    def test_cscp_interval_time_matches_simulation(self):
+        expected = cscp_interval_time(SPAN, rate=RATE, store=TS, compare=TCP)
+        simulated = self._simulate_cscp(SPAN, RATE, TS, TCP, reps=20_000, seed=42)
+        assert simulated == pytest.approx(expected, rel=0.02)
+
+    def _simulate_ccp(self, m, span, rate, store, compare, reps, seed):
+        rng = np.random.default_rng(seed)
+        sub = span / m
+        p = math.exp(-rate * sub)
+        total = 0.0
+        for _ in range(reps):
+            t = 0.0
+            completed = 0
+            while completed < m:
+                # walk sub-intervals; a failure restarts the interval
+                i = 0
+                failed = False
+                while i < m:
+                    i += 1
+                    cost = sub + (compare if i < m else store + compare)
+                    t += cost
+                    if rng.random() >= p:
+                        failed = True
+                        break
+                if not failed:
+                    completed = m
+            total += t
+        return total / reps
+
+    def test_r2_matches_simulation(self):
+        m = 4
+        expected = ccp_interval_time_for_m(
+            m, span=SPAN, rate=RATE, store=TS, compare=TCP
+        )
+        simulated = self._simulate_ccp(
+            m, SPAN, RATE, TS, TCP, reps=20_000, seed=7
+        )
+        assert simulated == pytest.approx(expected, rel=0.03)
+
+
+class TestValidation:
+    def test_sublength_must_be_in_range(self):
+        with pytest.raises(ParameterError):
+            scp_interval_time(0.0, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        with pytest.raises(ParameterError):
+            scp_interval_time(SPAN * 2, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        with pytest.raises(ParameterError):
+            ccp_interval_time(-1.0, span=SPAN, rate=RATE, store=TS, compare=TCP)
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            scp_interval_time_for_m(0, span=SPAN, rate=RATE, store=TS, compare=TCP)
+        with pytest.raises(ParameterError):
+            ccp_interval_time_for_m(0, span=SPAN, rate=RATE, store=TS, compare=TCP)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ParameterError):
+            cscp_interval_time(SPAN, rate=RATE, store=-1.0, compare=TCP)

@@ -1,0 +1,239 @@
+"""Tests for the real-time-systems substrate (task sets, feasibility,
+scheduler)."""
+
+import math
+
+import pytest
+
+from repro.core.checkpoints import CostModel
+from repro.errors import ParameterError
+from repro.rts.feasibility import (
+    analyze,
+    edf_feasible,
+    fault_tolerant_wcet,
+    optimal_checkpoint_count,
+    rm_response_times,
+)
+from repro.rts.scheduler import simulate_schedule
+from repro.rts.taskset import PeriodicTask, TaskSet
+
+COSTS = CostModel.scp_favourable()
+
+
+def make_task(name="t1", cycles=1000.0, period=5000.0, deadline=None, **kw):
+    return PeriodicTask(
+        name=name,
+        cycles=cycles,
+        period=period,
+        deadline=deadline if deadline is not None else period,
+        fault_rate=kw.pop("fault_rate", 1e-4),
+        fault_budget=kw.pop("fault_budget", 2),
+        costs=kw.pop("costs", COSTS),
+    )
+
+
+class TestPeriodicTask:
+    def test_utilization(self):
+        assert make_task().utilization() == pytest.approx(0.2)
+        assert make_task().utilization(2.0) == pytest.approx(0.1)
+
+    def test_release_times(self):
+        releases = list(make_task(period=100.0, deadline=100.0).release_times(350.0))
+        assert releases == [0.0, 100.0, 200.0, 300.0]
+
+    def test_job_spec_round_trip(self):
+        job = make_task(deadline=4000.0).job_spec()
+        assert job.cycles == 1000.0
+        assert job.deadline == 4000.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_task(name="")
+        with pytest.raises(ParameterError):
+            make_task(cycles=0)
+        with pytest.raises(ParameterError):
+            make_task(deadline=6000.0)  # deadline > period
+        with pytest.raises(ParameterError):
+            make_task(fault_rate=-1.0)
+
+
+class TestTaskSet:
+    def test_total_utilization(self):
+        ts = TaskSet([make_task("a"), make_task("b", cycles=2000.0)])
+        assert ts.total_utilization() == pytest.approx(0.6)
+
+    def test_hyperperiod(self):
+        ts = TaskSet(
+            [
+                make_task("a", period=40.0, deadline=40.0),
+                make_task("b", period=60.0, deadline=60.0),
+            ]
+        )
+        assert ts.hyperperiod() == pytest.approx(120.0)
+
+    def test_rm_order(self):
+        ts = TaskSet(
+            [
+                make_task("slow", period=9000.0, deadline=9000.0),
+                make_task("fast", period=1000.0, deadline=1000.0),
+            ]
+        )
+        assert [t.name for t in ts.rate_monotonic_order()] == ["fast", "slow"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError):
+            TaskSet([make_task("a"), make_task("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            TaskSet([])
+
+    def test_by_name(self):
+        ts = TaskSet([make_task("a")])
+        assert ts.by_name("a").name == "a"
+        with pytest.raises(ParameterError):
+            ts.by_name("zz")
+
+
+class TestFeasibility:
+    def test_optimal_checkpoint_count_near_sqrt(self):
+        n = optimal_checkpoint_count(1000.0, 4, 22.0)
+        ideal = math.sqrt(4 * 1000 / 22)
+        assert abs(n - ideal) <= 1.0
+
+    def test_wcet_formula(self):
+        n = optimal_checkpoint_count(1000.0, 4, 22.0)
+        expected = 1000 + n * 22 + 4 * (1000 / n + 22)
+        assert fault_tolerant_wcet(1000.0, 4, 22.0) == pytest.approx(expected)
+
+    def test_wcet_zero_faults(self):
+        assert fault_tolerant_wcet(1000.0, 0, 22.0) == pytest.approx(1022.0)
+
+    def test_wcet_scales_with_frequency(self):
+        slow = fault_tolerant_wcet(1000.0, 2, 22.0, frequency=1.0)
+        fast = fault_tolerant_wcet(1000.0, 2, 22.0, frequency=2.0)
+        assert fast == pytest.approx(slow / 2)
+
+    def test_edf_feasible_light_load(self):
+        ts = TaskSet([make_task("a"), make_task("b", cycles=500.0)])
+        assert edf_feasible(ts)
+
+    def test_edf_infeasible_overload(self):
+        ts = TaskSet(
+            [
+                make_task("a", cycles=3000.0),
+                make_task("b", cycles=3000.0, period=5000.0),
+            ]
+        )
+        assert not edf_feasible(ts)
+
+    def test_rm_response_times_increase_with_lower_priority(self):
+        ts = TaskSet(
+            [
+                make_task("hi", cycles=200.0, period=1000.0, deadline=1000.0),
+                make_task("lo", cycles=500.0, period=5000.0, deadline=5000.0),
+            ]
+        )
+        responses = rm_response_times(ts)
+        assert responses["hi"] < responses["lo"]
+
+    def test_rm_unschedulable_reported_none(self):
+        ts = TaskSet(
+            [
+                make_task("hi", cycles=600.0, period=1000.0, deadline=1000.0),
+                make_task("lo", cycles=3000.0, period=5000.0, deadline=5000.0),
+            ]
+        )
+        responses = rm_response_times(ts)
+        assert responses["lo"] is None
+
+    def test_analyze_report(self):
+        ts = TaskSet([make_task("a"), make_task("b", cycles=500.0)])
+        report = analyze(ts)
+        assert report.edf_ok
+        assert report.rm_ok
+        assert report.fault_tolerant_demand > report.raw_utilization
+
+
+class TestScheduler:
+    def test_single_task_all_deadlines_met(self):
+        ts = TaskSet([make_task("a", cycles=1000.0, period=5000.0)])
+        result = simulate_schedule(ts, horizon=50_000.0, seed=1)
+        assert len(result.jobs) == 10
+        assert result.deadline_miss_ratio == 0.0
+
+    def test_overload_misses_deadlines(self):
+        ts = TaskSet(
+            [
+                make_task("a", cycles=4000.0, period=5000.0),
+                make_task("b", cycles=4000.0, period=5000.0),
+            ]
+        )
+        result = simulate_schedule(ts, horizon=50_000.0, seed=1)
+        assert result.deadline_miss_ratio > 0.3
+
+    def test_edf_honours_urgent_deadline_rm_ignores(self):
+        # 'urgent' has a long period (RM: low priority) but a tight
+        # relative deadline.  EDF runs it first and meets every job; RM
+        # lets 'steady' preempt and misses every 'urgent' job.
+        ts = TaskSet(
+            [
+                make_task("urgent", cycles=300.0, period=10_000.0,
+                          deadline=700.0, fault_rate=0.0, fault_budget=2),
+                make_task("steady", cycles=250.0, period=1000.0,
+                          deadline=1000.0, fault_rate=0.0, fault_budget=2),
+            ]
+        )
+        edf = simulate_schedule(ts, horizon=50_000.0, policy="edf", seed=2)
+        rm = simulate_schedule(ts, horizon=50_000.0, policy="rm", seed=2)
+        assert edf.per_task_miss_ratio()["urgent"] == 0.0
+        assert rm.per_task_miss_ratio()["urgent"] == 1.0
+        assert edf.deadline_miss_ratio < rm.deadline_miss_ratio
+
+    def test_faults_inflate_response_times(self):
+        quiet = TaskSet([make_task("a", fault_rate=0.0)])
+        noisy = TaskSet([make_task("a", fault_rate=2e-3)])
+        r_quiet = simulate_schedule(quiet, horizon=100_000.0, seed=3)
+        r_noisy = simulate_schedule(noisy, horizon=100_000.0, seed=3)
+        mean = lambda r: sum(
+            j.response_time for j in r.jobs if j.response_time is not None
+        ) / max(1, sum(1 for j in r.jobs if j.response_time is not None))
+        assert mean(r_noisy) > mean(r_quiet)
+
+    def test_energy_accumulates(self):
+        ts = TaskSet([make_task("a")])
+        result = simulate_schedule(ts, horizon=20_000.0, seed=4)
+        assert result.energy > 0
+        assert 0 < result.utilization_achieved < 1
+
+    def test_preemption_counted(self):
+        ts = TaskSet(
+            [
+                make_task("long", cycles=3000.0, period=20_000.0,
+                          deadline=20_000.0),
+                make_task("short", cycles=100.0, period=700.0, deadline=700.0),
+            ]
+        )
+        result = simulate_schedule(ts, horizon=40_000.0, policy="edf", seed=5)
+        assert sum(j.preemptions for j in result.jobs) > 0
+
+    def test_reproducible(self):
+        ts = TaskSet([make_task("a", fault_rate=1e-3)])
+        a = simulate_schedule(ts, horizon=30_000.0, seed=6)
+        b = simulate_schedule(ts, horizon=30_000.0, seed=6)
+        assert [j.completed_at for j in a.jobs] == [j.completed_at for j in b.jobs]
+
+    def test_per_task_miss_ratio(self):
+        ts = TaskSet([make_task("a")])
+        result = simulate_schedule(ts, horizon=30_000.0, seed=7)
+        ratios = result.per_task_miss_ratio()
+        assert set(ratios) == {"a"}
+
+    def test_validation(self):
+        ts = TaskSet([make_task("a")])
+        with pytest.raises(ParameterError):
+            simulate_schedule(ts, horizon=0.0)
+        with pytest.raises(ParameterError):
+            simulate_schedule(ts, horizon=100.0, policy="fifo")
+        with pytest.raises(ParameterError):
+            simulate_schedule(ts, horizon=100.0, frequency=0.0)

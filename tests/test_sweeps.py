@@ -1,0 +1,106 @@
+"""Tests for the ablation sweeps."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.config import table_spec
+from repro.experiments.sweeps import (
+    FixedSubdivisionSCPPolicy,
+    fixed_m_study,
+    optimal_m_curves,
+    rate_factor_study,
+    utilization_sweep,
+)
+from repro.sim.task import TaskSpec
+from repro.core.checkpoints import CostModel
+
+
+@pytest.fixture
+def task():
+    return TaskSpec(
+        cycles=7600.0,
+        deadline=10_000.0,
+        fault_budget=5,
+        fault_rate=1.4e-3,
+        costs=CostModel.scp_favourable(),
+    )
+
+
+class TestFixedSubdivisionPolicy:
+    def test_pins_m(self, task):
+        from repro.sim.state import ExecutionState
+
+        policy = FixedSubdivisionSCPPolicy(3)
+        state = ExecutionState.fresh(task)
+        policy.start(state)
+        assert policy.plan(state).m == 3
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ParameterError):
+            FixedSubdivisionSCPPolicy(0)
+
+
+class TestFixedMStudy:
+    def test_keys_and_adaptive_included(self, task):
+        results = fixed_m_study(task, ms=[1, 4], reps=60, seed=1)
+        assert set(results) == {"m=1", "m=4", "adaptive"}
+
+    def test_adaptive_competitive_with_best_fixed(self, task):
+        results = fixed_m_study(task, ms=[1, 2, 4, 8], reps=200, seed=2)
+        best_fixed_p = max(
+            cell.p for name, cell in results.items() if name != "adaptive"
+        )
+        assert results["adaptive"].p >= best_fixed_p - 0.05
+
+    def test_empty_ms_rejected(self, task):
+        with pytest.raises(ParameterError):
+            fixed_m_study(task, ms=[], reps=10, seed=0)
+
+
+class TestRateFactorStudy:
+    def test_returns_requested_factors(self, task):
+        results = rate_factor_study(task, factors=(1.0, 2.0), reps=60, seed=3)
+        assert set(results) == {1.0, 2.0}
+        for cell in results.values():
+            assert cell.p > 0.9  # both factors keep the scheme viable
+
+
+class TestUtilizationSweep:
+    def test_curve_shapes(self):
+        spec = table_spec("1a")
+        curves = utilization_sweep(
+            spec, u_grid=[0.7, 0.8], lam=1.4e-3, reps=80, seed=4
+        )
+        assert set(curves) == set(spec.schemes)
+        for points in curves.values():
+            assert [u for u, _ in points] == [0.7, 0.8]
+
+    def test_static_p_collapses_with_utilization(self):
+        spec = table_spec("1a")
+        curves = utilization_sweep(
+            spec, u_grid=[0.60, 0.82], lam=1.4e-3, reps=150, seed=5
+        )
+        poisson = curves["Poisson"]
+        assert poisson[0][1].p > poisson[1][1].p
+        adaptive = curves["A_D_S"]
+        assert adaptive[1][1].p > 0.9  # stays near 1 where static collapses
+
+
+class TestOptimalMCurves:
+    def test_curves_for_each_kind(self):
+        curves = optimal_m_curves(
+            [100.0, 200.0], rate=2.8e-3, store=2.0, compare=20.0
+        )
+        assert len(curves) == 4  # 2 spans × {scp, ccp}
+        kinds = {c.kind for c in curves}
+        assert kinds == {"scp", "ccp"}
+
+    def test_marked_optimum_is_curve_minimum(self):
+        curves = optimal_m_curves([200.0], rate=2.8e-3, store=2.0, compare=20.0)
+        for curve in curves:
+            assert curve.optimal_value == min(curve.values)
+            assert curve.ms[curve.values.index(min(curve.values))] == curve.optimal_m
+
+    def test_empty_spans_rejected(self):
+        with pytest.raises(ParameterError):
+            optimal_m_curves([], rate=1e-3, store=2.0, compare=20.0)

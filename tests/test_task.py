@@ -1,0 +1,88 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro.core.checkpoints import CostModel
+from repro.errors import ParameterError
+from repro.sim.task import TaskSpec
+
+
+def make(costs=None, **overrides):
+    params = dict(
+        cycles=7600.0,
+        deadline=10_000.0,
+        fault_budget=5,
+        fault_rate=1.4e-3,
+        costs=costs or CostModel.scp_favourable(),
+    )
+    params.update(overrides)
+    return TaskSpec(**params)
+
+
+class TestTaskSpec:
+    def test_utilization_at_reference_speeds(self):
+        task = make()
+        assert task.utilization(1.0) == pytest.approx(0.76)
+        assert task.utilization(2.0) == pytest.approx(0.38)
+
+    def test_from_utilization_round_trips_f1(self):
+        task = TaskSpec.from_utilization(
+            0.76,
+            deadline=10_000,
+            frequency=1.0,
+            fault_budget=5,
+            fault_rate=1.4e-3,
+            costs=CostModel.scp_favourable(),
+        )
+        assert task.cycles == pytest.approx(7600.0)
+
+    def test_from_utilization_round_trips_f2(self):
+        # Tables 2/4 define U against f2: N = U·f2·D.
+        task = TaskSpec.from_utilization(
+            0.76,
+            deadline=10_000,
+            frequency=2.0,
+            fault_budget=5,
+            fault_rate=1.4e-3,
+            costs=CostModel.scp_favourable(),
+        )
+        assert task.cycles == pytest.approx(15_200.0)
+
+    def test_with_fault_rate(self):
+        task = make().with_fault_rate(5e-4)
+        assert task.fault_rate == 5e-4
+        assert task.cycles == 7600.0
+
+    def test_with_cycles(self):
+        task = make().with_cycles(1234.0)
+        assert task.cycles == 1234.0
+        assert task.fault_rate == 1.4e-3
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cycles", 0.0),
+            ("cycles", -1.0),
+            ("deadline", 0.0),
+            ("fault_budget", -1),
+            ("fault_rate", -0.1),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ParameterError):
+            make(**{field: value})
+
+    def test_utilization_requires_positive_frequency(self):
+        with pytest.raises(ParameterError):
+            make().utilization(0.0)
+
+    def test_from_utilization_validation(self):
+        with pytest.raises(ParameterError):
+            TaskSpec.from_utilization(
+                0.0,
+                deadline=10_000,
+                frequency=1.0,
+                fault_budget=5,
+                fault_rate=1e-3,
+                costs=CostModel.scp_favourable(),
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for execution traces."""
+
+import pytest
+
+from repro.core.checkpoints import CheckpointKind, CostModel
+from repro.sim.executor import simulate_run
+from repro.sim.faults import ScriptedFaults
+from repro.sim.task import TaskSpec
+from repro.sim.trace import Trace
+
+from tests.conftest import make_fixed_policy
+
+
+def run_traced(fault_times=(), **policy_kw):
+    task = TaskSpec(
+        cycles=100.0,
+        deadline=10_000.0,
+        fault_budget=5,
+        fault_rate=1e-3,
+        costs=CostModel.scp_favourable(),
+    )
+    trace = Trace()
+    policy_kw.setdefault("interval_time", 50.0)
+    result = simulate_run(
+        task,
+        make_fixed_policy(**policy_kw),
+        ScriptedFaults(list(fault_times)),
+        recorder=trace,
+    )
+    return trace, result
+
+
+class TestTraceRecording:
+    def test_segments_cover_finish_time(self):
+        trace, result = run_traced()
+        assert trace.segments[0].start == 0.0
+        assert trace.segments[-1].end == pytest.approx(result.finish_time)
+        # Contiguity: each segment starts where the previous ended.
+        for a, b in zip(trace.segments, trace.segments[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_overhead_and_exec_split(self):
+        trace, _result = run_traced()
+        # 100 exec + 2 CSCPs of 22.
+        assert trace.total_execution_time == pytest.approx(100.0)
+        assert trace.total_overhead_time == pytest.approx(44.0)
+
+    def test_checkpoints_recorded(self):
+        trace, _result = run_traced()
+        kinds = [c.kind for c in trace.checkpoints]
+        assert kinds == [CheckpointKind.CSCP, CheckpointKind.CSCP]
+
+    def test_fault_and_rollback_recorded(self):
+        trace, _result = run_traced(fault_times=[30.0])
+        assert len([f for f in trace.faults if f.corrupting]) == 1
+        assert len(trace.rollbacks) == 1
+        assert trace.rollbacks[0].time == pytest.approx(72.0)
+
+    def test_finish_recorded(self):
+        trace, result = run_traced()
+        assert trace.completed is True
+        assert trace.timely is True
+        assert trace.finish_time == pytest.approx(result.finish_time)
+
+    def test_speed_recorded(self):
+        trace, _result = run_traced(frequency=2.0)
+        assert trace.speeds[0].frequency == 2.0
+
+    def test_scp_boundaries_recorded(self):
+        trace, _result = run_traced(
+            interval_time=100.0, m=4, sub_kind=CheckpointKind.SCP
+        )
+        scps = [c for c in trace.checkpoints if c.kind is CheckpointKind.SCP]
+        assert len(scps) == 3
+
+
+class TestRender:
+    def test_render_contains_outcome_and_glyphs(self):
+        trace, _result = run_traced(fault_times=[30.0])
+        text = trace.render(width=60)
+        assert "timely" in text
+        assert "=" in text
+        assert "#" in text
+        assert "!" in text
+
+    def test_render_empty(self):
+        assert Trace().render() == "(empty trace)"
+
+    def test_render_failed_run(self):
+        # Deadline admits some progress before the infeasibility break.
+        task = TaskSpec(
+            cycles=200.0,
+            deadline=250.0,
+            fault_budget=5,
+            fault_rate=1e-3,
+            costs=CostModel.scp_favourable(),
+        )
+        trace = Trace()
+        simulate_run(
+            task,
+            make_fixed_policy(interval_time=50.0),
+            ScriptedFaults([]),
+            recorder=trace,
+        )
+        assert "failed" in trace.render()
