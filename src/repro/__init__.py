@@ -74,7 +74,15 @@ from repro.sim.faults import (
     ScriptedFaults,
     WeibullFaults,
 )
-from repro.sim.montecarlo import CellEstimate, estimate, run_many, summarize
+from repro.sim.montecarlo import (
+    CellAccumulator,
+    CellEstimate,
+    estimate,
+    run_many,
+    run_range,
+    summarize,
+)
+from repro.sim.parallel import BatchRunner, CellJob
 from repro.sim.rng import RandomSource
 from repro.sim.state import ExecutionState
 from repro.sim.task import TaskSpec
@@ -132,8 +140,12 @@ __all__ = [
     # Monte-Carlo harness
     "estimate",
     "run_many",
+    "run_range",
     "summarize",
     "CellEstimate",
+    "CellAccumulator",
+    "BatchRunner",
+    "CellJob",
     "StaticCellSpec",
     "simulate_static_cell",
     "static_cell_for_scheme",

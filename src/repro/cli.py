@@ -52,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("table_id", choices=list(TABLE_IDS))
     p_table.add_argument("--reps", type=int, default=2000)
     p_table.add_argument("--seed", type=int, default=2006)
+    _add_workers_flag(p_table)
     p_table.add_argument("--json", action="store_true", help="emit JSON")
     p_table.add_argument(
         "--markdown", action="store_true", help="emit a markdown table"
@@ -65,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_val.add_argument("--reps", type=int, default=400)
     p_val.add_argument("--seed", type=int, default=2006)
+    _add_workers_flag(p_val)
 
     p_demo = sub.add_parser("demo", help="trace one simulated run")
     p_demo.add_argument(
@@ -87,9 +89,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--reps", type=int, default=300)
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--table", default="1a", choices=list(TABLE_IDS))
+    _add_workers_flag(p_sweep)
 
     sub.add_parser("list", help="list the available tables")
     return parser
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for Monte-Carlo cells (default 1 = serial; "
+            "0 = one per CPU).  Results are identical for any value."
+        ),
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> Optional["BatchRunner"]:
+    """A batch runner per ``--workers``; ``None`` keeps the serial path."""
+    workers = getattr(args, "workers", 1)
+    if workers is None or workers == 1:
+        return None
+    from repro.sim.parallel import BatchRunner
+
+    return BatchRunner(workers=None if workers == 0 else workers)
 
 
 def _demo_policy(scheme: str):
@@ -105,7 +130,9 @@ def _demo_policy(scheme: str):
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    result = run_table(args.table_id, reps=args.reps, seed=args.seed)
+    result = run_table(
+        args.table_id, reps=args.reps, seed=args.seed, runner=_make_runner(args)
+    )
     if args.json:
         payload = {
             "table": args.table_id,
@@ -142,8 +169,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     failures: List[str] = []
+    runner = _make_runner(args)
     for spec in all_table_specs():
-        result = run_table(spec, reps=args.reps, seed=args.seed)
+        result = run_table(spec, reps=args.reps, seed=args.seed, runner=runner)
         checks = shape_checks(result)
         bad = [c for c in checks if not c.passed]
         status = "ok" if not bad else f"{len(bad)} FAILED"
@@ -205,6 +233,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweeps import fixed_m_study
 
     spec = table_spec(args.table)
+    runner = _make_runner(args)
     if args.study == "operating-map":
         points = operating_map(
             spec,
@@ -212,12 +241,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             lam_grid=[1e-4, 6e-4, 1.4e-3],
             reps=args.reps,
             seed=args.seed,
+            runner=runner,
         )
         print(render_operating_map(points, spec.schemes))
     elif args.study == "fixed-m":
         task = spec.task(*spec.rows[0])
         results = fixed_m_study(
-            task, ms=[1, 2, 4, 8, 16], reps=args.reps, seed=args.seed
+            task, ms=[1, 2, 4, 8, 16], reps=args.reps, seed=args.seed,
+            runner=runner,
         )
         print(f"fixed m vs num_SCP at U={spec.rows[0][0]}, λ={spec.rows[0][1]}:")
         for name in ["m=1", "m=2", "m=4", "m=8", "m=16", "adaptive"]:

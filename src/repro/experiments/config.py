@@ -14,6 +14,7 @@ Common parameters (paper §4): ``D = 10000``, ``c = 22``, ``t_r = 0``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Dict, List, Tuple
 
 from repro.core.checkpoints import CostModel
@@ -76,22 +77,22 @@ class TableSpec:
         )
 
     def policy_factory(self, scheme: str) -> Callable[[], CheckpointPolicy]:
-        """Fresh-policy factory for a scheme column."""
+        """Fresh-policy factory for a scheme column.
+
+        Factories are :func:`functools.partial` objects over module-level
+        policy classes — picklable, so whole cell grids can ship to the
+        worker processes of :class:`repro.sim.parallel.BatchRunner`.
+        """
         if scheme == "Poisson":
-            frequency = self.static_frequency
-            return lambda: PoissonArrivalPolicy(frequency)
+            return partial(PoissonArrivalPolicy, self.static_frequency)
         if scheme == "k-f-t":
-            frequency = self.static_frequency
-            return lambda: KFaultTolerantPolicy(frequency)
+            return partial(KFaultTolerantPolicy, self.static_frequency)
         if scheme == "A_D":
-            config = self.adaptive_config
-            return lambda: AdaptiveDVSPolicy(config)
+            return partial(AdaptiveDVSPolicy, self.adaptive_config)
         if scheme == "A_D_S":
-            config = self.adaptive_config
-            return lambda: AdaptiveSCPPolicy(config)
+            return partial(AdaptiveSCPPolicy, self.adaptive_config)
         if scheme == "A_D_C":
-            config = self.adaptive_config
-            return lambda: AdaptiveCCPPolicy(config)
+            return partial(AdaptiveCCPPolicy, self.adaptive_config)
         raise ConfigurationError(f"unknown scheme {scheme!r}")
 
     def with_adaptive_config(self, config: AdaptiveConfig) -> "TableSpec":

@@ -17,13 +17,14 @@ module computes three views the paper implies but never plots:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.optimizer import num_ccp, num_scp
 from repro.core.renewal import ccp_interval_time_for_m, scp_interval_time_for_m
 from repro.errors import ParameterError
 from repro.experiments.config import TableSpec
-from repro.sim.montecarlo import CellEstimate, estimate
+from repro.sim.montecarlo import CellEstimate
+from repro.sim.parallel import BatchRunner, CellJob
 
 __all__ = [
     "OperatingPoint",
@@ -74,29 +75,41 @@ def operating_map(
     reps: int = 300,
     seed: int = 0,
     p_slack: float = 0.02,
+    runner: Optional[BatchRunner] = None,
 ) -> List[OperatingPoint]:
-    """Which scheme wins at each (U, λ) point of the grid."""
+    """Which scheme wins at each (U, λ) point of the grid.
+
+    With a ``runner`` the whole (λ × U × scheme) grid is dispatched in
+    one batch — this is the largest Monte-Carlo sweep in the library.
+    """
     if not u_grid or not lam_grid:
         raise ParameterError("u_grid and lam_grid must be non-empty")
+    runner = runner or BatchRunner.serial()
+    grid = [(lam, u) for lam in lam_grid for u in u_grid]
+    jobs = [
+        CellJob(
+            task=spec.task(u, lam),
+            policy_factory=spec.policy_factory(scheme),
+            reps=reps,
+            seed=seed + int(u * 997) + int(lam * 1e7),
+        )
+        for lam, u in grid
+        for scheme in spec.schemes
+    ]
+    estimates = runner.run_cells(jobs)
     points: List[OperatingPoint] = []
-    for lam in lam_grid:
-        for u in u_grid:
-            task = spec.task(u, lam)
-            cells = {
-                scheme: estimate(
-                    task,
-                    spec.policy_factory(scheme),
-                    reps=reps,
-                    seed=seed + int(u * 997) + int(lam * 1e7),
-                )
-                for scheme in spec.schemes
-            }
-            points.append(
-                OperatingPoint(
-                    u=u, lam=lam, cells=cells,
-                    winner=_pick_winner(cells, p_slack),
-                )
+    columns = len(spec.schemes)
+    for index, (lam, u) in enumerate(grid):
+        cells = {
+            scheme: estimates[index * columns + column]
+            for column, scheme in enumerate(spec.schemes)
+        }
+        points.append(
+            OperatingPoint(
+                u=u, lam=lam, cells=cells,
+                winner=_pick_winner(cells, p_slack),
             )
+        )
     return points
 
 

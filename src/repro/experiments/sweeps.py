@@ -15,7 +15,8 @@ These back the ablation benches promised in DESIGN.md §4:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import renewal
 from repro.core.optimizer import brute_force_num_ccp, brute_force_num_scp
@@ -25,7 +26,8 @@ from repro.core.schemes import (
 )
 from repro.errors import ParameterError
 from repro.experiments.config import TableSpec
-from repro.sim.montecarlo import CellEstimate, estimate
+from repro.sim.montecarlo import CellEstimate
+from repro.sim.parallel import BatchRunner, CellJob
 from repro.sim.task import TaskSpec
 
 __all__ = [
@@ -63,19 +65,33 @@ def fixed_m_study(
     *,
     reps: int = 1000,
     seed: int = 0,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, CellEstimate]:
     """(P, E) for fixed ``m`` values and for the adaptive ``num_SCP``.
 
-    Keys: ``"m=<k>"`` for each fixed value plus ``"adaptive"``.
+    Keys: ``"m=<k>"`` for each fixed value plus ``"adaptive"``.  With a
+    ``runner`` the whole study is dispatched as one cell grid.
     """
     if not ms:
         raise ParameterError("ms must be non-empty")
-    results: Dict[str, CellEstimate] = {}
-    for m in ms:
-        results[f"m={m}"] = estimate(
-            task, lambda m=m: FixedSubdivisionSCPPolicy(m), reps=reps, seed=seed
+    runner = runner or BatchRunner.serial()
+    jobs = [
+        CellJob(
+            task=task,
+            policy_factory=partial(FixedSubdivisionSCPPolicy, m),
+            reps=reps,
+            seed=seed,
         )
-    results["adaptive"] = estimate(task, AdaptiveSCPPolicy, reps=reps, seed=seed)
+        for m in ms
+    ]
+    jobs.append(
+        CellJob(task=task, policy_factory=AdaptiveSCPPolicy, reps=reps, seed=seed)
+    )
+    estimates = runner.run_cells(jobs)
+    results: Dict[str, CellEstimate] = {
+        f"m={m}": cell for m, cell in zip(ms, estimates)
+    }
+    results["adaptive"] = estimates[-1]
     return results
 
 
@@ -85,20 +101,25 @@ def rate_factor_study(
     *,
     reps: int = 1000,
     seed: int = 0,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[float, CellEstimate]:
     """(P, E) of ``A_D_S`` under different analysis-rate factors."""
     if not factors:
         raise ParameterError("factors must be non-empty")
-    results: Dict[float, CellEstimate] = {}
-    for factor in factors:
-        config = AdaptiveConfig(analysis_rate_factor=factor)
-        results[factor] = estimate(
-            task,
-            lambda config=config: AdaptiveSCPPolicy(config),
+    runner = runner or BatchRunner.serial()
+    jobs = [
+        CellJob(
+            task=task,
+            policy_factory=partial(
+                AdaptiveSCPPolicy, AdaptiveConfig(analysis_rate_factor=factor)
+            ),
             reps=reps,
             seed=seed,
         )
-    return results
+        for factor in factors
+    ]
+    estimates = runner.run_cells(jobs)
+    return dict(zip(factors, estimates))
 
 
 def utilization_sweep(
@@ -108,28 +129,34 @@ def utilization_sweep(
     *,
     reps: int = 500,
     seed: int = 0,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, List[Tuple[float, CellEstimate]]]:
     """P/E curves over utilisation for every scheme of a table spec.
 
     This is the "figure" rendering of the paper's tabular data: the
     crossover where static schemes collapse while the adaptive schemes
-    hold P ≈ 1 appears directly.
+    hold P ≈ 1 appears directly.  With a ``runner`` the whole
+    (U × scheme) grid is dispatched in one batch.
     """
     if not u_grid:
         raise ParameterError("u_grid must be non-empty")
+    runner = runner or BatchRunner.serial()
+    grid = [(u, scheme) for u in u_grid for scheme in spec.schemes]
+    jobs = [
+        CellJob(
+            task=spec.task(u, lam),
+            policy_factory=spec.policy_factory(scheme),
+            reps=reps,
+            seed=seed + int(u * 1000),
+        )
+        for u, scheme in grid
+    ]
+    estimates = runner.run_cells(jobs)
     curves: Dict[str, List[Tuple[float, CellEstimate]]] = {
         scheme: [] for scheme in spec.schemes
     }
-    for u in u_grid:
-        task = spec.task(u, lam)
-        for scheme in spec.schemes:
-            cell = estimate(
-                task,
-                spec.policy_factory(scheme),
-                reps=reps,
-                seed=seed + int(u * 1000),
-            )
-            curves[scheme].append((u, cell))
+    for (u, scheme), cell in zip(grid, estimates):
+        curves[scheme].append((u, cell))
     return curves
 
 

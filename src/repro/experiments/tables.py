@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.experiments.config import TableSpec, table_spec
 from repro.experiments.paper_data import PaperCell, paper_cell
-from repro.sim.montecarlo import CellEstimate, estimate
+from repro.sim.montecarlo import CellEstimate
+from repro.sim.parallel import BatchRunner, CellJob
 from repro.sim.rng import RandomSource
 
 __all__ = ["CellResult", "RowResult", "TableResult", "run_table", "run_row"]
@@ -88,6 +89,46 @@ class TableResult:
         return self.spec.schemes
 
 
+def _cell_job(
+    spec: TableSpec,
+    u: float,
+    lam: float,
+    column: int,
+    *,
+    reps: int,
+    source: RandomSource,
+    faults_during_overhead: bool,
+) -> CellJob:
+    """The fully-specified job of one (row, scheme) cell.
+
+    Seeds come from the same per-cell fork as the serial path, so a
+    table regenerated through a runner is identical to the serial one.
+    """
+    cell_source = source.fork(_cell_label(spec.table_id, u, lam, column))
+    return CellJob(
+        task=spec.task(u, lam),
+        policy_factory=spec.policy_factory(spec.schemes[column]),
+        reps=reps,
+        seed=cell_source.seed,
+        faults_during_overhead=faults_during_overhead,
+    )
+
+
+def _assemble_row(
+    spec: TableSpec, u: float, lam: float, estimates: List[CellEstimate]
+) -> RowResult:
+    """Pair one row's estimates (in scheme order) with published cells."""
+    cells = {
+        scheme: CellResult(
+            scheme=scheme,
+            measured=measured,
+            paper=paper_cell(spec.table_id, u, lam, scheme),
+        )
+        for scheme, measured in zip(spec.schemes, estimates)
+    }
+    return RowResult(u=u, lam=lam, cells=cells)
+
+
 def run_row(
     spec: TableSpec,
     u: float,
@@ -96,25 +137,23 @@ def run_row(
     reps: int,
     source: RandomSource,
     faults_during_overhead: bool = False,
+    runner: Optional[BatchRunner] = None,
 ) -> RowResult:
     """Estimate all scheme cells of one row."""
-    task = spec.task(u, lam)
-    cells: Dict[str, CellResult] = {}
-    for column, scheme in enumerate(spec.schemes):
-        cell_source = source.fork(_cell_label(spec.table_id, u, lam, column))
-        measured = estimate(
-            task,
-            spec.policy_factory(scheme),
+    jobs = [
+        _cell_job(
+            spec,
+            u,
+            lam,
+            column,
             reps=reps,
-            seed=cell_source.seed,
+            source=source,
             faults_during_overhead=faults_during_overhead,
         )
-        cells[scheme] = CellResult(
-            scheme=scheme,
-            measured=measured,
-            paper=paper_cell(spec.table_id, u, lam, scheme),
-        )
-    return RowResult(u=u, lam=lam, cells=cells)
+        for column in range(len(spec.schemes))
+    ]
+    runner = runner or BatchRunner.serial()
+    return _assemble_row(spec, u, lam, runner.run_cells(jobs))
 
 
 def run_table(
@@ -123,6 +162,7 @@ def run_table(
     reps: int = 2000,
     seed: int = 2006,
     faults_during_overhead: bool = False,
+    runner: Optional[BatchRunner] = None,
 ) -> TableResult:
     """Regenerate one full table.
 
@@ -138,6 +178,11 @@ def run_table(
     seed:
         Root seed; every cell derives an independent substream, so
         results are reproducible and rows are independent.
+    runner:
+        Optional :class:`~repro.sim.parallel.BatchRunner`.  The *whole*
+        cell grid is dispatched in one batch, so worker processes stay
+        busy across row boundaries.  Results are identical to the serial
+        path for any worker count.
     """
     spec = (
         table_id_or_spec
@@ -145,16 +190,28 @@ def run_table(
         else table_spec(table_id_or_spec)
     )
     source = RandomSource(seed)
-    rows = [
-        run_row(
+    jobs = [
+        _cell_job(
             spec,
             u,
             lam,
+            column,
             reps=reps,
             source=source,
             faults_during_overhead=faults_during_overhead,
         )
         for (u, lam) in spec.rows
+        for column in range(len(spec.schemes))
+    ]
+    runner = runner or BatchRunner.serial()
+    estimates = runner.run_cells(jobs)
+    columns = len(spec.schemes)
+    rows = [
+        _assemble_row(
+            spec, u, lam,
+            estimates[row_index * columns:(row_index + 1) * columns],
+        )
+        for row_index, (u, lam) in enumerate(spec.rows)
     ]
     return TableResult(spec=spec, reps=reps, seed=seed, rows=rows)
 

@@ -9,6 +9,7 @@ from repro.sim import (
     faults,
     metrics,
     montecarlo,
+    parallel,
     rng,
     state,
     task,
@@ -23,6 +24,7 @@ __all__ = [
     "faults",
     "metrics",
     "montecarlo",
+    "parallel",
     "rng",
     "state",
     "task",

@@ -5,6 +5,18 @@ completing by the deadline) and ``E`` (mean energy — of the timely runs,
 as evidenced by the ``NaN`` entries at ``P = 0``).  This module adds the
 uncertainty quantification a reproduction needs: Wilson score intervals
 for proportions and normal-approximation intervals for means.
+
+For sharded execution (:mod:`repro.sim.parallel`) it also provides
+*mergeable accumulators*: :class:`ProportionAccumulator` and
+:class:`MeanAccumulator` collect per-run observations chunk by chunk and
+merge across chunks, finalising into the same
+:class:`ProportionEstimate` / :class:`MeanEstimate` a single pass would
+produce.  Merging concatenates observations in chunk order, so as long
+as chunks cover the rep range in order the merged statistics are
+*bit-identical* to the single-pass ones — regardless of worker count or
+chunk size.  (A moment-based merge — count/sum/M2 à la Chan et al. —
+is the drop-in replacement once shipping raw values to a distributed
+backend becomes the bottleneck; at paper scale a cell is ~10k floats.)
 """
 
 from __future__ import annotations
@@ -15,7 +27,14 @@ from typing import Optional, Sequence, Tuple
 
 from repro.errors import ParameterError
 
-__all__ = ["wilson_interval", "mean_interval", "ProportionEstimate", "MeanEstimate"]
+__all__ = [
+    "wilson_interval",
+    "mean_interval",
+    "ProportionEstimate",
+    "MeanEstimate",
+    "ProportionAccumulator",
+    "MeanAccumulator",
+]
 
 
 def wilson_interval(
@@ -164,6 +183,85 @@ class MeanEstimate:
     def __post_init__(self) -> None:
         if self.count < 0:
             raise ParameterError(f"count must be >= 0, got {self.count}")
+
+
+class ProportionAccumulator:
+    """Mergeable success/trial counter finalising to a Wilson estimate.
+
+    Counts are integers, so merging is exact by construction.
+    """
+
+    __slots__ = ("successes", "trials")
+
+    def __init__(self, successes: int = 0, trials: int = 0) -> None:
+        if trials < 0 or not 0 <= successes <= max(trials, 0):
+            raise ParameterError(
+                f"need 0 <= successes <= trials, got {successes}/{trials}"
+            )
+        self.successes = successes
+        self.trials = trials
+
+    def add(self, success: bool) -> None:
+        """Record one trial."""
+        self.trials += 1
+        if success:
+            self.successes += 1
+
+    def merge(self, other: "ProportionAccumulator") -> "ProportionAccumulator":
+        """Fold another accumulator's counts into this one."""
+        self.successes += other.successes
+        self.trials += other.trials
+        return self
+
+    def estimate(self, confidence: float = 0.95) -> ProportionEstimate:
+        """Finalise into a :class:`ProportionEstimate`."""
+        return ProportionEstimate.from_counts(
+            self.successes, self.trials, confidence
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProportionAccumulator({self.successes}/{self.trials})"
+
+
+class MeanAccumulator:
+    """Mergeable sample collector finalising to a :class:`MeanEstimate`.
+
+    Observations are kept verbatim and merging concatenates them, so a
+    merged accumulator finalises to *exactly* the estimate a single pass
+    over the same observations in the same order would give — including
+    the paper's ``NaN`` convention when no observation was ever added
+    (e.g. the timely-energy mean of a cell where every chunk came back
+    with zero timely runs).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Sequence[float] = ()) -> None:
+        self._values: list = list(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return tuple(self._values)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(value)
+
+    def merge(self, other: "MeanAccumulator") -> "MeanAccumulator":
+        """Append another accumulator's observations (in its order)."""
+        self._values.extend(other._values)
+        return self
+
+    def estimate(self, confidence: float = 0.95) -> MeanEstimate:
+        """Finalise; an empty accumulator yields the NaN estimate."""
+        return MeanEstimate.from_values(self._values, confidence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MeanAccumulator(n={len(self._values)})"
 
 
 def describe(estimate: Optional[MeanEstimate]) -> str:  # pragma: no cover - helper

@@ -6,26 +6,45 @@ probability of timely completion and the mean energy of timely runs
 (``NaN`` when no run is timely — the paper's own convention), plus the
 all-runs energy and diagnostic counters that the paper does not report
 but a user of the library will want.
+
+Rep ``i`` of a cell always draws its fault realisation from
+``RandomSource(seed).substream(i)`` — a ``SeedSequence`` spawn keyed by
+the absolute rep index, never by worker or chunk.  That discipline is
+what lets :mod:`repro.sim.parallel` shard a cell across processes
+(``estimate(..., runner=BatchRunner(workers=8))``) and still return the
+bit-identical :class:`CellEstimate` of a serial pass.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
 from repro.errors import ParameterError
 from repro.sim.energy import EnergyModel
 from repro.sim.executor import RunResult, SimulationLimits, simulate_run
 from repro.sim.faults import FaultProcess, PoissonFaults
-from repro.sim.metrics import MeanEstimate, ProportionEstimate
+from repro.sim.metrics import (
+    MeanAccumulator,
+    MeanEstimate,
+    ProportionAccumulator,
+    ProportionEstimate,
+)
 from repro.sim.rng import RandomSource
 from repro.sim.task import TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.schemes import CheckpointPolicy
+    from repro.sim.parallel import BatchRunner
 
-__all__ = ["CellEstimate", "estimate", "run_many"]
+__all__ = [
+    "CellAccumulator",
+    "CellEstimate",
+    "estimate",
+    "run_many",
+    "run_range",
+]
 
 PolicyFactory = Callable[[], "CheckpointPolicy"]
 
@@ -53,6 +72,18 @@ class CellEstimate:
         """``E`` — the paper's energy (mean over timely runs; NaN if none)."""
         return self.energy_timely.value
 
+    def same_values(self, other: "CellEstimate") -> bool:
+        """Field-for-field identity, treating NaN as equal to NaN.
+
+        Dataclass ``==`` happens to hold for NaN-bearing estimates in
+        CPython (every NaN here is the ``math.nan`` singleton, and
+        tuple comparison short-circuits on identity), but that is an
+        implementation accident.  Determinism checks should use this:
+        ``repr`` round-trips floats exactly and spells every NaN
+        ``nan``, so repr equality is value identity with NaN == NaN.
+        """
+        return repr(self) == repr(other)
+
 
 def run_many(
     task: TaskSpec,
@@ -74,20 +105,54 @@ def run_many(
     """
     if reps <= 0:
         raise ParameterError(f"reps must be > 0, got {reps}")
+    return run_range(
+        task,
+        policy_factory,
+        start=0,
+        stop=reps,
+        seed=seed,
+        faults=faults,
+        energy_model=energy_model,
+        faults_during_overhead=faults_during_overhead,
+        limits=limits,
+    )
+
+
+def run_range(
+    task: TaskSpec,
+    policy_factory: PolicyFactory,
+    *,
+    start: int,
+    stop: int,
+    seed: int = 0,
+    faults: Optional[FaultProcess] = None,
+    energy_model: Optional[EnergyModel] = None,
+    faults_during_overhead: bool = False,
+    limits: SimulationLimits = SimulationLimits(),
+) -> List[RunResult]:
+    """Execute reps ``start .. stop-1`` of a cell (one shard of it).
+
+    Rep ``i`` draws from ``RandomSource(seed).substream(i)`` whatever
+    the range bounds, so concatenating shard results in rep order
+    reproduces :func:`run_many` exactly — the contract the parallel
+    batch runner relies on.
+    """
+    if start < 0 or stop < start:
+        raise ParameterError(f"need 0 <= start <= stop, got [{start}, {stop})")
     if faults is None:
         faults = PoissonFaults(task.fault_rate)
     if energy_model is None:
         energy_model = EnergyModel.paper_dmr()
     source = RandomSource(seed)
     results: List[RunResult] = []
-    for rng in source.substreams(reps):
+    for index in range(start, stop):
         results.append(
             simulate_run(
                 task,
                 policy_factory(),
                 faults,
                 energy_model,
-                rng,
+                source.substream(index),
                 faults_during_overhead=faults_during_overhead,
                 limits=limits,
             )
@@ -105,8 +170,29 @@ def estimate(
     energy_model: Optional[EnergyModel] = None,
     faults_during_overhead: bool = False,
     limits: SimulationLimits = SimulationLimits(),
+    runner: Optional["BatchRunner"] = None,
 ) -> CellEstimate:
-    """Monte-Carlo estimate of one experiment cell (see module doc)."""
+    """Monte-Carlo estimate of one experiment cell (see module doc).
+
+    Pass ``runner`` (a :class:`repro.sim.parallel.BatchRunner`) to shard
+    the reps across worker processes; the estimate is identical to the
+    serial one for the same ``seed``.
+    """
+    if runner is not None:
+        from repro.sim.parallel import CellJob
+
+        return runner.run_cell(
+            CellJob(
+                task=task,
+                policy_factory=policy_factory,
+                reps=reps,
+                seed=seed,
+                faults=faults,
+                energy_model=energy_model,
+                faults_during_overhead=faults_during_overhead,
+                limits=limits,
+            )
+        )
     results = run_many(
         task,
         policy_factory,
@@ -120,24 +206,95 @@ def estimate(
     return summarize(results)
 
 
+class CellAccumulator:
+    """Mergeable aggregation state behind a :class:`CellEstimate`.
+
+    One accumulator summarises a contiguous shard of a cell's reps;
+    :meth:`merge` folds the next shard in (shards must be merged in rep
+    order).  Because the float-valued observations are concatenated and
+    the integer counters summed exactly, ``finalize()`` returns the
+    bit-identical estimate of a single pass over all reps — the property
+    ``tests/test_parallel.py`` pins down.
+    """
+
+    __slots__ = (
+        "timely",
+        "energy_timely",
+        "energy_all",
+        "finish_timely",
+        "detected_faults",
+        "checkpoints",
+        "sub_checkpoints",
+    )
+
+    def __init__(self) -> None:
+        self.timely = ProportionAccumulator()
+        self.energy_timely = MeanAccumulator()
+        self.energy_all = MeanAccumulator()
+        self.finish_timely = MeanAccumulator()
+        self.detected_faults = 0
+        self.checkpoints = 0
+        self.sub_checkpoints = 0
+
+    @property
+    def reps(self) -> int:
+        return self.timely.trials
+
+    def add(self, result: RunResult) -> None:
+        """Fold in one run."""
+        self.timely.add(result.timely)
+        self.energy_all.add(result.energy)
+        if result.timely:
+            self.energy_timely.add(result.energy)
+            self.finish_timely.add(result.finish_time)
+        self.detected_faults += result.detected_faults
+        self.checkpoints += result.checkpoints
+        self.sub_checkpoints += result.sub_checkpoints
+
+    def add_all(self, results: Iterable[RunResult]) -> "CellAccumulator":
+        for result in results:
+            self.add(result)
+        return self
+
+    def merge(self, other: "CellAccumulator") -> "CellAccumulator":
+        """Fold in the next shard (call in rep order)."""
+        self.timely.merge(other.timely)
+        self.energy_timely.merge(other.energy_timely)
+        self.energy_all.merge(other.energy_all)
+        self.finish_timely.merge(other.finish_timely)
+        self.detected_faults += other.detected_faults
+        self.checkpoints += other.checkpoints
+        self.sub_checkpoints += other.sub_checkpoints
+        return self
+
+    def finalize(self) -> CellEstimate:
+        """Close out into a :class:`CellEstimate`.
+
+        The timely means follow the paper's convention: ``NaN`` when no
+        run was timely (also the case when merging all-empty shards).
+        """
+        reps = self.reps
+        if reps == 0:
+            raise ParameterError("cannot summarise zero results")
+        finish_times = self.finish_timely.values
+        return CellEstimate(
+            p_timely=self.timely.estimate(),
+            energy_timely=self.energy_timely.estimate(),
+            energy_all=self.energy_all.estimate(),
+            mean_finish_time_timely=(
+                sum(finish_times) / len(finish_times)
+                if finish_times
+                else math.nan
+            ),
+            mean_detected_faults=self.detected_faults / reps,
+            mean_checkpoints=self.checkpoints / reps,
+            mean_sub_checkpoints=self.sub_checkpoints / reps,
+            reps=reps,
+        )
+
+
 def summarize(results: List[RunResult]) -> CellEstimate:
     """Aggregate raw run results into a :class:`CellEstimate`."""
     if not results:
         raise ParameterError("cannot summarise zero results")
-    reps = len(results)
-    timely = [r for r in results if r.timely]
-    energy_timely = [r.energy for r in timely]
-    energy_all = [r.energy for r in results]
-    mean_finish = (
-        sum(r.finish_time for r in timely) / len(timely) if timely else math.nan
-    )
-    return CellEstimate(
-        p_timely=ProportionEstimate.from_counts(len(timely), reps),
-        energy_timely=MeanEstimate.from_values(energy_timely),
-        energy_all=MeanEstimate.from_values(energy_all),
-        mean_finish_time_timely=mean_finish,
-        mean_detected_faults=sum(r.detected_faults for r in results) / reps,
-        mean_checkpoints=sum(r.checkpoints for r in results) / reps,
-        mean_sub_checkpoints=sum(r.sub_checkpoints for r in results) / reps,
-        reps=reps,
-    )
+    return CellAccumulator().add_all(results).finalize()

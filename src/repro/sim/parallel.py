@@ -1,0 +1,302 @@
+"""Parallel Monte-Carlo batch execution with deterministic seeding.
+
+The paper's tables are grids of *independent* cells (task × scheme ×
+fault rate), and each cell is itself ``reps`` independent runs — an
+embarrassingly parallel workload that the serial harness leaves
+wall-clock bound at paper scale (10,000-rep adaptive cells).  This
+module shards that work across a :class:`~concurrent.futures.
+ProcessPoolExecutor` without changing a single result bit.
+
+Determinism contract
+--------------------
+Results are identical for any worker count and any chunk size because
+nothing about the topology ever reaches the random streams or the
+reduction:
+
+* **Seeding** — rep ``i`` of a cell draws from
+  ``SeedSequence(cell_seed, spawn_key=(i,))`` (via
+  :meth:`repro.sim.rng.RandomSource.substream`), keyed by the *absolute
+  rep index*.  A chunk covering reps ``[start, stop)`` re-derives those
+  exact streams; which worker runs the chunk is irrelevant.
+* **Reduction** — each chunk returns a mergeable
+  :class:`~repro.sim.montecarlo.CellAccumulator`; chunks are merged in
+  rep order regardless of completion order.  Accumulators concatenate
+  float observations and sum integer counters, so the merged estimate
+  is bit-identical to a single serial pass (see ``tests/test_parallel``).
+
+Fallbacks
+---------
+``workers=1`` (the default) runs everything in-process through the same
+chunk/merge code path.  Jobs whose policy factory cannot be pickled
+(e.g. a closure) are detected up front and run in-process too, so the
+runner never fails where the serial harness would have succeeded.
+
+The grid API (:meth:`BatchRunner.run_cells`) is what the experiment
+layer uses: all chunks of all cells are interleaved in one pool, so a
+grid with one slow adaptive column still keeps every worker busy.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.sim.energy import EnergyModel
+from repro.sim.executor import SimulationLimits
+from repro.sim.faults import FaultProcess
+from repro.sim.montecarlo import (
+    CellAccumulator,
+    CellEstimate,
+    PolicyFactory,
+    run_range,
+)
+from repro.sim.task import TaskSpec
+
+__all__ = ["CellJob", "BatchRunner", "default_workers"]
+
+
+def default_workers() -> int:
+    """The machine's CPU count (the natural ``workers`` choice)."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CellJob:
+    """One Monte-Carlo cell, described completely enough to ship.
+
+    Everything a worker process needs to run a shard of the cell:
+    the payload must be picklable (dataclass specs and
+    ``functools.partial`` of module-level policies are; closures are
+    not — those fall back to in-process execution).
+    """
+
+    task: TaskSpec
+    policy_factory: PolicyFactory
+    reps: int
+    seed: int = 0
+    faults: Optional[FaultProcess] = None
+    energy_model: Optional[EnergyModel] = None
+    faults_during_overhead: bool = False
+    limits: SimulationLimits = field(default_factory=SimulationLimits)
+
+    def __post_init__(self) -> None:
+        if self.reps <= 0:
+            raise ParameterError(f"reps must be > 0, got {self.reps}")
+
+
+def _simulate_chunk(job: CellJob, start: int, stop: int) -> CellAccumulator:
+    """Worker entry point: run reps ``[start, stop)`` of ``job``.
+
+    Module-level (not a method) so it pickles by reference under every
+    multiprocessing start method.
+    """
+    results = run_range(
+        job.task,
+        job.policy_factory,
+        start=start,
+        stop=stop,
+        seed=job.seed,
+        faults=job.faults,
+        energy_model=job.energy_model,
+        faults_during_overhead=job.faults_during_overhead,
+        limits=job.limits,
+    )
+    return CellAccumulator().add_all(results)
+
+
+class BatchRunner:
+    """Shards Monte-Carlo cells over a process pool and merges shards.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``1`` (default) executes in-process — the
+        serial fallback; ``None`` means :func:`default_workers`.
+    chunk_size:
+        Reps per shard.  ``None`` picks ``ceil(reps / (4 · workers))``
+        per cell (enough shards to load-balance, few enough to keep
+        per-shard overhead negligible), clamped to at least
+        ``min_chunk_size``.  Results never depend on this — it is a
+        scheduling knob only.
+    min_chunk_size:
+        Lower bound for the automatic chunk size (spawning a process to
+        run three reps is all overhead).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        *,
+        chunk_size: Optional[int] = None,
+        min_chunk_size: int = 25,
+    ) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        if min_chunk_size < 1:
+            raise ParameterError(
+                f"min_chunk_size must be >= 1, got {min_chunk_size}"
+            )
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self.min_chunk_size = int(min_chunk_size)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # -- public API ----------------------------------------------------
+
+    @classmethod
+    def serial(cls) -> "BatchRunner":
+        """The in-process runner — the serial fallback everywhere."""
+        return cls(workers=1)
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; pool recreates lazily)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run_cell(self, job: CellJob) -> CellEstimate:
+        """Estimate one cell (sharded when the runner is parallel)."""
+        return self.run_cells([job])[0]
+
+    def run_cells(self, jobs: Sequence[CellJob]) -> List[CellEstimate]:
+        """Estimate a whole grid of cells, interleaving their shards.
+
+        Returns estimates in job order.  Cells are independent; shards
+        of *all* cells share one pool so stragglers in one cell overlap
+        work from the others.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        chunks = self._plan_chunks(jobs)
+        if self.workers == 1:
+            merged = self._run_serial(jobs, chunks)
+        else:
+            merged = self._run_pooled(jobs, chunks)
+        return [merged[index].finalize() for index in range(len(jobs))]
+
+    # -- internals -----------------------------------------------------
+
+    def _chunk_bounds(self, reps: int) -> List[Tuple[int, int]]:
+        """Split ``[0, reps)`` into contiguous shards."""
+        size = self.chunk_size
+        if size is None:
+            size = max(self.min_chunk_size, -(-reps // (4 * self.workers)))
+        return [(lo, min(lo + size, reps)) for lo in range(0, reps, size)]
+
+    def _plan_chunks(self, jobs: Sequence[CellJob]) -> List[Tuple[int, int, int]]:
+        """(job index, start, stop) for every shard of every job."""
+        return [
+            (index, start, stop)
+            for index, job in enumerate(jobs)
+            for start, stop in self._chunk_bounds(job.reps)
+        ]
+
+    def _run_serial(
+        self,
+        jobs: Sequence[CellJob],
+        chunks: Sequence[Tuple[int, int, int]],
+    ) -> Dict[int, CellAccumulator]:
+        merged: Dict[int, CellAccumulator] = {}
+        for index, start, stop in chunks:
+            shard = _simulate_chunk(jobs[index], start, stop)
+            self._fold(merged, index, shard)
+        return merged
+
+    def _run_pooled(
+        self,
+        jobs: Sequence[CellJob],
+        chunks: Sequence[Tuple[int, int, int]],
+    ) -> Dict[int, CellAccumulator]:
+        shippable = {index for index, job in enumerate(jobs) if _picklable(job)}
+        merged: Dict[int, CellAccumulator] = {}
+        pooled = [c for c in chunks if c[0] in shippable]
+        local = [c for c in chunks if c[0] not in shippable]
+        futures: List[Tuple[Tuple[int, int, int], Future]] = []
+        try:
+            for chunk in pooled:
+                futures.append(
+                    (chunk, self._ensure_pool().submit(
+                        _simulate_chunk, jobs[chunk[0]], chunk[1], chunk[2]))
+                )
+        except BrokenExecutor:
+            # The pool died while we were still handing it work (e.g. a
+            # worker OOM-killed between batches); the unsubmitted tail
+            # of `pooled` runs in-process below.
+            self.close()
+        unsubmitted = pooled[len(futures):]
+        # Unshippable jobs run in-process while the pool works (a job
+        # is either fully pooled or fully local, so each job's chunks
+        # still merge in rep order).
+        for index, start, stop in local:
+            self._fold(merged, index, _simulate_chunk(jobs[index], start, stop))
+        # Collect in submission (= rep) order, not completion order —
+        # the merge must be topology-independent.
+        for (index, start, stop), future in futures:
+            try:
+                shard = future.result()
+            except BrokenExecutor:
+                # A dead worker poisons the whole executor; discard it
+                # (the next batch gets a fresh one) and recompute this
+                # chunk in-process — the work is deterministic, so the
+                # runner must not fail where the serial harness would
+                # have succeeded.
+                self.close()
+                shard = _simulate_chunk(jobs[index], start, stop)
+            self._fold(merged, index, shard)
+        # `pooled` order is (job, rep) order, and the submitted prefix
+        # was folded first, so finishing its suffix keeps every job's
+        # chunks in rep order.
+        for index, start, stop in unsubmitted:
+            self._fold(merged, index, _simulate_chunk(jobs[index], start, stop))
+        return merged
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The lazily-created, reused worker pool.
+
+        Reuse amortises worker startup across batches (``validate``
+        runs one batch per table); a ``weakref.finalize`` shuts the
+        pool down when the runner is garbage-collected, so callers who
+        never bother with :meth:`close` leak nothing.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._finalizer = weakref.finalize(
+                self, ProcessPoolExecutor.shutdown, self._pool, wait=True
+            )
+        return self._pool
+
+    @staticmethod
+    def _fold(
+        merged: Dict[int, CellAccumulator], index: int, shard: CellAccumulator
+    ) -> None:
+        if index in merged:
+            merged[index].merge(shard)
+        else:
+            merged[index] = shard
+
+
+def _picklable(job: CellJob) -> bool:
+    """Whether ``job`` can be shipped to a worker process."""
+    try:
+        pickle.dumps(job)
+        return True
+    except Exception:
+        return False

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _make_runner, build_parser, main
+from repro.sim.parallel import BatchRunner, default_workers
 
 
 class TestParser:
@@ -68,6 +69,53 @@ class TestCommands:
         u1_rows = [r for r in payload["rows"] if r["u"] == 1.0]
         assert u1_rows
         assert u1_rows[0]["cells"]["Poisson"]["e"] is None
+
+
+class TestWorkersFlag:
+    def test_defaults_to_serial(self):
+        args = build_parser().parse_args(["table", "1a"])
+        assert args.workers == 1
+        assert _make_runner(args) is None
+
+    def test_parses_worker_count(self):
+        args = build_parser().parse_args(["table", "1a", "--workers", "4"])
+        assert args.workers == 4
+        runner = _make_runner(args)
+        assert isinstance(runner, BatchRunner)
+        assert runner.workers == 4
+
+    def test_zero_means_cpu_count(self):
+        args = build_parser().parse_args(["validate", "--workers", "0"])
+        assert _make_runner(args).workers == default_workers()
+
+    def test_accepted_on_validate_and_sweep(self):
+        assert build_parser().parse_args(
+            ["validate", "--workers", "2"]
+        ).workers == 2
+        assert build_parser().parse_args(
+            ["sweep", "fixed-m", "--workers", "2"]
+        ).workers == 2
+
+    def test_table_output_byte_identical_across_worker_counts(self, capsys):
+        base = ["table", "2b", "--reps", "20", "--seed", "3"]
+        assert main(base + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        pooled_out = capsys.readouterr().out
+        assert pooled_out == serial_out
+
+    def test_json_output_byte_identical_across_worker_counts(self, capsys):
+        base = ["table", "1b", "--reps", "15", "--seed", "9", "--json"]
+        assert main(base) == 0  # omitted flag = serial fallback
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "3"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_sweep_fixed_m_with_workers(self, capsys):
+        assert main(
+            ["sweep", "fixed-m", "--reps", "20", "--workers", "2"]
+        ) == 0
+        assert "adaptive" in capsys.readouterr().out
 
 
 class TestSweepCommand:

@@ -7,7 +7,9 @@ from scipy.stats import norm
 
 from repro.errors import ParameterError
 from repro.sim.metrics import (
+    MeanAccumulator,
     MeanEstimate,
+    ProportionAccumulator,
     ProportionEstimate,
     mean_interval,
     wilson_interval,
@@ -109,3 +111,62 @@ class TestEstimates:
         est = MeanEstimate.from_values([])
         assert est.is_nan
         assert est.count == 0
+
+
+class TestProportionAccumulator:
+    def test_add_and_estimate_match_from_counts(self):
+        acc = ProportionAccumulator()
+        for success in [True, False, True, True, False]:
+            acc.add(success)
+        assert acc.estimate() == ProportionEstimate.from_counts(3, 5)
+
+    def test_merge_is_exact(self):
+        left = ProportionAccumulator(successes=7, trials=10)
+        right = ProportionAccumulator(successes=2, trials=15)
+        merged = left.merge(right)
+        assert merged is left
+        assert merged.estimate() == ProportionEstimate.from_counts(9, 25)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ProportionAccumulator(successes=5, trials=3)
+        with pytest.raises(ParameterError):
+            ProportionAccumulator(successes=-1, trials=3)
+
+    def test_empty_estimate_rejected(self):
+        with pytest.raises(ParameterError):
+            ProportionAccumulator().estimate()
+
+
+class TestMeanAccumulator:
+    def test_merge_equals_single_pass_exactly(self):
+        values = [1.25, -3.5, 7.0625, 0.1, 2.2, 9.75, -0.875]
+        single = MeanAccumulator(values).estimate()
+        for split in range(len(values) + 1):
+            left = MeanAccumulator(values[:split])
+            right = MeanAccumulator(values[split:])
+            assert left.merge(right).estimate() == single
+
+    def test_merge_preserves_order(self):
+        left = MeanAccumulator([1.0, 2.0])
+        right = MeanAccumulator([3.0])
+        assert left.merge(right).values == (1.0, 2.0, 3.0)
+
+    def test_empty_merge_is_nan_not_error(self):
+        # Regression: merging all-empty chunks (a cell where no run was
+        # ever timely) must finalise to the paper's NaN, not raise.
+        merged = MeanAccumulator().merge(MeanAccumulator()).merge(
+            MeanAccumulator()
+        )
+        est = merged.estimate()
+        assert est.is_nan
+        assert math.isnan(est.low) and math.isnan(est.high)
+        assert est.count == 0
+
+    def test_count_tracks_observations(self):
+        acc = MeanAccumulator()
+        assert acc.count == 0
+        acc.add(4.5)
+        acc.add(5.5)
+        assert acc.count == 2
+        assert acc.estimate().value == pytest.approx(5.0)

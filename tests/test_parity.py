@@ -1,0 +1,153 @@
+"""Executor/fast-path parity: the fastpath docstring, made executable.
+
+:mod:`repro.sim.fastpath` promises to reproduce the event executor's
+semantics for the static schemes exactly (same ``P``, same
+timely-conditional ``E``).  The two implementations share no hot-path
+code, so agreement over a *randomized* grid of (scheme, frequency, U,
+λ, k) cells is strong evidence both are right — much stronger than the
+handful of hand-picked cells in ``tests/test_fastpath.py``.
+
+The grid is drawn from a seeded PRNG (reproducible run to run) and the
+tolerances are derived from the estimates' own confidence intervals at
+99.9%, scaled up — this is a parity check, not a flakiness generator.
+"""
+
+import math
+import random
+from functools import partial
+
+import pytest
+
+from repro.core.checkpoints import CostModel
+from repro.core.schemes import KFaultTolerantPolicy, PoissonArrivalPolicy
+from repro.sim.fastpath import simulate_static_cell, static_cell_for_scheme
+from repro.sim.metrics import wilson_interval
+from repro.sim.montecarlo import estimate
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+
+DEADLINE = 10_000.0
+EXECUTOR_REPS = 1200
+FASTPATH_REPS = 12_000
+
+_POLICIES = {"Poisson": PoissonArrivalPolicy, "k-f-t": KFaultTolerantPolicy}
+
+
+def _draw_cases(count: int, seed: int = 20060317):
+    """A reproducible random grid of static-scheme cells."""
+    rng = random.Random(seed)
+    cases = []
+    for index in range(count):
+        frequency = rng.choice([1.0, 2.0])
+        u = rng.uniform(0.55, 0.97)
+        lam = 10 ** rng.uniform(-4.0, math.log10(2e-3))
+        budget = rng.randint(1, 6)
+        scheme = rng.choice(["Poisson", "k-f-t"])
+        costs = rng.choice(
+            [CostModel.scp_favourable(), CostModel.ccp_favourable()]
+        )
+        task = TaskSpec(
+            cycles=round(u * frequency * DEADLINE),
+            deadline=DEADLINE,
+            fault_budget=budget,
+            fault_rate=lam,
+            costs=costs,
+        )
+        cases.append(
+            pytest.param(
+                task,
+                scheme,
+                frequency,
+                1000 + index,
+                id=f"{scheme}-f{frequency:.0f}-U{u:.2f}-lam{lam:.1e}-k{budget}",
+            )
+        )
+    return cases
+
+
+def _half_width(low: float, high: float) -> float:
+    return (high - low) / 2.0
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("task,scheme,frequency,seed", _draw_cases(6))
+    def test_p_and_timely_e_agree(self, task, scheme, frequency, seed):
+        policy = _POLICIES[scheme]
+        slow = estimate(
+            task, partial(policy, frequency), reps=EXECUTOR_REPS, seed=seed
+        )
+        spec = static_cell_for_scheme(task, scheme, frequency)
+        fast = simulate_static_cell(
+            spec, reps=FASTPATH_REPS, rng=RandomSource(seed + 1).generator()
+        )
+
+        # P: tolerance from both estimators' Wilson intervals at 99.9%,
+        # plus a small floor for the extreme-P corners.
+        slow_ci = wilson_interval(
+            round(slow.p * EXECUTOR_REPS), EXECUTOR_REPS, 0.999
+        )
+        fast_ci = wilson_interval(
+            round(fast.p * FASTPATH_REPS), FASTPATH_REPS, 0.999
+        )
+        tolerance = _half_width(*slow_ci) + _half_width(*fast_ci) + 0.01
+        assert fast.p == pytest.approx(slow.p, abs=tolerance)
+
+        # Timely-conditional E: only meaningful when both sides actually
+        # observed a healthy timely sample.  The stored intervals are at
+        # 95%; scale to ~99.9% (×1.7) and add a 1% relative floor.
+        if slow.energy_timely.count >= 100 and fast.energy_timely.count >= 100:
+            e_tolerance = 1.7 * (
+                _half_width(slow.energy_timely.low, slow.energy_timely.high)
+                + _half_width(fast.energy_timely.low, fast.energy_timely.high)
+            ) + 0.01 * abs(slow.e)
+            assert fast.e == pytest.approx(slow.e, abs=e_tolerance)
+        if slow.p == 0.0 and fast.p == 0.0:
+            assert math.isnan(slow.e) and math.isnan(fast.e)
+
+    @pytest.mark.parametrize("task,scheme,frequency,seed", _draw_cases(3, seed=77))
+    def test_parity_suite_is_reproducible(self, task, scheme, frequency, seed):
+        """Same seeds ⇒ same numbers — the suite itself is deterministic."""
+        policy = _POLICIES[scheme]
+        spec = static_cell_for_scheme(task, scheme, frequency)
+        again = [
+            (
+                estimate(task, partial(policy, frequency), reps=60, seed=seed),
+                simulate_static_cell(
+                    spec, reps=500, rng=RandomSource(seed).generator()
+                ),
+            )
+            for _ in range(2)
+        ]
+        assert again[0][0].same_values(again[1][0])
+        assert again[0][1].same_values(again[1][1])
+
+
+class TestFaultFreeParity:
+    """λ = 0 removes all randomness: both paths must agree exactly."""
+
+    @pytest.mark.parametrize("frequency", [1.0, 2.0])
+    def test_energy_matches_closed_form(self, frequency):
+        costs = CostModel.scp_favourable()
+        task = TaskSpec(
+            cycles=4000.0,
+            deadline=DEADLINE,
+            fault_budget=3,
+            fault_rate=0.0,
+            costs=costs,
+        )
+        spec = static_cell_for_scheme(task, "Poisson", frequency)
+        assert spec.interval_time == pytest.approx(task.cycles / frequency)
+        fast = simulate_static_cell(
+            spec, reps=50, rng=RandomSource(0).generator()
+        )
+        slow = estimate(
+            task, partial(PoissonArrivalPolicy, frequency), reps=5, seed=0
+        )
+        assert fast.p == 1.0 == slow.p
+        # One interval closed by one CSCP, no retries anywhere.
+        from repro.sim.energy import EnergyModel
+
+        per_cycle = EnergyModel.paper_dmr().segment_energy(frequency, 1.0)
+        expected = (task.cycles + costs.checkpoint_cycles) * per_cycle
+        assert fast.e == pytest.approx(expected)
+        assert slow.e == pytest.approx(expected)
