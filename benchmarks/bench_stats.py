@@ -1,0 +1,203 @@
+"""Streaming-moment statistics vs the value-carrying baseline.
+
+PR 2 replaced the `MeanAccumulator` that kept every observation (O(reps)
+floats per shard, shipped through the process pool) with the streaming
+`MomentAccumulator` (O(1): count + compensated sums).  This benchmark
+quantifies the trade and guards the properties the refactor promised:
+
+* **payload** — pickled accumulator bytes must be flat in the number of
+  observations (the value-carrying baseline grows linearly);
+* **memory** — peak allocations during a blocked accumulate+merge must
+  be bounded by the block, not the rep count;
+* **throughput** — values/second through add/merge/finalize for both
+  implementations (moments trade some single-thread speed for the O(1)
+  payload; the number is recorded, not asserted);
+* **agreement** — the moment estimate must match the value-carrying
+  one to float noise.
+
+Run standalone (not under pytest)::
+
+    python benchmarks/bench_stats.py                # full sizes
+    python benchmarks/bench_stats.py --quick        # CI smoke run
+    python benchmarks/bench_stats.py --json out.json
+
+Results are written to ``BENCH_stats.json`` (override with ``--json``).
+Exit status is non-zero if a guarded property fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pickle
+import statistics
+import sys
+import time
+import tracemalloc
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sim.metrics import MomentAccumulator
+
+BLOCK = 256  # reps per block, mirroring DEFAULT_BLOCK_SIZE
+
+
+class ValueCarryingBaseline:
+    """The pre-refactor discipline: keep and concatenate observations.
+
+    Re-implemented here (it no longer exists in the library) so the
+    benchmark keeps comparing against the real alternative.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def add_many(self, values) -> "ValueCarryingBaseline":
+        self.values.extend(float(v) for v in values)
+        return self
+
+    def merge(self, other: "ValueCarryingBaseline") -> "ValueCarryingBaseline":
+        self.values.extend(other.values)
+        return self
+
+    def finalize(self):
+        n = len(self.values)
+        mean = sum(self.values) / n
+        var = sum((v - mean) ** 2 for v in self.values) / (n - 1)
+        return mean, var
+
+
+def _blocked_reduce(make, values) -> object:
+    """Accumulate per fixed-size block, merge in block order."""
+    total = make()
+    for start in range(0, len(values), BLOCK):
+        total.merge(make().add_many(values[start:start + BLOCK]))
+    return total
+
+
+def _measure(make, values) -> Dict[str, float]:
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    acc = _blocked_reduce(make, values)
+    elapsed = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    payload = len(pickle.dumps(acc))
+    if isinstance(acc, MomentAccumulator):
+        mean, var = acc.mean, acc.variance
+    else:
+        mean, var = acc.finalize()
+    return {
+        "values_per_sec": len(values) / elapsed if elapsed > 0 else math.inf,
+        "peak_alloc_bytes": peak,
+        "payload_bytes": payload,
+        "mean": mean,
+        "variance": var,
+    }
+
+
+def run(sizes: List[int], seed: int = 2006) -> Dict:
+    rng = np.random.default_rng(seed)
+    report: Dict = {"block": BLOCK, "sizes": {}}
+    for size in sizes:
+        # Energies-like values: large offset, modest spread — the
+        # regime where naive sum-of-squares cancels.
+        values = rng.normal(40_000.0, 500.0, size=size)
+        moment = _measure(MomentAccumulator, values)
+        legacy = _measure(ValueCarryingBaseline, values)
+        report["sizes"][str(size)] = {"moment": moment, "legacy": legacy}
+        print(
+            f"n={size:>9,}: moment {moment['values_per_sec']:>12,.0f} v/s "
+            f"{moment['payload_bytes']:>7,} B payload "
+            f"{moment['peak_alloc_bytes']:>12,} B peak | "
+            f"legacy {legacy['values_per_sec']:>12,.0f} v/s "
+            f"{legacy['payload_bytes']:>9,} B payload "
+            f"{legacy['peak_alloc_bytes']:>12,} B peak"
+        )
+    return report
+
+
+def check(report: Dict) -> List[str]:
+    """The guarded properties; returns human-readable failures."""
+    failures: List[str] = []
+    sizes = sorted(int(s) for s in report["sizes"])
+    moment_payloads = [
+        report["sizes"][str(s)]["moment"]["payload_bytes"] for s in sizes
+    ]
+    if max(moment_payloads) > min(moment_payloads) + 32:
+        failures.append(
+            f"moment payload grows with reps: {dict(zip(sizes, moment_payloads))}"
+        )
+    largest = report["sizes"][str(sizes[-1])]
+    if largest["moment"]["payload_bytes"] * 4 > largest["legacy"]["payload_bytes"]:
+        failures.append(
+            "moment payload not clearly smaller than value-carrying at "
+            f"n={sizes[-1]}: {largest['moment']['payload_bytes']} vs "
+            f"{largest['legacy']['payload_bytes']} bytes"
+        )
+    if largest["moment"]["peak_alloc_bytes"] > (
+        largest["legacy"]["peak_alloc_bytes"] / 2
+    ):
+        failures.append(
+            "moment peak allocations not clearly below value-carrying at "
+            f"n={sizes[-1]}: {largest['moment']['peak_alloc_bytes']} vs "
+            f"{largest['legacy']['peak_alloc_bytes']} bytes"
+        )
+    for size in sizes:
+        entry = report["sizes"][str(size)]
+        m, l = entry["moment"], entry["legacy"]
+        if not math.isclose(m["mean"], l["mean"], rel_tol=1e-12):
+            failures.append(f"mean disagrees at n={size}: {m['mean']} vs {l['mean']}")
+        if not math.isclose(m["variance"], l["variance"], rel_tol=1e-6):
+            failures.append(
+                f"variance disagrees at n={size}: {m['variance']} vs {l['variance']}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes: verify the guarded properties, skip scale",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_stats.json",
+        help="where to write the machine-readable report",
+    )
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args(argv)
+
+    sizes = [2_000, 20_000] if args.quick else [10_000, 100_000, 1_000_000]
+    report = run(sizes, seed=args.seed)
+    failures = check(report)
+    report["failures"] = failures
+
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"report: {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    largest = str(max(int(s) for s in report["sizes"]))
+    ratio = (
+        report["sizes"][largest]["legacy"]["payload_bytes"]
+        / report["sizes"][largest]["moment"]["payload_bytes"]
+    )
+    print(
+        f"ok: payload O(1) "
+        f"({report['sizes'][largest]['moment']['payload_bytes']} B, "
+        f"×{ratio:,.0f} smaller than value-carrying at n={largest}); "
+        "estimates agree"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

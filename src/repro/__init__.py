@@ -58,12 +58,24 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.sim.backends import (
+    DistributedBackend,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+)
 from repro.sim.energy import EnergyAccount, EnergyModel
 from repro.sim.executor import RunResult, SimulationLimits, simulate_run
 from repro.sim.fastpath import (
+    StaticCellJob,
     StaticCellSpec,
     simulate_static_cell,
     static_cell_for_scheme,
+)
+from repro.sim.metrics import (
+    MeanEstimate,
+    MomentAccumulator,
+    ProportionEstimate,
 )
 from repro.sim.faults import (
     BurstyFaults,
@@ -82,7 +94,7 @@ from repro.sim.montecarlo import (
     run_range,
     summarize,
 )
-from repro.sim.parallel import BatchRunner, CellJob
+from repro.sim.parallel import DEFAULT_BLOCK_SIZE, BatchRunner, CellJob
 from repro.sim.rng import RandomSource
 from repro.sim.state import ExecutionState
 from repro.sim.task import TaskSpec
@@ -144,9 +156,18 @@ __all__ = [
     "summarize",
     "CellEstimate",
     "CellAccumulator",
+    "MomentAccumulator",
+    "MeanEstimate",
+    "ProportionEstimate",
     "BatchRunner",
     "CellJob",
+    "DEFAULT_BLOCK_SIZE",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "DistributedBackend",
     "StaticCellSpec",
+    "StaticCellJob",
     "simulate_static_cell",
     "static_cell_for_scheme",
     # errors

@@ -53,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("--reps", type=int, default=2000)
     p_table.add_argument("--seed", type=int, default=2006)
     _add_workers_flag(p_table)
+    p_table.add_argument(
+        "--fast-static",
+        action="store_true",
+        help=(
+            "estimate the static scheme columns with the vectorised fast "
+            "path (statistically consistent, much faster; not "
+            "bit-comparable to the executor)"
+        ),
+    )
     p_table.add_argument("--json", action="store_true", help="emit JSON")
     p_table.add_argument(
         "--markdown", action="store_true", help="emit a markdown table"
@@ -95,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (used by ``--chunk-size``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -105,16 +125,36 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
             "0 = one per CPU).  Results are identical for any value."
         ),
     )
+    parser.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="REPS",
+        help=(
+            "reps per block — the unit of scheduling AND of the blocked "
+            "statistics reduction (default 256).  For a fixed value, "
+            "results are bit-identical across any --workers; record it "
+            "with the seed when reproducibility matters."
+        ),
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> Optional["BatchRunner"]:
-    """A batch runner per ``--workers``; ``None`` keeps the serial path."""
+    """A batch runner per ``--workers``/``--chunk-size``.
+
+    ``None`` (serial defaults) keeps the implicit serial path, which
+    uses the same default block size — so omitting the flags and
+    passing ``--workers 1`` are byte-identical.
+    """
     workers = getattr(args, "workers", 1)
-    if workers is None or workers == 1:
+    chunk_size = getattr(args, "chunk_size", None)
+    if (workers is None or workers == 1) and chunk_size is None:
         return None
     from repro.sim.parallel import BatchRunner
 
-    return BatchRunner(workers=None if workers == 0 else workers)
+    return BatchRunner(
+        workers=None if workers == 0 else workers, chunk_size=chunk_size
+    )
 
 
 def _demo_policy(scheme: str):
@@ -131,7 +171,11 @@ def _demo_policy(scheme: str):
 
 def _cmd_table(args: argparse.Namespace) -> int:
     result = run_table(
-        args.table_id, reps=args.reps, seed=args.seed, runner=_make_runner(args)
+        args.table_id,
+        reps=args.reps,
+        seed=args.seed,
+        runner=_make_runner(args),
+        fast_static=args.fast_static,
     )
     if args.json:
         payload = {

@@ -29,6 +29,12 @@ from repro.core.schemes import (
 )
 from repro.errors import ConfigurationError
 from repro.experiments import paper_data
+from repro.sim.backends import CellJob
+from repro.sim.fastpath import (
+    STATIC_SCHEMES,
+    StaticCellJob,
+    static_cell_for_scheme,
+)
 from repro.sim.task import TaskSpec
 
 __all__ = ["TableSpec", "table_spec", "all_table_specs", "DEADLINE"]
@@ -94,6 +100,45 @@ class TableSpec:
         if scheme == "A_D_C":
             return partial(AdaptiveCCPPolicy, self.adaptive_config)
         raise ConfigurationError(f"unknown scheme {scheme!r}")
+
+    def cell_job(
+        self,
+        u: float,
+        lam: float,
+        scheme: str,
+        *,
+        reps: int,
+        seed: int,
+        fast_static: bool = False,
+        faults_during_overhead: bool = False,
+    ):
+        """The fully-specified job of one (row, scheme) cell.
+
+        The single builder behind every grid dispatcher (tables,
+        sweeps, sensitivity): an executor :class:`~repro.sim.backends.
+        CellJob`, or — with ``fast_static`` and a static scheme — a
+        vectorised :class:`~repro.sim.fastpath.StaticCellJob`.
+        """
+        task = self.task(u, lam)
+        if fast_static and scheme in STATIC_SCHEMES:
+            if faults_during_overhead:
+                raise ConfigurationError(
+                    "fast_static assumes the paper's convention that faults "
+                    "during overhead are ignored; it cannot be combined "
+                    "with faults_during_overhead=True"
+                )
+            return StaticCellJob(
+                spec=static_cell_for_scheme(task, scheme, self.static_frequency),
+                reps=reps,
+                seed=seed,
+            )
+        return CellJob(
+            task=task,
+            policy_factory=self.policy_factory(scheme),
+            reps=reps,
+            seed=seed,
+            faults_during_overhead=faults_during_overhead,
+        )
 
     def with_adaptive_config(self, config: AdaptiveConfig) -> "TableSpec":
         """Copy of this spec with different adaptive-scheme knobs."""

@@ -24,7 +24,7 @@ from repro.core.renewal import ccp_interval_time_for_m, scp_interval_time_for_m
 from repro.errors import ParameterError
 from repro.experiments.config import TableSpec
 from repro.sim.montecarlo import CellEstimate
-from repro.sim.parallel import BatchRunner, CellJob
+from repro.sim.parallel import BatchRunner
 
 __all__ = [
     "OperatingPoint",
@@ -76,22 +76,26 @@ def operating_map(
     seed: int = 0,
     p_slack: float = 0.02,
     runner: Optional[BatchRunner] = None,
+    fast_static: bool = False,
 ) -> List[OperatingPoint]:
     """Which scheme wins at each (U, λ) point of the grid.
 
     With a ``runner`` the whole (λ × U × scheme) grid is dispatched in
     one batch — this is the largest Monte-Carlo sweep in the library.
+    ``fast_static`` routes the static scheme cells through the
+    vectorised fast path (statistically consistent, much faster),
+    which is what makes dense operating maps affordable.
     """
     if not u_grid or not lam_grid:
         raise ParameterError("u_grid and lam_grid must be non-empty")
     runner = runner or BatchRunner.serial()
     grid = [(lam, u) for lam in lam_grid for u in u_grid]
     jobs = [
-        CellJob(
-            task=spec.task(u, lam),
-            policy_factory=spec.policy_factory(scheme),
+        spec.cell_job(
+            u, lam, scheme,
             reps=reps,
             seed=seed + int(u * 997) + int(lam * 1e7),
+            fast_static=fast_static,
         )
         for lam, u in grid
         for scheme in spec.schemes

@@ -130,25 +130,25 @@ def utilization_sweep(
     reps: int = 500,
     seed: int = 0,
     runner: Optional[BatchRunner] = None,
+    fast_static: bool = False,
 ) -> Dict[str, List[Tuple[float, CellEstimate]]]:
     """P/E curves over utilisation for every scheme of a table spec.
 
     This is the "figure" rendering of the paper's tabular data: the
     crossover where static schemes collapse while the adaptive schemes
     hold P ≈ 1 appears directly.  With a ``runner`` the whole
-    (U × scheme) grid is dispatched in one batch.
+    (U × scheme) grid is dispatched in one batch; ``fast_static``
+    swaps the static columns for vectorised
+    :class:`~repro.sim.fastpath.StaticCellJob` cells (statistically
+    consistent, much faster — the knob that makes dense U grids cheap).
     """
     if not u_grid:
         raise ParameterError("u_grid must be non-empty")
     runner = runner or BatchRunner.serial()
     grid = [(u, scheme) for u in u_grid for scheme in spec.schemes]
     jobs = [
-        CellJob(
-            task=spec.task(u, lam),
-            policy_factory=spec.policy_factory(scheme),
-            reps=reps,
-            seed=seed + int(u * 1000),
-        )
+        spec.cell_job(u, lam, scheme, reps=reps,
+                      seed=seed + int(u * 1000), fast_static=fast_static)
         for u, scheme in grid
     ]
     estimates = runner.run_cells(jobs)

@@ -4,6 +4,13 @@
 :class:`~repro.experiments.config.TableSpec` and pairs each estimate
 with the published value, producing a :class:`TableResult` that the
 report module renders and the benchmark suite checks for shape.
+
+The whole cell grid is dispatched as one batch through a
+:class:`~repro.sim.parallel.BatchRunner`, so every execution backend
+(serial, process pool, a future distributed one) sees the same job
+stream.  With ``fast_static=True`` the static scheme columns become
+:class:`~repro.sim.fastpath.StaticCellJob`\\ s — the vectorised sampler
+— mixed into the same batch as the adaptive (executor) cells.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import TableSpec, table_spec
 from repro.experiments.paper_data import PaperCell, paper_cell
 from repro.sim.montecarlo import CellEstimate
-from repro.sim.parallel import BatchRunner, CellJob
+from repro.sim.parallel import BatchRunner
 from repro.sim.rng import RandomSource
 
 __all__ = ["CellResult", "RowResult", "TableResult", "run_table", "run_row"]
@@ -98,18 +105,24 @@ def _cell_job(
     reps: int,
     source: RandomSource,
     faults_during_overhead: bool,
-) -> CellJob:
+    fast_static: bool = False,
+):
     """The fully-specified job of one (row, scheme) cell.
 
     Seeds come from the same per-cell fork as the serial path, so a
     table regenerated through a runner is identical to the serial one.
+    With ``fast_static`` the static scheme columns ship as
+    :class:`~repro.sim.fastpath.StaticCellJob` instead of running the
+    event executor (see :func:`run_table` for the caveats).
     """
     cell_source = source.fork(_cell_label(spec.table_id, u, lam, column))
-    return CellJob(
-        task=spec.task(u, lam),
-        policy_factory=spec.policy_factory(spec.schemes[column]),
+    return spec.cell_job(
+        u,
+        lam,
+        spec.schemes[column],
         reps=reps,
         seed=cell_source.seed,
+        fast_static=fast_static,
         faults_during_overhead=faults_during_overhead,
     )
 
@@ -138,6 +151,7 @@ def run_row(
     source: RandomSource,
     faults_during_overhead: bool = False,
     runner: Optional[BatchRunner] = None,
+    fast_static: bool = False,
 ) -> RowResult:
     """Estimate all scheme cells of one row."""
     jobs = [
@@ -149,6 +163,7 @@ def run_row(
             reps=reps,
             source=source,
             faults_during_overhead=faults_during_overhead,
+            fast_static=fast_static,
         )
         for column in range(len(spec.schemes))
     ]
@@ -163,6 +178,7 @@ def run_table(
     seed: int = 2006,
     faults_during_overhead: bool = False,
     runner: Optional[BatchRunner] = None,
+    fast_static: bool = False,
 ) -> TableResult:
     """Regenerate one full table.
 
@@ -183,6 +199,17 @@ def run_table(
         cell grid is dispatched in one batch, so worker processes stay
         busy across row boundaries.  Results are identical to the serial
         path for any worker count.
+    fast_static:
+        Route the static scheme columns (Poisson, k-f-t) through the
+        vectorised fast path instead of the event executor — one to two
+        orders of magnitude faster at paper-scale reps.  The estimates
+        are statistically consistent but drawn from a different sampler
+        (not bit-comparable to the executor), and on *doomed* runs
+        ``energy_all`` is capped at the fast path's horizon while the
+        fault/checkpoint counters count the full retry sequence (the
+        executor abandons such runs early instead); ``P`` and the
+        paper's timely ``E`` are unaffected.  Default off so
+        published-table comparisons stay executor-exact.
     """
     spec = (
         table_id_or_spec
@@ -199,6 +226,7 @@ def run_table(
             reps=reps,
             source=source,
             faults_during_overhead=faults_during_overhead,
+            fast_static=fast_static,
         )
         for (u, lam) in spec.rows
         for column in range(len(spec.schemes))

@@ -2,6 +2,7 @@
 accounting, tracing, metrics and the Monte-Carlo harness."""
 
 from repro.sim import (
+    backends,
     energy,
     engine,
     executor,
@@ -17,6 +18,7 @@ from repro.sim import (
 )
 
 __all__ = [
+    "backends",
     "energy",
     "engine",
     "executor",

@@ -1,0 +1,322 @@
+"""Execution backends: where Monte-Carlo rep blocks actually run.
+
+The statistics layer (:mod:`repro.sim.metrics`) makes a cell's estimate
+a fold of O(1) per-block accumulators, merged in block order.  This
+module is the other half of that seam: an :class:`ExecutionBackend` is
+anything that can evaluate a batch of :class:`BlockTask`\\ s — one
+fixed-size rep block of one cell each — and return their accumulators.
+:class:`~repro.sim.parallel.BatchRunner` plans the blocks, hands them
+to a backend, and merges the results; it never cares *where* a block
+ran.
+
+Three backends ship today:
+
+* :class:`SerialBackend` — in-process loop; the reference semantics and
+  the fallback everywhere.
+* :class:`ProcessBackend` — a lazily created, reused
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Jobs whose payload
+  cannot be pickled run in-process; a broken pool is discarded and its
+  blocks recomputed locally, so the backend never fails where the
+  serial path would have succeeded.
+* :class:`DistributedBackend` — the stub surface a remote executor
+  plugs into.  The contract it must honour is exactly the one the
+  process pool honours (see its docstring); nothing upstream changes.
+
+Determinism does not depend on the backend: block tasks are keyed by
+absolute block index, every job re-derives its random streams from that
+key, and the caller merges results in block order whatever order they
+completed in.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.errors import ParameterError
+from repro.sim.energy import EnergyModel
+from repro.sim.executor import SimulationLimits
+from repro.sim.faults import FaultProcess
+from repro.sim.montecarlo import CellAccumulator, PolicyFactory, run_range
+from repro.sim.task import TaskSpec
+
+__all__ = [
+    "CellJob",
+    "BlockTask",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "DistributedBackend",
+    "execute_block",
+    "plan_blocks",
+    "default_workers",
+]
+
+
+def default_workers() -> int:
+    """The machine's CPU count (the natural ``workers`` choice)."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CellJob:
+    """One event-executor Monte-Carlo cell, described enough to ship.
+
+    Everything a worker process needs to run a block of the cell: the
+    payload must be picklable (dataclass specs and ``functools.partial``
+    of module-level policies are; closures are not — those fall back to
+    in-process execution).
+    """
+
+    task: TaskSpec
+    policy_factory: PolicyFactory
+    reps: int
+    seed: int = 0
+    faults: Optional[FaultProcess] = None
+    energy_model: Optional[EnergyModel] = None
+    faults_during_overhead: bool = False
+    limits: SimulationLimits = field(default_factory=SimulationLimits)
+
+    def __post_init__(self) -> None:
+        if self.reps <= 0:
+            raise ParameterError(f"reps must be > 0, got {self.reps}")
+
+    def run_block(self, block: int, start: int, stop: int) -> CellAccumulator:
+        """Run reps ``[start, stop)`` of this cell into an accumulator.
+
+        Rep ``i`` draws from ``SeedSequence(seed, spawn_key=(i,))``
+        whatever the block bounds, so ``block`` is unused here — the
+        executor path is deterministic *per rep*, stronger than the
+        per-block contract the static fast path provides.
+        """
+        results = run_range(
+            self.task,
+            self.policy_factory,
+            start=start,
+            stop=stop,
+            seed=self.seed,
+            faults=self.faults,
+            energy_model=self.energy_model,
+            faults_during_overhead=self.faults_during_overhead,
+            limits=self.limits,
+        )
+        return CellAccumulator().add_all(results)
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """One fixed-size rep block of one job in a batch.
+
+    ``block`` is the absolute block index within the job (``start ==
+    block · block_size``); the merge at the coordinator happens in
+    ``(job_index, block)`` order regardless of completion order.
+    """
+
+    job: object  # CellJob or repro.sim.fastpath.StaticCellJob
+    job_index: int
+    block: int
+    start: int
+    stop: int
+
+
+def execute_block(task: BlockTask) -> CellAccumulator:
+    """Worker entry point (module-level so it pickles by reference)."""
+    return task.job.run_block(task.block, task.start, task.stop)
+
+
+def plan_blocks(jobs: Sequence[object], block_size: int) -> List[BlockTask]:
+    """Every job's rep range cut into fixed-size blocks, in order."""
+    if block_size < 1:
+        raise ParameterError(f"block_size must be >= 1, got {block_size}")
+    return [
+        BlockTask(
+            job=job,
+            job_index=index,
+            block=block,
+            start=start,
+            stop=min(start + block_size, job.reps),
+        )
+        for index, job in enumerate(jobs)
+        for block, start in enumerate(range(0, job.reps, block_size))
+    ]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can evaluate a batch of block tasks.
+
+    Implementations must return one :class:`~repro.sim.montecarlo.
+    CellAccumulator` per task, aligned with the input order (completion
+    order is the backend's business; result order is not).  They must
+    not perturb the tasks' random streams — all seeding is derived from
+    the task payload itself.
+    """
+
+    name: str
+
+    def run_tasks(
+        self, tasks: Sequence[BlockTask]
+    ) -> List[CellAccumulator]:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class SerialBackend:
+    """In-process block execution — the reference backend."""
+
+    name = "serial"
+
+    def run_tasks(self, tasks: Sequence[BlockTask]) -> List[CellAccumulator]:
+        return [execute_block(task) for task in tasks]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ProcessBackend:
+    """Block execution over a lazily created, reused process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``None`` means :func:`default_workers`.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; pool recreates lazily)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._pool = None
+
+    def run_tasks(self, tasks: Sequence[BlockTask]) -> List[CellAccumulator]:
+        results: List[Optional[CellAccumulator]] = [None] * len(tasks)
+        shippable: Dict[int, bool] = {}
+        pooled: List[int] = []
+        local: List[int] = []
+        for index, task in enumerate(tasks):
+            ok = shippable.get(task.job_index)
+            if ok is None:
+                ok = _picklable(task.job)
+                shippable[task.job_index] = ok
+            (pooled if ok else local).append(index)
+        futures: List[Tuple[int, Future]] = []
+        try:
+            for index in pooled:
+                futures.append(
+                    (index, self._ensure_pool().submit(execute_block, tasks[index]))
+                )
+        except BrokenExecutor:
+            # The pool died while we were still handing it work (e.g. a
+            # worker OOM-killed between batches); the unsubmitted tail
+            # runs in-process below.
+            self.close()
+        # Unshippable blocks run in-process *while* the pool works on
+        # the submitted ones, so a mixed grid overlaps both phases.
+        for index in local:
+            results[index] = execute_block(tasks[index])
+        for index, future in futures:
+            try:
+                results[index] = future.result()
+            except BrokenExecutor:
+                # A dead worker poisons the whole executor; discard it
+                # (the next batch gets a fresh one) and recompute this
+                # block in-process — the work is deterministic, so the
+                # backend must not fail where the serial path would
+                # have succeeded.
+                self.close()
+                results[index] = execute_block(tasks[index])
+        for index in pooled[len(futures):]:
+            results[index] = execute_block(tasks[index])
+        return results  # type: ignore[return-value] - every slot filled
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The lazily-created, reused worker pool.
+
+        Reuse amortises worker startup across batches (``validate``
+        runs one batch per table); a ``weakref.finalize`` shuts the
+        pool down when the backend is garbage-collected, so callers who
+        never bother with :meth:`close` leak nothing.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._finalizer = weakref.finalize(
+                self, ProcessPoolExecutor.shutdown, self._pool, wait=True
+            )
+        return self._pool
+
+
+class DistributedBackend:
+    """The seam a future off-host executor plugs into (stub).
+
+    A real implementation ships each :class:`BlockTask` to a remote
+    worker and collects its :class:`~repro.sim.montecarlo.
+    CellAccumulator`.  The contract it must honour — and everything it
+    may rely on — is:
+
+    * **Payload.**  Tasks pickle: jobs are frozen dataclasses of specs
+      and ``functools.partial`` factories over module-level classes.
+    * **Results.**  One accumulator per task, aligned with input order;
+      each is O(1) in ``stop - start`` (streaming moments and integer
+      counters — never raw observations), so result transport is
+      constant-size per block.
+    * **Determinism.**  All randomness is re-derived from the task
+      payload (cell seed + absolute rep/block index).  A retried,
+      re-routed or duplicated block computes the identical accumulator,
+      so at-least-once delivery plus idempotent collection is enough.
+    * **Merging** happens at the coordinator, in block order — workers
+      never need to see each other.
+
+    Until such a transport exists, instantiating the stub is allowed
+    (so wiring can be tested) but running tasks is not.
+    """
+
+    name = "distributed"
+
+    def __init__(self, url: Optional[str] = None) -> None:
+        self.url = url
+
+    def run_tasks(self, tasks: Sequence[BlockTask]) -> List[CellAccumulator]:
+        raise NotImplementedError(
+            "DistributedBackend is a stub: implement run_tasks() against a "
+            "transport that ships pickled BlockTasks and returns their "
+            "CellAccumulators in input order (see the class docstring for "
+            "the full contract)."
+        )
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+def _picklable(job: object) -> bool:
+    """Whether ``job`` can be shipped to a worker process."""
+    try:
+        pickle.dumps(job)
+        return True
+    except Exception:
+        return False

@@ -15,14 +15,35 @@ Semantics reproduced exactly (and asserted against the executor in
   overhead are ignored (the executor's default convention);
 * a failed attempt costs the full attempt plus ``t_r``;
 * ``timely`` means total time ≤ deadline; energy uses the paper model
-  (``n_proc · V(f)² ·`` cycles).
+  (``n_proc · V(f)² ·`` cycles);
+* ``mean_checkpoints`` and ``mean_detected_faults`` are derived
+  *exactly* from the sampled failure counts: every retry is one
+  detected fault and one extra closing-CSCP, so a run's checkpoint
+  count is ``n_intervals + failures`` and its detected-fault count is
+  ``failures`` — the same bookkeeping the executor keeps per event.
 
 One deliberate divergence: the event executor abandons a doomed run as
 soon as its remaining work cannot fit the remaining deadline, so its
-``energy_all`` truncates failed runs early; the fast path simulates
-failed runs to completion (capped at the horizon).  ``P`` and the
-paper's timely-conditional ``E`` are unaffected — timely runs never hit
-either mechanism — and those are what the fast path is for.
+``energy_all`` (and its per-run counters on those runs) truncate early;
+the fast path simulates failed runs to completion — time and energy
+capped at the horizon, the failure/checkpoint counters counting the
+full sampled retry sequence.  ``P`` and the paper's timely-conditional
+``E`` are unaffected — timely runs never hit either mechanism — and
+those are what the fast path is for.
+
+Sharding
+--------
+:func:`simulate_static_cell` seeded with an integer uses a
+*chunk-stable* sampler: the reps of block ``b`` (blocks are
+``block_size`` reps, default :data:`~repro.sim.parallel.
+DEFAULT_BLOCK_SIZE`) draw from ``SeedSequence(seed, spawn_key=(b,))``
+and each block folds into an O(1) :class:`~repro.sim.montecarlo.
+CellAccumulator`.  Because draws are keyed by the absolute block index
+and blocks merge in block order, a static cell run through
+``BatchRunner(workers=8)`` is bit-identical to the serial pass — static
+cells shard across processes exactly like adaptive ones.  (Passing a
+NumPy ``Generator`` via ``rng=`` instead keeps the pre-sharding
+single-stream behaviour; that path cannot be distributed.)
 
 Speedup is one to two orders of magnitude at paper-scale reps, which is
 what makes 10,000-rep static cells interactive.
@@ -39,11 +60,21 @@ import numpy as np
 from repro.core.intervals import k_fault_interval, poisson_interval
 from repro.errors import ParameterError
 from repro.sim.energy import EnergyModel
-from repro.sim.metrics import MeanEstimate, ProportionEstimate
-from repro.sim.montecarlo import CellEstimate
+from repro.sim.metrics import ProportionAccumulator
+from repro.sim.montecarlo import CellAccumulator, CellEstimate
+from repro.sim.rng import RandomSource
 from repro.sim.task import TaskSpec
 
-__all__ = ["StaticCellSpec", "simulate_static_cell", "static_cell_for_scheme"]
+__all__ = [
+    "STATIC_SCHEMES",
+    "StaticCellSpec",
+    "StaticCellJob",
+    "simulate_static_cell",
+    "static_cell_for_scheme",
+]
+
+#: The scheme columns the fast path can stand in for.
+STATIC_SCHEMES = ("Poisson", "k-f-t")
 
 
 @dataclass(frozen=True)
@@ -69,45 +100,154 @@ def static_cell_for_scheme(
     """Build the cell spec for ``'Poisson'`` or ``'k-f-t'``."""
     cost = task.costs.checkpoint_cycles / frequency
     work = task.cycles / frequency
+    if scheme not in STATIC_SCHEMES:
+        raise ParameterError(
+            f"fast path only covers static schemes {STATIC_SCHEMES}, "
+            f"got {scheme!r}"
+        )
     if scheme == "Poisson":
         interval = (
             work
             if task.fault_rate <= 0
             else min(poisson_interval(cost, task.fault_rate), work)
         )
-    elif scheme == "k-f-t":
+    else:  # "k-f-t"
         interval = (
             work
             if task.fault_budget <= 0
             else min(k_fault_interval(work, task.fault_budget, cost), work)
         )
-    else:
-        raise ParameterError(
-            f"fast path only covers static schemes, got {scheme!r}"
-        )
     return StaticCellSpec(task=task, interval_time=interval, frequency=frequency)
+
+
+@dataclass(frozen=True)
+class StaticCellJob:
+    """One static-scheme cell, shippable through any execution backend.
+
+    The counterpart of :class:`~repro.sim.backends.CellJob` for the
+    vectorised fast path: a frozen, picklable payload from which any
+    worker can re-derive the draws of any block.
+    """
+
+    spec: StaticCellSpec
+    reps: int
+    seed: int = 0
+    energy_model: Optional[EnergyModel] = None
+    max_attempt_factor: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.reps <= 0:
+            raise ParameterError(f"reps must be > 0, got {self.reps}")
+        if self.max_attempt_factor <= 0:
+            raise ParameterError(
+                f"max_attempt_factor must be > 0, got {self.max_attempt_factor}"
+            )
+
+    def run_block(self, block: int, start: int, stop: int) -> CellAccumulator:
+        """Sample reps ``[start, stop)`` — the ``block``-th rep block.
+
+        Draws come from ``SeedSequence(seed, spawn_key=(block,))`` (via
+        :meth:`repro.sim.rng.RandomSource.block_stream`): keyed by the
+        absolute block index, never by worker or completion order, so
+        any topology that computes whole blocks reproduces the same
+        realisations.
+        """
+        rng = RandomSource(self.seed).block_stream(block)
+        return _sample_static(
+            self.spec,
+            stop - start,
+            rng,
+            energy_model=self.energy_model,
+            max_attempt_factor=self.max_attempt_factor,
+        )
 
 
 def simulate_static_cell(
     spec: StaticCellSpec,
     *,
     reps: int,
-    rng: np.random.Generator,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
     energy_model: Optional[EnergyModel] = None,
     max_attempt_factor: float = 64.0,
+    block_size: Optional[int] = None,
+    runner=None,
 ) -> CellEstimate:
     """Vectorised Monte-Carlo estimate of one static cell.
 
-    ``rng`` is consumed directly (one generator for the whole cell);
-    results are reproducible for a fixed generator state but — unlike
-    the event executor — are not stream-per-run stable.
-
-    ``max_attempt_factor`` bounds total time per run at
-    ``factor × deadline``: runs beyond it are counted as failed without
-    simulating further retries (mirrors the executor's horizon).
+    Parameters
+    ----------
+    seed:
+        Root seed of the chunk-stable sampler (see module docstring).
+        This is the shardable path: pass ``runner`` (a
+        :class:`~repro.sim.parallel.BatchRunner`) to spread the blocks
+        over worker processes — the estimate is bit-identical to the
+        serial pass for the same seed and block size.
+    rng:
+        Legacy single-stream path: one generator consumed for the whole
+        cell.  Reproducible for a fixed generator state, but not
+        shardable — mutually exclusive with ``seed``/``runner``/
+        ``block_size``.
+    block_size:
+        Reps per block for the seeded path (default
+        :data:`~repro.sim.parallel.DEFAULT_BLOCK_SIZE`).  Give it to
+        the ``runner`` instead when one is passed.
+    max_attempt_factor:
+        Bounds total time per run at ``factor × deadline``: runs beyond
+        it are counted as failed without simulating further retries
+        (mirrors the executor's horizon).
     """
     if reps <= 0:
         raise ParameterError(f"reps must be > 0, got {reps}")
+    if rng is not None:
+        if seed is not None or runner is not None or block_size is not None:
+            raise ParameterError(
+                "rng= is the legacy single-stream path; it cannot be "
+                "combined with seed=, runner= or block_size="
+            )
+        return _sample_static(
+            spec,
+            reps,
+            rng,
+            energy_model=energy_model,
+            max_attempt_factor=max_attempt_factor,
+        ).finalize()
+    if seed is None:
+        raise ParameterError("need seed= (or a legacy rng= generator)")
+    if runner is not None and block_size is not None:
+        raise ParameterError(
+            "pass block_size to the runner (BatchRunner(chunk_size=...)), "
+            "not alongside it"
+        )
+    from repro.sim.parallel import BatchRunner
+
+    if runner is None:
+        runner = BatchRunner.serial(chunk_size=block_size)
+    return runner.run_cell(
+        StaticCellJob(
+            spec=spec,
+            reps=reps,
+            seed=seed,
+            energy_model=energy_model,
+            max_attempt_factor=max_attempt_factor,
+        )
+    )
+
+
+def _sample_static(
+    spec: StaticCellSpec,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    energy_model: Optional[EnergyModel],
+    max_attempt_factor: float,
+) -> CellAccumulator:
+    """Sample ``count`` runs from ``rng`` into an O(1) accumulator.
+
+    The shared kernel of both the per-block sampler and the legacy
+    whole-cell path; all statistics stream straight from the NumPy
+    arrays into moment accumulators — no Python lists anywhere.
+    """
     if energy_model is None:
         energy_model = EnergyModel.paper_dmr()
 
@@ -125,26 +265,32 @@ def simulate_static_cell(
         tail = 0.0
 
     horizon = max_attempt_factor * task.deadline
-    total_time = np.zeros(reps)
+    total_time = np.zeros(count)
+    failures = np.zeros(count, dtype=np.int64)
 
-    def add_intervals(length: float, count: int) -> None:
-        if count <= 0 or length <= 0:
+    def add_intervals(length: float, intervals: int) -> None:
+        if intervals <= 0 or length <= 0:
             return
         attempt = length + cost
         p_fail = -math.expm1(-rate * length) if rate > 0 else 0.0
         if p_fail <= 0.0:
-            total_time[:] += count * attempt
+            total_time[:] += intervals * attempt
             return
         # Failures before the i-th success are geometric; summed over
-        # `count` intervals they are negative binomial.
-        failures = rng.negative_binomial(count, 1.0 - p_fail, size=reps)
-        total_time[:] += count * attempt + failures * (attempt + rollback)
+        # `intervals` intervals they are negative binomial.
+        draws = rng.negative_binomial(intervals, 1.0 - p_fail, size=count)
+        total_time[:] += intervals * attempt + draws * (attempt + rollback)
+        failures[:] += draws
 
     add_intervals(spec.interval_time, n_full)
     add_intervals(tail, 1)
+    n_intervals = n_full + (1 if tail else 0)
 
-    np.minimum(total_time, horizon, out=total_time)
+    # Timeliness is judged on the uncapped time: the horizon only
+    # truncates how much of a failed run's tail is charged to
+    # time/energy, it must never promote a late run to timely.
     timely = total_time <= task.deadline + 1e-9
+    np.minimum(total_time, horizon, out=total_time)
 
     # Energy: cycles executed = f · time (execution and overhead both
     # run the processor), weighted by the model's per-cycle energy.
@@ -152,23 +298,16 @@ def simulate_static_cell(
     energies = total_time * f * per_cycle
 
     timely_count = int(timely.sum())
-    energy_timely = energies[timely]
-    checkpoints_mean = float(
-        (total_time / (spec.interval_time + cost)).mean()
-    )
+    total_failures = int(failures.sum())
 
-    return CellEstimate(
-        p_timely=ProportionEstimate.from_counts(timely_count, reps),
-        energy_timely=MeanEstimate.from_values(list(energy_timely)),
-        energy_all=MeanEstimate.from_values(list(energies)),
-        mean_finish_time_timely=(
-            float(total_time[timely].mean()) if timely_count else math.nan
-        ),
-        mean_detected_faults=float(
-            ((total_time - (work + (n_full + (1 if tail else 0)) * cost))
-             / max(spec.interval_time + cost + rollback, 1e-12)).clip(0).mean()
-        ),
-        mean_checkpoints=checkpoints_mean,
-        mean_sub_checkpoints=0.0,
-        reps=reps,
-    )
+    acc = CellAccumulator()
+    acc.timely = ProportionAccumulator(successes=timely_count, trials=count)
+    acc.energy_timely.add_many(energies[timely])
+    acc.energy_all.add_many(energies)
+    acc.finish_timely.add_many(total_time[timely])
+    # Exact event bookkeeping from the sampled failure counts: each
+    # retry is one detected fault and repeats the closing CSCP.
+    acc.detected_faults = total_failures
+    acc.checkpoints = count * n_intervals + total_failures
+    acc.sub_checkpoints = 0
+    return acc

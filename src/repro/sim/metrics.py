@@ -6,24 +6,52 @@ as evidenced by the ``NaN`` entries at ``P = 0``).  This module adds the
 uncertainty quantification a reproduction needs: Wilson score intervals
 for proportions and normal-approximation intervals for means.
 
-For sharded execution (:mod:`repro.sim.parallel`) it also provides
-*mergeable accumulators*: :class:`ProportionAccumulator` and
-:class:`MeanAccumulator` collect per-run observations chunk by chunk and
-merge across chunks, finalising into the same
-:class:`ProportionEstimate` / :class:`MeanEstimate` a single pass would
-produce.  Merging concatenates observations in chunk order, so as long
-as chunks cover the rep range in order the merged statistics are
-*bit-identical* to the single-pass ones — regardless of worker count or
-chunk size.  (A moment-based merge — count/sum/M2 à la Chan et al. —
-is the drop-in replacement once shipping raw values to a distributed
-backend becomes the bottleneck; at paper scale a cell is ~10k floats.)
+For sharded execution (:mod:`repro.sim.parallel` and the backends in
+:mod:`repro.sim.backends`) it provides *mergeable accumulators* whose
+payload is **O(1) in the number of observations**:
+
+* :class:`ProportionAccumulator` — integer success/trial counts, so
+  merging is exact by construction;
+* :class:`MomentAccumulator` — streaming moments (count, compensated
+  sum, compensated sum of squares) finalising into the same
+  :class:`MeanEstimate` a single pass would produce.
+
+Raw per-run observations are never stored or shipped anywhere — this is
+what lets a worker (or a future distributed backend) return a
+fixed-size payload for a 10,000-rep shard instead of 10,000 floats.
+
+Numerics
+--------
+:class:`MomentAccumulator` keeps its sums in *double-double* (a
+``(hi, lo)`` pair of floats carrying ~106 bits of precision, the
+compensated-summation technique of Dekker/Knuth).  Two consequences:
+
+* **Mergeability.**  Chan et al.'s parallel update for combining
+  partial moments is, in the sum-of-powers formulation, just addition
+  of the partial sums; performed in double-double the addition is
+  associative *far* below the final rounding, so merging per-block
+  accumulators in block order reproduces the single-pass statistics
+  bit-for-bit in practice (and always to ~1 ulp by construction).  The
+  hard determinism contract — identical bits for any worker count at a
+  fixed block size — needs no numerical argument at all: the same
+  additions happen in the same order (see ``README``).
+* **Cancellation.**  The textbook hazard of sum-of-squares variance
+  (``E[x²] - E[x]²`` cancels catastrophically when the mean dwarfs the
+  spread) is suppressed by ~53 extra mantissa bits: the relative error
+  of the variance is ~``2⁻¹⁰⁴·(mean/σ)²``, i.e. still at rounding level
+  for mean/σ ratios up to ~10⁸ where a naive accumulator returns noise.
+  ``tests/test_metrics.py`` pins this with large-offset value sets.
+
+An empty accumulator finalises to the paper's ``NaN`` convention (the
+timely-energy mean of a cell where no run was ever timely), never an
+error.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.errors import ParameterError
 
@@ -33,7 +61,7 @@ __all__ = [
     "ProportionEstimate",
     "MeanEstimate",
     "ProportionAccumulator",
-    "MeanAccumulator",
+    "MomentAccumulator",
 ]
 
 
@@ -63,18 +91,15 @@ def wilson_interval(
 
 
 def mean_interval(
-    values: Sequence[float], confidence: float = 0.95
+    values: Iterable[float], confidence: float = 0.95
 ) -> Tuple[float, float]:
-    """Normal-approximation confidence interval for a sample mean."""
-    n = len(values)
-    if n == 0:
-        return (math.nan, math.nan)
-    mean = sum(values) / n
-    if n == 1:
-        return (mean, mean)
-    var = sum((v - mean) ** 2 for v in values) / (n - 1)
-    half = _z_value(confidence) * math.sqrt(var / n)
-    return (mean - half, mean + half)
+    """Normal-approximation confidence interval for a sample mean.
+
+    Accepts any iterable of floats (lists, tuples, NumPy arrays); the
+    computation streams through a :class:`MomentAccumulator`.
+    """
+    estimate = MomentAccumulator(values).estimate(confidence)
+    return (estimate.low, estimate.high)
 
 
 def _z_value(confidence: float) -> float:
@@ -139,6 +164,67 @@ def _norm_ppf(p: float) -> float:
     ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
 
 
+# -- double-double helpers ---------------------------------------------------
+#
+# A double-double is an unevaluated (hi, lo) pair with |lo| ≤ ulp(hi)/2,
+# representing hi + lo to ~106 bits.  Only the handful of operations the
+# accumulator needs are implemented; all are branch-free float arithmetic.
+
+_SPLITTER = 134217729.0  # 2**27 + 1, for Dekker's exact product split
+
+
+def _two_sum(a: float, b: float) -> Tuple[float, float]:
+    """fl(a+b) and its exact rounding error (Knuth)."""
+    s = a + b
+    t = s - a
+    return s, (a - (s - t)) + (b - t)
+
+
+def _fast_two_sum(a: float, b: float) -> Tuple[float, float]:
+    """Like :func:`_two_sum` but requires |a| >= |b| (or a == 0)."""
+    s = a + b
+    return s, b - (s - a)
+
+
+def _two_prod(a: float, b: float) -> Tuple[float, float]:
+    """fl(a·b) and its exact rounding error (Dekker)."""
+    p = a * b
+    ta = _SPLITTER * a
+    a_hi = ta - (ta - a)
+    a_lo = a - a_hi
+    tb = _SPLITTER * b
+    b_hi = tb - (tb - b)
+    b_lo = b - b_hi
+    err = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, err
+
+
+def _dd_add(
+    a_hi: float, a_lo: float, b_hi: float, b_lo: float
+) -> Tuple[float, float]:
+    """Double-double addition (error ~2⁻¹⁰⁶ relative)."""
+    s, e = _two_sum(a_hi, b_hi)
+    e += a_lo + b_lo
+    return _fast_two_sum(s, e)
+
+
+def _dd_sqr(a_hi: float, a_lo: float) -> Tuple[float, float]:
+    """Square of a double-double."""
+    p, e = _two_prod(a_hi, a_hi)
+    e += 2.0 * a_hi * a_lo + a_lo * a_lo
+    return _fast_two_sum(p, e)
+
+
+def _dd_div_int(a_hi: float, a_lo: float, n: int) -> Tuple[float, float]:
+    """Double-double divided by a positive integer."""
+    fn = float(n)
+    q1 = a_hi / fn
+    p, pe = _two_prod(q1, fn)
+    r_hi, r_lo = _dd_add(a_hi, a_lo, -p, -pe)
+    q2 = (r_hi + r_lo) / fn
+    return _fast_two_sum(q1, q2)
+
+
 @dataclass(frozen=True)
 class ProportionEstimate:
     """A proportion with its Wilson interval."""
@@ -167,14 +253,14 @@ class MeanEstimate:
 
     @classmethod
     def from_values(
-        cls, values: Sequence[float], confidence: float = 0.95
+        cls, values: Iterable[float], confidence: float = 0.95
     ) -> "MeanEstimate":
-        if not values:
-            return cls(value=math.nan, low=math.nan, high=math.nan, count=0)
-        low, high = mean_interval(values, confidence)
-        return cls(
-            value=sum(values) / len(values), low=low, high=high, count=len(values)
-        )
+        """Estimate from raw observations (list, tuple or NumPy array).
+
+        Streams through a :class:`MomentAccumulator` — no copy of
+        ``values`` is made, and arrays are consumed element-wise.
+        """
+        return MomentAccumulator(values).estimate(confidence)
 
     @property
     def is_nan(self) -> bool:
@@ -223,45 +309,142 @@ class ProportionAccumulator:
         return f"ProportionAccumulator({self.successes}/{self.trials})"
 
 
-class MeanAccumulator:
-    """Mergeable sample collector finalising to a :class:`MeanEstimate`.
+class MomentAccumulator:
+    """Streaming moment statistics with an O(1), mergeable payload.
 
-    Observations are kept verbatim and merging concatenates them, so a
-    merged accumulator finalises to *exactly* the estimate a single pass
-    over the same observations in the same order would give — including
-    the paper's ``NaN`` convention when no observation was ever added
-    (e.g. the timely-energy mean of a cell where every chunk came back
-    with zero timely runs).
+    State is ``(count, Σx, Σx²)`` with both sums held in double-double
+    (see module docstring).  :meth:`merge` implements the Chan et al.
+    parallel combine in its sum-of-powers form — partial sums add,
+    counts add — which makes the merge associative to ~2⁻¹⁰⁶, far below
+    final double rounding.  Observations are never stored: a merged
+    accumulator finalises to the estimate a single pass over the same
+    observations would give, including the paper's ``NaN`` convention
+    when no observation was ever added (e.g. the timely-energy mean of
+    a cell where every block came back with zero timely runs).
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("count", "_sum_hi", "_sum_lo", "_sq_hi", "_sq_lo")
 
-    def __init__(self, values: Sequence[float] = ()) -> None:
-        self._values: list = list(values)
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self.count = 0
+        self._sum_hi = 0.0
+        self._sum_lo = 0.0
+        self._sq_hi = 0.0
+        self._sq_lo = 0.0
+        self.add_many(values)
 
-    @property
-    def count(self) -> int:
-        return len(self._values)
-
-    @property
-    def values(self) -> Tuple[float, ...]:
-        return tuple(self._values)
+    # -- accumulation --------------------------------------------------
 
     def add(self, value: float) -> None:
         """Record one observation."""
-        self._values.append(value)
+        x = float(value)
+        self.count += 1
+        self._sum_hi, self._sum_lo = _dd_add(self._sum_hi, self._sum_lo, x, 0.0)
+        p, e = _two_prod(x, x)
+        self._sq_hi, self._sq_lo = _dd_add(self._sq_hi, self._sq_lo, p, e)
 
-    def merge(self, other: "MeanAccumulator") -> "MeanAccumulator":
-        """Append another accumulator's observations (in its order)."""
-        self._values.extend(other._values)
+    def add_many(self, values: Iterable[float]) -> "MomentAccumulator":
+        """Record observations in order (hot path for NumPy arrays).
+
+        The loop is the inlined equivalent of repeated :meth:`add`,
+        kept branch-light so vectorised callers (the static fast path)
+        can feed whole per-block arrays without building lists.
+        """
+        count = 0
+        s_hi, s_lo = self._sum_hi, self._sum_lo
+        q_hi, q_lo = self._sq_hi, self._sq_lo
+        for value in values:
+            x = float(value)
+            count += 1
+            # _dd_add(s_hi, s_lo, x, 0.0), inlined (same op order, so
+            # add() and add_many() are bit-identical per element).
+            s = s_hi + x
+            t = s - s_hi
+            e = (s_hi - (s - t)) + (x - t)
+            e += s_lo + 0.0
+            s_hi = s + e
+            s_lo = e - (s_hi - s)
+            # _two_prod(x, x) then _dd_add(q_hi, q_lo, p, pe), inlined.
+            p = x * x
+            tx = _SPLITTER * x
+            xh = tx - (tx - x)
+            xl = x - xh
+            pe = ((xh * xh - p) + xh * xl + xl * xh) + xl * xl
+            q = q_hi + p
+            tq = q - q_hi
+            qe = (q_hi - (q - tq)) + (p - tq)
+            qe += q_lo + pe
+            q_hi = q + qe
+            q_lo = qe - (q_hi - q)
+        self.count += count
+        self._sum_hi, self._sum_lo = s_hi, s_lo
+        self._sq_hi, self._sq_lo = q_hi, q_lo
         return self
+
+    def merge(self, other: "MomentAccumulator") -> "MomentAccumulator":
+        """Fold another accumulator in (Chan-style parallel combine)."""
+        self.count += other.count
+        self._sum_hi, self._sum_lo = _dd_add(
+            self._sum_hi, self._sum_lo, other._sum_hi, other._sum_lo
+        )
+        self._sq_hi, self._sq_lo = _dd_add(
+            self._sq_hi, self._sq_lo, other._sq_hi, other._sq_lo
+        )
+        return self
+
+    # -- statistics ----------------------------------------------------
+
+    @property
+    def sum(self) -> float:
+        """Σx, rounded to double."""
+        return self._sum_hi + self._sum_lo
+
+    @property
+    def mean(self) -> float:
+        """The sample mean (NaN when empty)."""
+        if self.count == 0:
+            return math.nan
+        hi, lo = _dd_div_int(self._sum_hi, self._sum_lo, self.count)
+        return hi + lo
+
+    @property
+    def m2(self) -> float:
+        """Σ(x - mean)² — the centred second moment Chan's M2.
+
+        Computed as ``Σx² - (Σx)²/n`` entirely in double-double, so the
+        subtraction cancels compensated bits, not information (see
+        module docstring); clamped at 0 against residual rounding.
+        """
+        if self.count == 0:
+            return 0.0
+        s2_hi, s2_lo = _dd_sqr(self._sum_hi, self._sum_lo)
+        s2n_hi, s2n_lo = _dd_div_int(s2_hi, s2_lo, self.count)
+        m2_hi, m2_lo = _dd_add(self._sq_hi, self._sq_lo, -s2n_hi, -s2n_lo)
+        return max(0.0, m2_hi + m2_lo)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN below two observations)."""
+        if self.count < 2:
+            return math.nan
+        return self.m2 / (self.count - 1)
 
     def estimate(self, confidence: float = 0.95) -> MeanEstimate:
         """Finalise; an empty accumulator yields the NaN estimate."""
-        return MeanEstimate.from_values(self._values, confidence)
+        if self.count == 0:
+            return MeanEstimate(
+                value=math.nan, low=math.nan, high=math.nan, count=0
+            )
+        mean = self.mean
+        if self.count == 1:
+            return MeanEstimate(value=mean, low=mean, high=mean, count=1)
+        half = _z_value(confidence) * math.sqrt(self.variance / self.count)
+        return MeanEstimate(
+            value=mean, low=mean - half, high=mean + half, count=self.count
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"MeanAccumulator(n={len(self._values)})"
+        return f"MomentAccumulator(n={self.count}, mean={self.mean!r})"
 
 
 def describe(estimate: Optional[MeanEstimate]) -> str:  # pragma: no cover - helper

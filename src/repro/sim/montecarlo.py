@@ -9,15 +9,18 @@ but a user of the library will want.
 
 Rep ``i`` of a cell always draws its fault realisation from
 ``RandomSource(seed).substream(i)`` — a ``SeedSequence`` spawn keyed by
-the absolute rep index, never by worker or chunk.  That discipline is
-what lets :mod:`repro.sim.parallel` shard a cell across processes
-(``estimate(..., runner=BatchRunner(workers=8))``) and still return the
-bit-identical :class:`CellEstimate` of a serial pass.
+the absolute rep index, never by worker or block.  Aggregation is
+*blocked*: reps accumulate into fixed-size blocks of O(1) streaming
+moments (:mod:`repro.sim.metrics`), merged in block order.  That
+discipline is what lets :mod:`repro.sim.parallel` shard a cell across
+processes (``estimate(..., runner=BatchRunner(workers=8))``) — or any
+other :mod:`~repro.sim.backends` backend — and still return the
+bit-identical :class:`CellEstimate` of a one-worker pass, without ever
+shipping raw per-rep observations.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
@@ -26,8 +29,8 @@ from repro.sim.energy import EnergyModel
 from repro.sim.executor import RunResult, SimulationLimits, simulate_run
 from repro.sim.faults import FaultProcess, PoissonFaults
 from repro.sim.metrics import (
-    MeanAccumulator,
     MeanEstimate,
+    MomentAccumulator,
     ProportionAccumulator,
     ProportionEstimate,
 )
@@ -176,44 +179,39 @@ def estimate(
 
     Pass ``runner`` (a :class:`repro.sim.parallel.BatchRunner`) to shard
     the reps across worker processes; the estimate is identical to the
-    serial one for the same ``seed``.
+    serial one for the same ``seed`` and block size.  Without a runner
+    the default serial runner is used, so the no-runner path follows
+    the *same* blocked reduction as every parallel topology.
     """
-    if runner is not None:
-        from repro.sim.parallel import CellJob
+    from repro.sim.parallel import BatchRunner, CellJob
 
-        return runner.run_cell(
-            CellJob(
-                task=task,
-                policy_factory=policy_factory,
-                reps=reps,
-                seed=seed,
-                faults=faults,
-                energy_model=energy_model,
-                faults_during_overhead=faults_during_overhead,
-                limits=limits,
-            )
+    if runner is None:
+        runner = BatchRunner.serial()
+    return runner.run_cell(
+        CellJob(
+            task=task,
+            policy_factory=policy_factory,
+            reps=reps,
+            seed=seed,
+            faults=faults,
+            energy_model=energy_model,
+            faults_during_overhead=faults_during_overhead,
+            limits=limits,
         )
-    results = run_many(
-        task,
-        policy_factory,
-        reps=reps,
-        seed=seed,
-        faults=faults,
-        energy_model=energy_model,
-        faults_during_overhead=faults_during_overhead,
-        limits=limits,
     )
-    return summarize(results)
 
 
 class CellAccumulator:
     """Mergeable aggregation state behind a :class:`CellEstimate`.
 
-    One accumulator summarises a contiguous shard of a cell's reps;
-    :meth:`merge` folds the next shard in (shards must be merged in rep
-    order).  Because the float-valued observations are concatenated and
-    the integer counters summed exactly, ``finalize()`` returns the
-    bit-identical estimate of a single pass over all reps — the property
+    One accumulator summarises a contiguous block of a cell's reps;
+    :meth:`merge` folds the next block in (blocks must be merged in rep
+    order).  The payload is O(1) in the rep count: float statistics are
+    streaming moment accumulators (count / compensated sum / Σx², see
+    :class:`~repro.sim.metrics.MomentAccumulator`) and the diagnostic
+    counters are exact integers.  Merging per-block accumulators in
+    block order therefore reproduces the one-pass statistics without
+    ever shipping raw observations — the property
     ``tests/test_parallel.py`` pins down.
     """
 
@@ -229,9 +227,9 @@ class CellAccumulator:
 
     def __init__(self) -> None:
         self.timely = ProportionAccumulator()
-        self.energy_timely = MeanAccumulator()
-        self.energy_all = MeanAccumulator()
-        self.finish_timely = MeanAccumulator()
+        self.energy_timely = MomentAccumulator()
+        self.energy_all = MomentAccumulator()
+        self.finish_timely = MomentAccumulator()
         self.detected_faults = 0
         self.checkpoints = 0
         self.sub_checkpoints = 0
@@ -276,16 +274,11 @@ class CellAccumulator:
         reps = self.reps
         if reps == 0:
             raise ParameterError("cannot summarise zero results")
-        finish_times = self.finish_timely.values
         return CellEstimate(
             p_timely=self.timely.estimate(),
             energy_timely=self.energy_timely.estimate(),
             energy_all=self.energy_all.estimate(),
-            mean_finish_time_timely=(
-                sum(finish_times) / len(finish_times)
-                if finish_times
-                else math.nan
-            ),
+            mean_finish_time_timely=self.finish_timely.mean,
             mean_detected_faults=self.detected_faults / reps,
             mean_checkpoints=self.checkpoints / reps,
             mean_sub_checkpoints=self.sub_checkpoints / reps,

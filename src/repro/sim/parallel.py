@@ -1,131 +1,98 @@
-"""Parallel Monte-Carlo batch execution with deterministic seeding.
+"""Parallel Monte-Carlo batch execution with deterministic block seeding.
 
 The paper's tables are grids of *independent* cells (task × scheme ×
 fault rate), and each cell is itself ``reps`` independent runs — an
 embarrassingly parallel workload that the serial harness leaves
 wall-clock bound at paper scale (10,000-rep adaptive cells).  This
-module shards that work across a :class:`~concurrent.futures.
-ProcessPoolExecutor` without changing a single result bit.
+module cuts that work into fixed-size **rep blocks** and hands them to
+an :class:`~repro.sim.backends.ExecutionBackend` — in-process, a
+process pool, or (eventually) a distributed transport — without
+changing the estimates.
 
 Determinism contract
 --------------------
-Results are identical for any worker count and any chunk size because
-nothing about the topology ever reaches the random streams or the
-reduction:
+Results are identical for any worker count because nothing about the
+topology ever reaches the random streams or the reduction:
 
-* **Seeding** — rep ``i`` of a cell draws from
-  ``SeedSequence(cell_seed, spawn_key=(i,))`` (via
-  :meth:`repro.sim.rng.RandomSource.substream`), keyed by the *absolute
-  rep index*.  A chunk covering reps ``[start, stop)`` re-derives those
-  exact streams; which worker runs the chunk is irrelevant.
-* **Reduction** — each chunk returns a mergeable
-  :class:`~repro.sim.montecarlo.CellAccumulator`; chunks are merged in
-  rep order regardless of completion order.  Accumulators concatenate
-  float observations and sum integer counters, so the merged estimate
-  is bit-identical to a single serial pass (see ``tests/test_parallel``).
+* **Seeding** — keyed by *absolute indices*, never by worker or
+  completion order.  Executor cells draw rep ``i`` from
+  ``SeedSequence(cell_seed, spawn_key=(i,))``; static fast-path cells
+  draw block ``b`` from ``SeedSequence(cell_seed, spawn_key=(b,))``.
+* **Blocked reduction** — the unit of accumulation is the fixed-size
+  block (``chunk_size`` reps, default :data:`DEFAULT_BLOCK_SIZE`).
+  Each block streams its reps in order into O(1) moment accumulators
+  (:mod:`repro.sim.metrics`); blocks merge in ascending block index
+  regardless of completion order.  The same additions therefore happen
+  in the same order whatever the worker count, which makes the merged
+  estimate *bit-identical* to the one-worker pass — and the payload
+  shipped per block is constant-size, never O(reps) of raw values.
+
+The block size is part of the contract: it fixes the reduction tree,
+so it is recorded alongside the seed when reproducibility matters.
+(In practice the compensated accumulators agree across block sizes too
+— ``tests/test_parallel.py`` pins both properties.)
 
 Fallbacks
 ---------
 ``workers=1`` (the default) runs everything in-process through the same
-chunk/merge code path.  Jobs whose policy factory cannot be pickled
+block/merge code path.  Jobs whose policy factory cannot be pickled
 (e.g. a closure) are detected up front and run in-process too, so the
 runner never fails where the serial harness would have succeeded.
 
 The grid API (:meth:`BatchRunner.run_cells`) is what the experiment
-layer uses: all chunks of all cells are interleaved in one pool, so a
+layer uses: all blocks of all cells are interleaved in one batch, so a
 grid with one slow adaptive column still keeps every worker busy.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import weakref
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ParameterError
-from repro.sim.energy import EnergyModel
-from repro.sim.executor import SimulationLimits
-from repro.sim.faults import FaultProcess
-from repro.sim.montecarlo import (
-    CellAccumulator,
-    CellEstimate,
-    PolicyFactory,
-    run_range,
+from repro.sim.backends import (
+    CellJob,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    default_workers,
+    plan_blocks,
 )
-from repro.sim.task import TaskSpec
+from repro.sim.montecarlo import CellAccumulator, CellEstimate
 
-__all__ = ["CellJob", "BatchRunner", "default_workers"]
+__all__ = [
+    "CellJob",
+    "BatchRunner",
+    "default_workers",
+    "DEFAULT_BLOCK_SIZE",
+]
 
-
-def default_workers() -> int:
-    """The machine's CPU count (the natural ``workers`` choice)."""
-    return os.cpu_count() or 1
-
-
-@dataclass(frozen=True)
-class CellJob:
-    """One Monte-Carlo cell, described completely enough to ship.
-
-    Everything a worker process needs to run a shard of the cell:
-    the payload must be picklable (dataclass specs and
-    ``functools.partial`` of module-level policies are; closures are
-    not — those fall back to in-process execution).
-    """
-
-    task: TaskSpec
-    policy_factory: PolicyFactory
-    reps: int
-    seed: int = 0
-    faults: Optional[FaultProcess] = None
-    energy_model: Optional[EnergyModel] = None
-    faults_during_overhead: bool = False
-    limits: SimulationLimits = field(default_factory=SimulationLimits)
-
-    def __post_init__(self) -> None:
-        if self.reps <= 0:
-            raise ParameterError(f"reps must be > 0, got {self.reps}")
-
-
-def _simulate_chunk(job: CellJob, start: int, stop: int) -> CellAccumulator:
-    """Worker entry point: run reps ``[start, stop)`` of ``job``.
-
-    Module-level (not a method) so it pickles by reference under every
-    multiprocessing start method.
-    """
-    results = run_range(
-        job.task,
-        job.policy_factory,
-        start=start,
-        stop=stop,
-        seed=job.seed,
-        faults=job.faults,
-        energy_model=job.energy_model,
-        faults_during_overhead=job.faults_during_overhead,
-        limits=job.limits,
-    )
-    return CellAccumulator().add_all(results)
+#: Reps per block when no ``chunk_size`` is given.  A topology-free
+#: constant on purpose: the old heuristic (``reps / 4·workers``) let the
+#: worker count shape the reduction tree, which a moment-based merge
+#: cannot tolerate.  256 reps keeps per-block dispatch negligible while
+#: giving a 10,000-rep cell ~40 blocks to load-balance.
+DEFAULT_BLOCK_SIZE = 256
 
 
 class BatchRunner:
-    """Shards Monte-Carlo cells over a process pool and merges shards.
+    """Plans cell grids into rep blocks, runs them on a backend, merges.
 
     Parameters
     ----------
     workers:
-        Worker processes.  ``1`` (default) executes in-process — the
-        serial fallback; ``None`` means :func:`default_workers`.
+        Worker processes.  ``1`` (default) executes in-process via
+        :class:`~repro.sim.backends.SerialBackend`; ``None`` means
+        :func:`default_workers`; anything else builds a
+        :class:`~repro.sim.backends.ProcessBackend`.  Ignored when an
+        explicit ``backend`` is given.
     chunk_size:
-        Reps per shard.  ``None`` picks ``ceil(reps / (4 · workers))``
-        per cell (enough shards to load-balance, few enough to keep
-        per-shard overhead negligible), clamped to at least
-        ``min_chunk_size``.  Results never depend on this — it is a
-        scheduling knob only.
-    min_chunk_size:
-        Lower bound for the automatic chunk size (spawning a process to
-        run three reps is all overhead).
+        Reps per block — the unit of both scheduling *and* accumulation
+        (see the module docstring).  ``None`` means
+        :data:`DEFAULT_BLOCK_SIZE`.  For a fixed value, results are
+        bit-identical across worker counts and backends.
+    backend:
+        An explicit :class:`~repro.sim.backends.ExecutionBackend`
+        (e.g. a distributed implementation); overrides ``workers``.
     """
 
     def __init__(
@@ -133,37 +100,39 @@ class BatchRunner:
         workers: Optional[int] = 1,
         *,
         chunk_size: Optional[int] = None,
-        min_chunk_size: int = 25,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.block_size = int(chunk_size) if chunk_size else DEFAULT_BLOCK_SIZE
+        if backend is not None:
+            self.backend: ExecutionBackend = backend
+            self.workers = getattr(backend, "workers", 1)
+            return
         if workers is None:
             workers = default_workers()
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
-        if chunk_size is not None and chunk_size < 1:
-            raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
-        if min_chunk_size < 1:
-            raise ParameterError(
-                f"min_chunk_size must be >= 1, got {min_chunk_size}"
-            )
         self.workers = int(workers)
-        self.chunk_size = chunk_size
-        self.min_chunk_size = int(min_chunk_size)
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._finalizer: Optional[weakref.finalize] = None
+        self.backend = (
+            SerialBackend() if self.workers == 1 else ProcessBackend(self.workers)
+        )
 
     # -- public API ----------------------------------------------------
 
+    @property
+    def chunk_size(self) -> int:
+        """Alias for :attr:`block_size` (the CLI flag's name)."""
+        return self.block_size
+
     @classmethod
-    def serial(cls) -> "BatchRunner":
+    def serial(cls, *, chunk_size: Optional[int] = None) -> "BatchRunner":
         """The in-process runner — the serial fallback everywhere."""
-        return cls(workers=1)
+        return cls(workers=1, chunk_size=chunk_size)
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; pool recreates lazily)."""
-        if self._finalizer is not None:
-            self._finalizer()
-            self._finalizer = None
-        self._pool = None
+        """Release backend resources (idempotent; pools recreate lazily)."""
+        self.backend.close()
 
     def __enter__(self) -> "BatchRunner":
         return self
@@ -171,132 +140,31 @@ class BatchRunner:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def run_cell(self, job: CellJob) -> CellEstimate:
-        """Estimate one cell (sharded when the runner is parallel)."""
+    def run_cell(self, job) -> CellEstimate:
+        """Estimate one cell (sharded when the backend is parallel)."""
         return self.run_cells([job])[0]
 
-    def run_cells(self, jobs: Sequence[CellJob]) -> List[CellEstimate]:
-        """Estimate a whole grid of cells, interleaving their shards.
+    def run_cells(self, jobs: Sequence) -> List[CellEstimate]:
+        """Estimate a whole grid of cells, interleaving their blocks.
 
-        Returns estimates in job order.  Cells are independent; shards
-        of *all* cells share one pool so stragglers in one cell overlap
-        work from the others.
+        ``jobs`` may mix :class:`~repro.sim.backends.CellJob` (event
+        executor) and :class:`~repro.sim.fastpath.StaticCellJob`
+        (vectorised fast path) — both kinds flow through the same
+        backend and the same blocked reduction.  Returns estimates in
+        job order.
         """
         jobs = list(jobs)
         if not jobs:
             return []
-        chunks = self._plan_chunks(jobs)
-        if self.workers == 1:
-            merged = self._run_serial(jobs, chunks)
-        else:
-            merged = self._run_pooled(jobs, chunks)
+        tasks = plan_blocks(jobs, self.block_size)
+        results = self.backend.run_tasks(tasks)
+        merged: Dict[int, CellAccumulator] = {}
+        # plan_blocks emits (job, block) in ascending order, so folding
+        # in task order is folding in block order — the merge is
+        # topology-independent whatever order the backend finished in.
+        for task, shard in zip(tasks, results):
+            if task.job_index in merged:
+                merged[task.job_index].merge(shard)
+            else:
+                merged[task.job_index] = shard
         return [merged[index].finalize() for index in range(len(jobs))]
-
-    # -- internals -----------------------------------------------------
-
-    def _chunk_bounds(self, reps: int) -> List[Tuple[int, int]]:
-        """Split ``[0, reps)`` into contiguous shards."""
-        size = self.chunk_size
-        if size is None:
-            size = max(self.min_chunk_size, -(-reps // (4 * self.workers)))
-        return [(lo, min(lo + size, reps)) for lo in range(0, reps, size)]
-
-    def _plan_chunks(self, jobs: Sequence[CellJob]) -> List[Tuple[int, int, int]]:
-        """(job index, start, stop) for every shard of every job."""
-        return [
-            (index, start, stop)
-            for index, job in enumerate(jobs)
-            for start, stop in self._chunk_bounds(job.reps)
-        ]
-
-    def _run_serial(
-        self,
-        jobs: Sequence[CellJob],
-        chunks: Sequence[Tuple[int, int, int]],
-    ) -> Dict[int, CellAccumulator]:
-        merged: Dict[int, CellAccumulator] = {}
-        for index, start, stop in chunks:
-            shard = _simulate_chunk(jobs[index], start, stop)
-            self._fold(merged, index, shard)
-        return merged
-
-    def _run_pooled(
-        self,
-        jobs: Sequence[CellJob],
-        chunks: Sequence[Tuple[int, int, int]],
-    ) -> Dict[int, CellAccumulator]:
-        shippable = {index for index, job in enumerate(jobs) if _picklable(job)}
-        merged: Dict[int, CellAccumulator] = {}
-        pooled = [c for c in chunks if c[0] in shippable]
-        local = [c for c in chunks if c[0] not in shippable]
-        futures: List[Tuple[Tuple[int, int, int], Future]] = []
-        try:
-            for chunk in pooled:
-                futures.append(
-                    (chunk, self._ensure_pool().submit(
-                        _simulate_chunk, jobs[chunk[0]], chunk[1], chunk[2]))
-                )
-        except BrokenExecutor:
-            # The pool died while we were still handing it work (e.g. a
-            # worker OOM-killed between batches); the unsubmitted tail
-            # of `pooled` runs in-process below.
-            self.close()
-        unsubmitted = pooled[len(futures):]
-        # Unshippable jobs run in-process while the pool works (a job
-        # is either fully pooled or fully local, so each job's chunks
-        # still merge in rep order).
-        for index, start, stop in local:
-            self._fold(merged, index, _simulate_chunk(jobs[index], start, stop))
-        # Collect in submission (= rep) order, not completion order —
-        # the merge must be topology-independent.
-        for (index, start, stop), future in futures:
-            try:
-                shard = future.result()
-            except BrokenExecutor:
-                # A dead worker poisons the whole executor; discard it
-                # (the next batch gets a fresh one) and recompute this
-                # chunk in-process — the work is deterministic, so the
-                # runner must not fail where the serial harness would
-                # have succeeded.
-                self.close()
-                shard = _simulate_chunk(jobs[index], start, stop)
-            self._fold(merged, index, shard)
-        # `pooled` order is (job, rep) order, and the submitted prefix
-        # was folded first, so finishing its suffix keeps every job's
-        # chunks in rep order.
-        for index, start, stop in unsubmitted:
-            self._fold(merged, index, _simulate_chunk(jobs[index], start, stop))
-        return merged
-
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        """The lazily-created, reused worker pool.
-
-        Reuse amortises worker startup across batches (``validate``
-        runs one batch per table); a ``weakref.finalize`` shuts the
-        pool down when the runner is garbage-collected, so callers who
-        never bother with :meth:`close` leak nothing.
-        """
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            self._finalizer = weakref.finalize(
-                self, ProcessPoolExecutor.shutdown, self._pool, wait=True
-            )
-        return self._pool
-
-    @staticmethod
-    def _fold(
-        merged: Dict[int, CellAccumulator], index: int, shard: CellAccumulator
-    ) -> None:
-        if index in merged:
-            merged[index].merge(shard)
-        else:
-            merged[index] = shard
-
-
-def _picklable(job: CellJob) -> bool:
-    """Whether ``job`` can be shipped to a worker process."""
-    try:
-        pickle.dumps(job)
-        return True
-    except Exception:
-        return False

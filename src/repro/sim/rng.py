@@ -38,6 +38,18 @@ class RandomSource:
         child = np.random.SeedSequence(self._seed, spawn_key=(index,))
         return np.random.default_rng(child)
 
+    def block_stream(self, block: int) -> np.random.Generator:
+        """The draw stream of the ``block``-th fixed-size rep block.
+
+        The chunk-stable contract of the vectorised static fast path
+        (:mod:`repro.sim.fastpath`): block ``b`` of a cell always draws
+        from ``SeedSequence(cell_seed, spawn_key=(b,))`` — the spawn
+        tree of :meth:`substream`, re-keyed from per-rep to per-block —
+        so which worker samples the block, and in what order blocks
+        complete, cannot change the realisations.
+        """
+        return self.substream(block)
+
     def substreams(self, count: int) -> Iterator[np.random.Generator]:
         """Iterate the first ``count`` substreams."""
         for index in range(count):

@@ -118,6 +118,73 @@ class TestWorkersFlag:
         assert "adaptive" in capsys.readouterr().out
 
 
+class TestChunkSizeFlag:
+    def test_defaults_to_none(self):
+        args = build_parser().parse_args(["table", "1a"])
+        assert args.chunk_size is None
+
+    def test_parses_block_size(self):
+        args = build_parser().parse_args(
+            ["table", "1a", "--chunk-size", "128"]
+        )
+        assert args.chunk_size == 128
+        runner = _make_runner(args)
+        assert isinstance(runner, BatchRunner)
+        assert runner.block_size == 128
+        assert runner.workers == 1  # block size alone keeps serial
+
+    def test_combines_with_workers(self):
+        args = build_parser().parse_args(
+            ["validate", "--workers", "3", "--chunk-size", "50"]
+        )
+        runner = _make_runner(args)
+        assert runner.workers == 3
+        assert runner.block_size == 50
+
+    @pytest.mark.parametrize("bad", ["0", "-4", "two"])
+    def test_rejects_invalid_values(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "1a", "--chunk-size", bad])
+
+    def test_accepted_on_validate_and_sweep(self):
+        assert build_parser().parse_args(
+            ["validate", "--chunk-size", "99"]
+        ).chunk_size == 99
+        assert build_parser().parse_args(
+            ["sweep", "fixed-m", "--chunk-size", "99"]
+        ).chunk_size == 99
+
+    def test_output_byte_identical_across_workers_for_fixed_block(
+        self, capsys
+    ):
+        base = ["table", "2b", "--reps", "20", "--seed", "3",
+                "--chunk-size", "7"]
+        assert main(base + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+
+class TestFastStaticFlag:
+    def test_table_runs_with_fast_static(self, capsys):
+        assert main(
+            ["table", "1a", "--reps", "30", "--seed", "1", "--fast-static"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Poisson" in out and "A_D_S" in out
+
+    def test_fast_static_json_shape_unchanged(self, capsys):
+        assert main(
+            ["table", "2b", "--reps", "25", "--seed", "1", "--json",
+             "--fast-static"]
+        ) == 0
+        import json as json_mod
+
+        payload = json_mod.loads(capsys.readouterr().out)
+        first = payload["rows"][0]["cells"]["Poisson"]
+        assert set(first) == {"p", "e", "paper_p", "paper_e"}
+
+
 class TestSweepCommand:
     def test_cost_ratio(self, capsys):
         assert main(["sweep", "cost-ratio"]) == 0

@@ -1,10 +1,14 @@
 """The vectorised static fast path against the event executor.
 
 The two implementations share no code in the hot path, so agreement is
-strong evidence both are right.
+strong evidence both are right.  Also under test here: the seeded
+chunk-stable sampler (block-keyed draws ⇒ static cells shard across
+processes bit-identically) and the exact per-run counter bookkeeping
+derived from the sampled failure counts.
 """
 
 import math
+from functools import partial
 
 import pytest
 
@@ -12,11 +16,13 @@ from repro.core.checkpoints import CostModel
 from repro.core.schemes import KFaultTolerantPolicy, PoissonArrivalPolicy
 from repro.errors import ParameterError
 from repro.sim.fastpath import (
+    StaticCellJob,
     StaticCellSpec,
     simulate_static_cell,
     static_cell_for_scheme,
 )
 from repro.sim.montecarlo import estimate
+from repro.sim.parallel import BatchRunner
 from repro.sim.rng import RandomSource
 from repro.sim.task import TaskSpec
 
@@ -132,6 +138,148 @@ class TestAgreementWithExecutor:
         spec = static_cell_for_scheme(make_task(), "Poisson", 1.0)
         with pytest.raises(ParameterError):
             simulate_static_cell(spec, reps=0, rng=RandomSource(0).generator())
+
+
+class TestSeededSharding:
+    """Block-keyed draws: static cells shard without changing a bit."""
+
+    def spec(self, **overrides):
+        return static_cell_for_scheme(
+            make_task(fault_rate=1.4e-3, **overrides), "Poisson", 1.0
+        )
+
+    def test_workers_1_vs_4_identical(self):
+        spec = self.spec()
+        serial = simulate_static_cell(spec, reps=2000, seed=11)
+        pooled = simulate_static_cell(
+            spec, reps=2000, seed=11, runner=BatchRunner(workers=4)
+        )
+        assert serial.same_values(pooled)
+
+    def test_every_block_size_invariant_across_workers(self):
+        spec = self.spec()
+        for block in (2000, 300, 97, 1):
+            estimates = [
+                simulate_static_cell(
+                    spec,
+                    reps=2000,
+                    seed=5,
+                    runner=BatchRunner(workers=w, chunk_size=block),
+                )
+                for w in (1, 4)
+            ]
+            assert estimates[0].same_values(estimates[1])
+
+    def test_block_size_changes_draws_not_statistics(self):
+        # Unlike the executor path, the static sampler draws *per
+        # block*, so different block sizes are different (equally
+        # valid) realisations — close statistically, not bitwise.
+        spec = self.spec(cycles=7600.0, fault_budget=5)
+        a = simulate_static_cell(spec, reps=4000, seed=3, block_size=256)
+        b = simulate_static_cell(spec, reps=4000, seed=3, block_size=500)
+        assert a.p == pytest.approx(b.p, abs=0.05)
+        assert a.e == pytest.approx(b.e, rel=0.02)
+
+    def test_seed_reproducible_and_distinct(self):
+        spec = self.spec()
+        again = simulate_static_cell(spec, reps=500, seed=21)
+        assert simulate_static_cell(spec, reps=500, seed=21).same_values(again)
+        assert not simulate_static_cell(spec, reps=500, seed=22).same_values(
+            again
+        )
+
+    def test_mixed_static_and_adaptive_grid(self):
+        # One batch, both job kinds, any backend: the unified seam.
+        from repro.core.schemes import AdaptiveSCPPolicy
+        from repro.sim.parallel import CellJob
+
+        task = make_task(fault_rate=1.4e-3, fault_budget=5)
+        jobs = [
+            StaticCellJob(spec=self.spec(fault_budget=5), reps=400, seed=2),
+            CellJob(
+                task=task, policy_factory=AdaptiveSCPPolicy, reps=60, seed=2
+            ),
+        ]
+        serial = BatchRunner.serial().run_cells(jobs)
+        pooled = BatchRunner(workers=2).run_cells(jobs)
+        assert all(s.same_values(p) for s, p in zip(serial, pooled))
+
+    def test_legacy_rng_is_exclusive(self):
+        spec = self.spec()
+        generator = RandomSource(0).generator()
+        with pytest.raises(ParameterError):
+            simulate_static_cell(spec, reps=10, rng=generator, seed=1)
+        with pytest.raises(ParameterError):
+            simulate_static_cell(
+                spec, reps=10, rng=generator, runner=BatchRunner.serial()
+            )
+        with pytest.raises(ParameterError):
+            simulate_static_cell(spec, reps=10)  # neither rng nor seed
+
+    def test_block_size_goes_to_the_runner_not_both(self):
+        spec = self.spec()
+        with pytest.raises(ParameterError):
+            simulate_static_cell(
+                spec,
+                reps=10,
+                seed=0,
+                block_size=5,
+                runner=BatchRunner.serial(),
+            )
+
+
+class TestExactCounters:
+    """mean_checkpoints / mean_detected_faults from sampled failures."""
+
+    def test_fault_free_counts_are_exact(self):
+        task = make_task(fault_rate=0.0, cycles=1000.0)
+        spec = StaticCellSpec(task=task, interval_time=100.0)
+        fast = simulate_static_cell(spec, reps=64, seed=0)
+        # 10 intervals, no retries: exactly 10 closing CSCPs, 0 faults.
+        assert fast.mean_checkpoints == 10.0
+        assert fast.mean_detected_faults == 0.0
+
+    def test_counter_parity_with_executor(self):
+        # A cell where every run is timely, so the executor never
+        # truncates doomed runs and the two samplers estimate the same
+        # expectations: E[checkpoints] = n_intervals + E[failures],
+        # E[detected] = E[failures].
+        task = make_task(cycles=3000.0, fault_rate=5e-4, fault_budget=5)
+        slow = estimate(
+            task, partial(PoissonArrivalPolicy, 1.0), reps=1500, seed=31
+        )
+        spec = static_cell_for_scheme(task, "Poisson", 1.0)
+        fast = simulate_static_cell(spec, reps=15_000, seed=32)
+        assert slow.p == 1.0 == fast.p
+        assert fast.mean_detected_faults == pytest.approx(
+            slow.mean_detected_faults, abs=0.2
+        )
+        assert fast.mean_checkpoints == pytest.approx(
+            slow.mean_checkpoints, abs=0.2
+        )
+        # The two counters are rigidly linked, run by run.
+        assert (
+            fast.mean_checkpoints - fast.mean_detected_faults
+        ) == pytest.approx(
+            slow.mean_checkpoints - slow.mean_detected_faults, abs=1e-9
+        )
+
+    def test_retries_count_once_per_failure(self):
+        # Force a measurable fault pressure and check the identity
+        # checkpoints = n_intervals + detected exactly (both are exact
+        # integer sums divided by reps).
+        task = make_task(cycles=3000.0, fault_rate=2e-3, fault_budget=5)
+        spec = static_cell_for_scheme(task, "Poisson", 1.0)
+        fast = simulate_static_cell(spec, reps=2048, seed=9)
+        work = task.cycles / spec.frequency
+        n_full = int(work / spec.interval_time + 1e-12)
+        n_intervals = n_full + (
+            1 if work - n_full * spec.interval_time > 1e-9 else 0
+        )
+        assert fast.mean_detected_faults > 0.5
+        assert fast.mean_checkpoints == pytest.approx(
+            n_intervals + fast.mean_detected_faults, abs=1e-9
+        )
 
 
 class TestSpeed:

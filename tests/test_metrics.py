@@ -2,13 +2,14 @@
 
 import math
 
+import numpy as np
 import pytest
 from scipy.stats import norm
 
 from repro.errors import ParameterError
 from repro.sim.metrics import (
-    MeanAccumulator,
     MeanEstimate,
+    MomentAccumulator,
     ProportionAccumulator,
     ProportionEstimate,
     mean_interval,
@@ -138,35 +139,114 @@ class TestProportionAccumulator:
             ProportionAccumulator().estimate()
 
 
-class TestMeanAccumulator:
+class TestMomentAccumulator:
     def test_merge_equals_single_pass_exactly(self):
         values = [1.25, -3.5, 7.0625, 0.1, 2.2, 9.75, -0.875]
-        single = MeanAccumulator(values).estimate()
+        single = MomentAccumulator(values).estimate()
         for split in range(len(values) + 1):
-            left = MeanAccumulator(values[:split])
-            right = MeanAccumulator(values[split:])
+            left = MomentAccumulator(values[:split])
+            right = MomentAccumulator(values[split:])
             assert left.merge(right).estimate() == single
 
-    def test_merge_preserves_order(self):
-        left = MeanAccumulator([1.0, 2.0])
-        right = MeanAccumulator([3.0])
-        assert left.merge(right).values == (1.0, 2.0, 3.0)
+    def test_payload_is_constant_size(self):
+        # The whole point of the streaming refactor: state never grows
+        # with the observation count (no raw values are retained).
+        import pickle
+
+        small = MomentAccumulator(range(10))
+        large = MomentAccumulator(range(100_000))
+        # Identical up to the integer count's own encoding width.
+        assert len(pickle.dumps(large)) <= len(pickle.dumps(small)) + 8
 
     def test_empty_merge_is_nan_not_error(self):
-        # Regression: merging all-empty chunks (a cell where no run was
+        # Regression: merging all-empty blocks (a cell where no run was
         # ever timely) must finalise to the paper's NaN, not raise.
-        merged = MeanAccumulator().merge(MeanAccumulator()).merge(
-            MeanAccumulator()
+        merged = MomentAccumulator().merge(MomentAccumulator()).merge(
+            MomentAccumulator()
         )
         est = merged.estimate()
         assert est.is_nan
         assert math.isnan(est.low) and math.isnan(est.high)
         assert est.count == 0
 
+    def test_empty_blocks_amid_data_preserve_nan_convention(self):
+        # Empty blocks interleaved with data blocks are no-ops, and
+        # mean/variance stay those of the data alone.
+        acc = MomentAccumulator()
+        acc.merge(MomentAccumulator([2.0, 4.0]))
+        acc.merge(MomentAccumulator())
+        acc.merge(MomentAccumulator([6.0]))
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(4.0)
+
     def test_count_tracks_observations(self):
-        acc = MeanAccumulator()
+        acc = MomentAccumulator()
         assert acc.count == 0
         acc.add(4.5)
         acc.add(5.5)
         assert acc.count == 2
         assert acc.estimate().value == pytest.approx(5.0)
+
+    def test_add_and_add_many_are_bit_identical(self):
+        values = [0.1, 0.2, 0.3, 1e8, -1e8, 7.7]
+        one_by_one = MomentAccumulator()
+        for v in values:
+            one_by_one.add(v)
+        bulk = MomentAccumulator().add_many(np.array(values))
+        assert repr(one_by_one.estimate()) == repr(bulk.estimate())
+
+    def test_accepts_numpy_arrays_without_copies(self):
+        array = np.linspace(10.0, 20.0, 101)
+        acc = MomentAccumulator(array)
+        assert acc.count == 101
+        assert acc.mean == pytest.approx(15.0)
+        assert acc.variance == pytest.approx(float(np.var(array, ddof=1)))
+
+
+class TestMomentNumerics:
+    """Compensated-sum behaviour the value-carrying baseline got free."""
+
+    def test_large_offset_variance_survives_cancellation(self):
+        # mean/σ ≈ 3e9: a naive Σx² - (Σx)²/n in doubles returns noise
+        # (relative error ~2⁻⁵²·(mean/σ)² ≈ 2000); the compensated sums
+        # keep it at rounding level.
+        offset = 1e9
+        # Dyadic noise so offset + v is exactly representable and the
+        # reference variance is the true one.
+        noise = [0.125 * i for i in range(1, 9)]
+        acc = MomentAccumulator(offset + v for v in noise)
+        import statistics
+
+        exact = statistics.variance(noise)  # offset-free reference
+        assert acc.variance == pytest.approx(exact, rel=1e-9)
+
+    def test_large_offset_variance_after_blocked_merge(self):
+        offset = 4e8
+        values = [offset + i * 0.125 for i in range(64)]
+        whole = MomentAccumulator(values)
+        merged = MomentAccumulator()
+        for start in range(0, 64, 16):
+            merged.merge(MomentAccumulator(values[start:start + 16]))
+        import statistics
+
+        exact = statistics.variance(values)
+        assert whole.variance == pytest.approx(exact, rel=1e-9)
+        assert merged.variance == pytest.approx(exact, rel=1e-9)
+        # And the two reduction shapes agree to the bit in practice.
+        assert repr(whole.estimate()) == repr(merged.estimate())
+
+    def test_near_cancellation_sum(self):
+        # Alternating huge ± values with a tiny residual: the naive sum
+        # loses the residual entirely.
+        acc = MomentAccumulator([1e16, 1.0, -1e16, 1.0])
+        assert acc.sum == pytest.approx(2.0)
+        assert acc.mean == pytest.approx(0.5)
+
+    def test_m2_never_negative(self):
+        acc = MomentAccumulator([5.0] * 1000)
+        assert acc.m2 == 0.0
+        assert acc.variance == 0.0
+
+    def test_variance_nan_below_two(self):
+        assert math.isnan(MomentAccumulator().variance)
+        assert math.isnan(MomentAccumulator([3.0]).variance)

@@ -1,14 +1,17 @@
 """Determinism and merge semantics of the parallel batch runner.
 
-The contract under test: for a fixed seed, a cell's
+The contract under test: for a fixed seed and block size, a cell's
 :class:`CellEstimate` is *identical* — field for field, bit for bit —
-whatever the worker count and whatever the chunk size, and identical to
-the plain serial harness.  Plus the reduction layer: merged accumulators
-equal single-pass statistics exactly, including the paper's ``NaN``
-convention when every chunk comes back with zero timely runs.
+whatever the worker count, and identical to the plain serial harness.
+(In practice the compensated moment accumulators agree across block
+sizes too; that stronger property is pinned here with fixed seeds.)
+Plus the reduction layer: merged accumulators equal single-pass
+statistics with an O(1) payload, including the paper's ``NaN``
+convention when every block comes back with zero timely runs.
 """
 
 import math
+import pickle
 from functools import partial
 
 import pytest
@@ -16,9 +19,15 @@ import pytest
 from repro.core.checkpoints import CostModel
 from repro.core.schemes import AdaptiveSCPPolicy, PoissonArrivalPolicy
 from repro.errors import ParameterError
+from repro.sim.backends import plan_blocks
 from repro.sim.executor import RunResult
 from repro.sim.montecarlo import CellAccumulator, estimate, run_many, summarize
-from repro.sim.parallel import BatchRunner, CellJob, default_workers
+from repro.sim.parallel import (
+    DEFAULT_BLOCK_SIZE,
+    BatchRunner,
+    CellJob,
+    default_workers,
+)
 from repro.sim.task import TaskSpec
 
 COSTS = CostModel.scp_favourable()
@@ -67,7 +76,20 @@ class TestDeterminism:
         four = BatchRunner(workers=4).run_cell(job)
         assert one.same_values(four)
 
+    def test_block_size_invariant_across_worker_counts(self, task):
+        # The hard guarantee: for each fixed block size, every worker
+        # count performs the same accumulations in the same order.
+        job = CellJob(task=task, policy_factory=AdaptiveSCPPolicy, reps=60, seed=8)
+        for block in (60, 7, 13, 1, None):
+            estimates = [
+                BatchRunner(workers=w, chunk_size=block).run_cell(job)
+                for w in (1, 2, 4)
+            ]
+            assert all(e.same_values(estimates[0]) for e in estimates)
+
     def test_chunk_size_irrelevant(self, task):
+        # The practical (compensated-arithmetic) guarantee: different
+        # block sizes change the merge tree but not the final bits.
         job = CellJob(task=task, policy_factory=AdaptiveSCPPolicy, reps=60, seed=8)
         estimates = [
             BatchRunner(workers=w, chunk_size=c).run_cell(job)
@@ -213,11 +235,11 @@ class TestFallbacks:
         )
         with BatchRunner(workers=2) as runner:
             first = runner.run_cell(job)
-            pool = runner._pool
+            pool = runner.backend._pool
             second = runner.run_cell(job)
-            assert runner._pool is pool  # same executor, no restart
+            assert runner.backend._pool is pool  # same executor, no restart
             assert first.same_values(second)
-        assert runner._pool is None
+        assert runner.backend._pool is None
         # close() is idempotent and the pool recreates lazily after it.
         runner.close()
         assert runner.run_cell(job).same_values(first)
@@ -225,7 +247,8 @@ class TestFallbacks:
     def test_serial_constructor(self):
         runner = BatchRunner.serial()
         assert runner.workers == 1
-        assert runner._pool is None
+        assert runner.backend.name == "serial"
+        assert runner.block_size == DEFAULT_BLOCK_SIZE
 
     def test_broken_pool_recovers_in_process(self, task):
         # Kill the workers out from under the runner: the batch must
@@ -236,13 +259,14 @@ class TestFallbacks:
             reps=30, seed=4,
         )
         runner = BatchRunner(workers=2, chunk_size=10)
-        expected = BatchRunner.serial().run_cell(job)
-        pool = runner._ensure_pool()
+        expected = BatchRunner.serial(chunk_size=10).run_cell(job)
+        pool = runner.backend._ensure_pool()
         pool.submit(int, 0).result()  # spin the workers up
         for process in pool._processes.values():
             process.terminate()
         assert runner.run_cell(job).same_values(expected)
-        assert runner._pool is not pool  # fresh executor after the break
+        # fresh executor after the break
+        assert runner.backend._pool is not pool
         assert runner.run_cell(job).same_values(expected)
 
     def test_workers_none_means_cpu_count(self):
@@ -258,15 +282,31 @@ class TestValidation:
         with pytest.raises(ParameterError):
             BatchRunner(workers=1, chunk_size=0)
 
-    def test_bad_min_chunk_size(self):
-        with pytest.raises(ParameterError):
-            BatchRunner(workers=1, min_chunk_size=0)
-
     def test_bad_reps(self, task):
         with pytest.raises(ParameterError):
             CellJob(task=task, policy_factory=AdaptiveSCPPolicy, reps=0)
 
-    def test_chunk_bounds_cover_range_exactly(self):
-        runner = BatchRunner(workers=1, chunk_size=7)
-        bounds = runner._chunk_bounds(20)
-        assert bounds == [(0, 7), (7, 14), (14, 20)]
+    def test_planned_blocks_cover_range_exactly(self, task):
+        job = CellJob(task=task, policy_factory=AdaptiveSCPPolicy, reps=20, seed=0)
+        tasks = plan_blocks([job], 7)
+        assert [(t.block, t.start, t.stop) for t in tasks] == [
+            (0, 0, 7), (1, 7, 14), (2, 14, 20)
+        ]
+        assert all(t.job_index == 0 and t.job is job for t in tasks)
+
+
+class TestPayloadSize:
+    """Accumulator payloads must be O(1) in the rep count."""
+
+    def test_shard_payload_does_not_grow_with_reps(self, task):
+        factory = partial(PoissonArrivalPolicy, 1.0)
+        small = CellAccumulator().add_all(
+            run_many(task, factory, reps=20, seed=1)
+        )
+        large = CellAccumulator().add_all(
+            run_many(task, factory, reps=400, seed=1)
+        )
+        small_bytes = len(pickle.dumps(small))
+        large_bytes = len(pickle.dumps(large))
+        # 20× the reps, same payload (up to integer encoding widths).
+        assert large_bytes <= small_bytes + 32
