@@ -59,11 +59,14 @@ from repro.errors import (
     SimulationError,
 )
 from repro.sim.backends import (
+    BACKEND_NAMES,
     DistributedBackend,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    make_backend,
 )
+from repro.sim.distributed import Coordinator, LocalCluster, serve_worker
 from repro.sim.energy import EnergyAccount, EnergyModel
 from repro.sim.executor import RunResult, SimulationLimits, simulate_run
 from repro.sim.fastpath import (
@@ -166,6 +169,11 @@ __all__ = [
     "SerialBackend",
     "ProcessBackend",
     "DistributedBackend",
+    "BACKEND_NAMES",
+    "make_backend",
+    "Coordinator",
+    "LocalCluster",
+    "serve_worker",
     "StaticCellSpec",
     "StaticCellJob",
     "simulate_static_cell",

@@ -6,6 +6,15 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro validate --reps 500           # all 8 tables + shape criteria
     repro demo --scheme A_D_S           # trace one simulated run
     repro list                          # available tables
+    repro worker tcp://host:8642        # serve blocks for a coordinator
+
+Where the Monte-Carlo cells run is one validated selector
+(``--backend {serial,process,distributed}``; see
+:class:`repro.experiments.config.ExecutionSettings`): ``--workers N``
+sizes the process pool (and, alone, still implies ``--backend
+process`` for compatibility), ``--cluster-workers N`` spawns loopback
+worker subprocesses for the distributed backend.  Results are
+bit-identical across backends for a fixed ``--chunk-size``.
 """
 
 from __future__ import annotations
@@ -24,7 +33,12 @@ from repro.core.schemes import (
     PoissonArrivalPolicy,
 )
 from repro.errors import ReproError
-from repro.experiments.config import all_table_specs, table_spec
+from repro.experiments.config import (
+    ExecutionSettings,
+    all_table_specs,
+    table_spec,
+)
+from repro.sim.backends import BACKEND_NAMES
 from repro.experiments.paper_data import TABLE_IDS
 from repro.experiments.report import format_table, markdown_table, shape_checks
 from repro.experiments.tables import run_table
@@ -100,6 +114,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--table", default="1a", choices=list(TABLE_IDS))
     _add_workers_flag(p_sweep)
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve Monte-Carlo blocks for a distributed coordinator",
+    )
+    p_worker.add_argument(
+        "url",
+        help="coordinator address, e.g. tcp://192.168.1.10:8642",
+    )
+    p_worker.add_argument(
+        "--idle-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "exit after this long without hearing from the coordinator "
+            "(default 120; a live coordinator pings well inside it)"
+        ),
+    )
+    p_worker.add_argument(
+        "--max-tasks",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "drop the connection after completing N blocks (fault-"
+            "injection hook for the test suite; not for production)"
+        ),
+    )
+
     sub.add_parser("list", help="list the available tables")
     return parser
 
@@ -115,14 +158,60 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float > 0 (used by ``--idle-timeout``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a finite value > 0, got {value}")
+    return value
+
+
 def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared execution flags (table / validate / sweep)."""
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help=(
+            "where Monte-Carlo cells run (default: serial, or a process "
+            "pool when --workers > 1).  'distributed' dispatches blocks "
+            "to socket workers — spawn loopback ones with "
+            "--cluster-workers, or start them elsewhere with "
+            "'repro worker'.  Results are bit-identical across backends "
+            "for a fixed --chunk-size."
+        ),
+    )
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         help=(
-            "worker processes for Monte-Carlo cells (default 1 = serial; "
-            "0 = one per CPU).  Results are identical for any value."
+            "worker processes for the process backend (unset/1 = "
+            "serial unless --backend process is given; 0 = one per "
+            "CPU).  Results are identical for any value."
+        ),
+    )
+    parser.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --backend distributed: spawn N loopback worker "
+            "subprocesses for this run (0 = expect external workers)"
+        ),
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        metavar="TCP_URL",
+        help=(
+            "with --backend distributed: coordinator bind address "
+            "(e.g. tcp://0.0.0.0:8642) for externally started "
+            "'repro worker' processes; default loopback"
         ),
     )
     parser.add_argument(
@@ -133,28 +222,33 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
         help=(
             "reps per block — the unit of scheduling AND of the blocked "
             "statistics reduction (default 256).  For a fixed value, "
-            "results are bit-identical across any --workers; record it "
-            "with the seed when reproducibility matters."
+            "results are bit-identical across any --workers/--backend; "
+            "record it with the seed when reproducibility matters."
         ),
     )
 
 
 def _make_runner(args: argparse.Namespace) -> Optional["BatchRunner"]:
-    """A batch runner per ``--workers``/``--chunk-size``.
+    """The runner the execution flags describe (None = implicit serial).
 
-    ``None`` (serial defaults) keeps the implicit serial path, which
-    uses the same default block size — so omitting the flags and
-    passing ``--workers 1`` are byte-identical.
+    All validation lives in :class:`~repro.experiments.config.
+    ExecutionSettings` — contradictory flag combinations raise a
+    :class:`~repro.errors.ConfigurationError`, which ``main`` reports
+    as exit code 2 like every other configuration problem.
     """
-    workers = getattr(args, "workers", 1)
-    chunk_size = getattr(args, "chunk_size", None)
-    if (workers is None or workers == 1) and chunk_size is None:
-        return None
-    from repro.sim.parallel import BatchRunner
-
-    return BatchRunner(
-        workers=None if workers == 0 else workers, chunk_size=chunk_size
+    settings = ExecutionSettings(
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
+        chunk_size=getattr(args, "chunk_size", None),
+        cluster_workers=getattr(args, "cluster_workers", 0),
+        url=getattr(args, "url", None),
     )
+    return settings.make_runner()
+
+
+def _close_runner(runner: Optional["BatchRunner"]) -> None:
+    if runner is not None:
+        runner.close()
 
 
 def _demo_policy(scheme: str):
@@ -170,13 +264,17 @@ def _demo_policy(scheme: str):
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    result = run_table(
-        args.table_id,
-        reps=args.reps,
-        seed=args.seed,
-        runner=_make_runner(args),
-        fast_static=args.fast_static,
-    )
+    runner = _make_runner(args)
+    try:
+        result = run_table(
+            args.table_id,
+            reps=args.reps,
+            seed=args.seed,
+            runner=runner,
+            fast_static=args.fast_static,
+        )
+    finally:
+        _close_runner(runner)
     if args.json:
         payload = {
             "table": args.table_id,
@@ -214,15 +312,20 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     failures: List[str] = []
     runner = _make_runner(args)
-    for spec in all_table_specs():
-        result = run_table(spec, reps=args.reps, seed=args.seed, runner=runner)
-        checks = shape_checks(result)
-        bad = [c for c in checks if not c.passed]
-        status = "ok" if not bad else f"{len(bad)} FAILED"
-        print(f"table {spec.table_id}: {len(checks)} checks, {status}")
-        for check in bad:
-            print(f"  {check}")
-            failures.append(f"{spec.table_id}: {check.name}")
+    try:
+        for spec in all_table_specs():
+            result = run_table(
+                spec, reps=args.reps, seed=args.seed, runner=runner
+            )
+            checks = shape_checks(result)
+            bad = [c for c in checks if not c.passed]
+            status = "ok" if not bad else f"{len(bad)} FAILED"
+            print(f"table {spec.table_id}: {len(checks)} checks, {status}")
+            for check in bad:
+                print(f"  {check}")
+                failures.append(f"{spec.table_id}: {check.name}")
+    finally:
+        _close_runner(runner)
     if failures:
         print(f"\n{len(failures)} shape criteria failed")
         return 1
@@ -278,27 +381,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     spec = table_spec(args.table)
     runner = _make_runner(args)
-    if args.study == "operating-map":
-        points = operating_map(
-            spec,
-            u_grid=[0.55, 0.70, 0.80, 0.90],
-            lam_grid=[1e-4, 6e-4, 1.4e-3],
-            reps=args.reps,
-            seed=args.seed,
-            runner=runner,
-        )
-        print(render_operating_map(points, spec.schemes))
-    elif args.study == "fixed-m":
-        task = spec.task(*spec.rows[0])
-        results = fixed_m_study(
-            task, ms=[1, 2, 4, 8, 16], reps=args.reps, seed=args.seed,
-            runner=runner,
-        )
-        print(f"fixed m vs num_SCP at U={spec.rows[0][0]}, λ={spec.rows[0][1]}:")
-        for name in ["m=1", "m=2", "m=4", "m=8", "m=16", "adaptive"]:
-            cell = results[name]
-            print(f"  {name:>9}: P={cell.p:.4f} E={cell.e:9.0f}")
-    elif args.study == "cost-ratio":
+    try:
+        if args.study == "operating-map":
+            points = operating_map(
+                spec,
+                u_grid=[0.55, 0.70, 0.80, 0.90],
+                lam_grid=[1e-4, 6e-4, 1.4e-3],
+                reps=args.reps,
+                seed=args.seed,
+                runner=runner,
+            )
+            print(render_operating_map(points, spec.schemes))
+            return 0
+        if args.study == "fixed-m":
+            task = spec.task(*spec.rows[0])
+            results = fixed_m_study(
+                task, ms=[1, 2, 4, 8, 16], reps=args.reps, seed=args.seed,
+                runner=runner,
+            )
+            print(
+                f"fixed m vs num_SCP at U={spec.rows[0][0]}, "
+                f"λ={spec.rows[0][1]}:"
+            )
+            for name in ["m=1", "m=2", "m=4", "m=8", "m=16", "adaptive"]:
+                cell = results[name]
+                print(f"  {name:>9}: P={cell.p:.4f} E={cell.e:9.0f}")
+            return 0
+    finally:
+        _close_runner(runner)
+    if args.study == "cost-ratio":
         print("t_s/t_cp ratio vs optimal subdivision (span=200, λ=5e-4):")
         print(f"{'ratio':>8} {'m_SCP':>6} {'m_CCP':>6}")
         for ratio, m_scp, m_ccp in cost_ratio_frontier(200.0, rate=5e-4):
@@ -316,6 +427,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for pressure, scp, ccp in rows:
             print(f"{pressure:8.3f} {scp:11.1%} {ccp:11.1%}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.sim.distributed import serve_worker
+
+    kwargs = {}
+    if args.idle_timeout is not None:
+        kwargs["idle_timeout"] = args.idle_timeout
+    if args.max_tasks is not None:
+        kwargs["max_tasks"] = args.max_tasks
+    try:
+        return serve_worker(args.url, **kwargs)
+    except OSError as exc:
+        print(f"error: cannot reach coordinator {args.url}: {exc}",
+              file=sys.stderr)
+        return 1
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -338,6 +465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "demo": _cmd_demo,
         "sweep": _cmd_sweep,
+        "worker": _cmd_worker,
         "list": _cmd_list,
     }
     try:

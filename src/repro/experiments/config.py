@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import partial
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.checkpoints import CostModel
 from repro.core.schemes import (
@@ -37,10 +37,135 @@ from repro.sim.fastpath import (
 )
 from repro.sim.task import TaskSpec
 
-__all__ = ["TableSpec", "table_spec", "all_table_specs", "DEADLINE"]
+__all__ = [
+    "TableSpec",
+    "table_spec",
+    "all_table_specs",
+    "DEADLINE",
+    "ExecutionSettings",
+]
 
 #: The paper's deadline, shared by every experiment.
 DEADLINE = 10_000.0
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """The one validated *where-does-it-run* selector.
+
+    Every entry point that takes execution flags (the CLI's ``table`` /
+    ``validate`` / ``sweep`` commands, scripts building their own
+    runners) funnels them through this dataclass instead of re-deriving
+    "``--workers`` implies a process pool" by hand.  Validation happens
+    at construction; :meth:`make_runner` then builds the matching
+    :class:`~repro.sim.parallel.BatchRunner` (or ``None`` for the
+    implicit serial default, which callers treat identically).
+
+    Parameters
+    ----------
+    backend:
+        ``None`` (infer from ``workers``: unset/1 → serial, anything
+        else → process pool — the historical behaviour) or an explicit
+        name from :data:`~repro.sim.backends.BACKEND_NAMES`.
+    workers:
+        Process-pool size.  ``None`` means unspecified (serial when
+        inferred; one per CPU for an explicit ``"process"``); ``0``
+        means one per CPU; ``1`` with an explicit ``"process"`` is a
+        genuine single-process pool.
+    chunk_size:
+        Reps per block (the determinism-contract knob); ``None`` =
+        default block size.
+    cluster_workers:
+        Loopback worker subprocesses to spawn for the distributed
+        backend (``0`` = none; workers then connect externally via
+        ``repro worker``).
+    url:
+        Coordinator bind address for the distributed backend.
+    """
+
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+    cluster_workers: int = 0
+    url: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.sim.backends import BACKEND_NAMES
+
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; valid names: "
+                f"{', '.join(BACKEND_NAMES)}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0 (0 = one per CPU), got {self.workers}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.cluster_workers < 0:
+            raise ConfigurationError(
+                f"cluster_workers must be >= 0, got {self.cluster_workers}"
+            )
+        if self.backend == "serial" and self.workers not in (None, 1):
+            raise ConfigurationError(
+                "backend 'serial' runs in-process; drop --workers or use "
+                "--backend process"
+            )
+        if self.backend == "distributed" and self.workers is not None:
+            raise ConfigurationError(
+                "backend 'distributed' does not take --workers; use "
+                "--cluster-workers for loopback workers"
+            )
+        if self.backend != "distributed":
+            if self.cluster_workers:
+                raise ConfigurationError(
+                    "--cluster-workers requires --backend distributed"
+                )
+            if self.url is not None:
+                raise ConfigurationError(
+                    "a coordinator URL requires --backend distributed"
+                )
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend name after inference (never ``None``)."""
+        if self.backend is not None:
+            return self.backend
+        return "serial" if self.workers in (None, 1) else "process"
+
+    def make_runner(self):
+        """The :class:`~repro.sim.parallel.BatchRunner` these settings
+        describe, or ``None`` for the implicit serial default (byte-
+        identical to passing no runner at all)."""
+        from repro.sim.parallel import BatchRunner
+
+        resolved = self.resolved_backend
+        if resolved == "serial":
+            if self.chunk_size is None:
+                return None
+            return BatchRunner.serial(chunk_size=self.chunk_size)
+        if resolved == "process":
+            # An explicitly requested process pool honours workers
+            # verbatim (unset/0 → one per CPU, 1 → a 1-process pool);
+            # the inferred path keeps the historical mapping where
+            # workers > 1 sized the pool and 0 meant one per CPU.
+            pool = None if self.workers in (None, 0) else self.workers
+            if self.backend == "process":
+                return BatchRunner(
+                    backend="process",
+                    workers=pool,
+                    chunk_size=self.chunk_size,
+                )
+            return BatchRunner(workers=pool, chunk_size=self.chunk_size)
+        return BatchRunner(
+            backend="distributed",
+            chunk_size=self.chunk_size,
+            cluster_workers=self.cluster_workers or None,
+            url=self.url,
+        )
 
 
 @dataclass(frozen=True)

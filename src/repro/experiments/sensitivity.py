@@ -24,7 +24,7 @@ from repro.core.renewal import ccp_interval_time_for_m, scp_interval_time_for_m
 from repro.errors import ParameterError
 from repro.experiments.config import TableSpec
 from repro.sim.montecarlo import CellEstimate
-from repro.sim.parallel import BatchRunner
+from repro.sim.parallel import BatchRunner, runner_scope
 
 __all__ = [
     "OperatingPoint",
@@ -76,6 +76,7 @@ def operating_map(
     seed: int = 0,
     p_slack: float = 0.02,
     runner: Optional[BatchRunner] = None,
+    backend=None,
     fast_static: bool = False,
 ) -> List[OperatingPoint]:
     """Which scheme wins at each (U, λ) point of the grid.
@@ -88,7 +89,6 @@ def operating_map(
     """
     if not u_grid or not lam_grid:
         raise ParameterError("u_grid and lam_grid must be non-empty")
-    runner = runner or BatchRunner.serial()
     grid = [(lam, u) for lam in lam_grid for u in u_grid]
     jobs = [
         spec.cell_job(
@@ -100,7 +100,8 @@ def operating_map(
         for lam, u in grid
         for scheme in spec.schemes
     ]
-    estimates = runner.run_cells(jobs)
+    with runner_scope(runner, backend=backend) as scoped:
+        estimates = scoped.run_cells(jobs)
     points: List[OperatingPoint] = []
     columns = len(spec.schemes)
     for index, (lam, u) in enumerate(grid):

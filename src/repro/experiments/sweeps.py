@@ -27,7 +27,7 @@ from repro.core.schemes import (
 from repro.errors import ParameterError
 from repro.experiments.config import TableSpec
 from repro.sim.montecarlo import CellEstimate
-from repro.sim.parallel import BatchRunner, CellJob
+from repro.sim.parallel import BatchRunner, CellJob, runner_scope
 from repro.sim.task import TaskSpec
 
 __all__ = [
@@ -66,15 +66,16 @@ def fixed_m_study(
     reps: int = 1000,
     seed: int = 0,
     runner: Optional[BatchRunner] = None,
+    backend=None,
 ) -> Dict[str, CellEstimate]:
     """(P, E) for fixed ``m`` values and for the adaptive ``num_SCP``.
 
     Keys: ``"m=<k>"`` for each fixed value plus ``"adaptive"``.  With a
-    ``runner`` the whole study is dispatched as one cell grid.
+    ``runner`` (or a ``backend`` name — serial/process/distributed) the
+    whole study is dispatched as one cell grid.
     """
     if not ms:
         raise ParameterError("ms must be non-empty")
-    runner = runner or BatchRunner.serial()
     jobs = [
         CellJob(
             task=task,
@@ -87,7 +88,8 @@ def fixed_m_study(
     jobs.append(
         CellJob(task=task, policy_factory=AdaptiveSCPPolicy, reps=reps, seed=seed)
     )
-    estimates = runner.run_cells(jobs)
+    with runner_scope(runner, backend=backend) as scoped:
+        estimates = scoped.run_cells(jobs)
     results: Dict[str, CellEstimate] = {
         f"m={m}": cell for m, cell in zip(ms, estimates)
     }
@@ -102,11 +104,11 @@ def rate_factor_study(
     reps: int = 1000,
     seed: int = 0,
     runner: Optional[BatchRunner] = None,
+    backend=None,
 ) -> Dict[float, CellEstimate]:
     """(P, E) of ``A_D_S`` under different analysis-rate factors."""
     if not factors:
         raise ParameterError("factors must be non-empty")
-    runner = runner or BatchRunner.serial()
     jobs = [
         CellJob(
             task=task,
@@ -118,7 +120,8 @@ def rate_factor_study(
         )
         for factor in factors
     ]
-    estimates = runner.run_cells(jobs)
+    with runner_scope(runner, backend=backend) as scoped:
+        estimates = scoped.run_cells(jobs)
     return dict(zip(factors, estimates))
 
 
@@ -130,6 +133,7 @@ def utilization_sweep(
     reps: int = 500,
     seed: int = 0,
     runner: Optional[BatchRunner] = None,
+    backend=None,
     fast_static: bool = False,
 ) -> Dict[str, List[Tuple[float, CellEstimate]]]:
     """P/E curves over utilisation for every scheme of a table spec.
@@ -144,14 +148,14 @@ def utilization_sweep(
     """
     if not u_grid:
         raise ParameterError("u_grid must be non-empty")
-    runner = runner or BatchRunner.serial()
     grid = [(u, scheme) for u in u_grid for scheme in spec.schemes]
     jobs = [
         spec.cell_job(u, lam, scheme, reps=reps,
                       seed=seed + int(u * 1000), fast_static=fast_static)
         for u, scheme in grid
     ]
-    estimates = runner.run_cells(jobs)
+    with runner_scope(runner, backend=backend) as scoped:
+        estimates = scoped.run_cells(jobs)
     curves: Dict[str, List[Tuple[float, CellEstimate]]] = {
         scheme: [] for scheme in spec.schemes
     }

@@ -23,7 +23,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import TableSpec, table_spec
 from repro.experiments.paper_data import PaperCell, paper_cell
 from repro.sim.montecarlo import CellEstimate
-from repro.sim.parallel import BatchRunner
+from repro.sim.parallel import BatchRunner, runner_scope
 from repro.sim.rng import RandomSource
 
 __all__ = ["CellResult", "RowResult", "TableResult", "run_table", "run_row"]
@@ -151,9 +151,14 @@ def run_row(
     source: RandomSource,
     faults_during_overhead: bool = False,
     runner: Optional[BatchRunner] = None,
+    backend=None,
     fast_static: bool = False,
 ) -> RowResult:
-    """Estimate all scheme cells of one row."""
+    """Estimate all scheme cells of one row.
+
+    ``backend`` names where cells run (``"serial"``, ``"process"``,
+    ``"distributed"``) as an alternative to passing a ``runner``.
+    """
     jobs = [
         _cell_job(
             spec,
@@ -167,8 +172,8 @@ def run_row(
         )
         for column in range(len(spec.schemes))
     ]
-    runner = runner or BatchRunner.serial()
-    return _assemble_row(spec, u, lam, runner.run_cells(jobs))
+    with runner_scope(runner, backend=backend) as scoped:
+        return _assemble_row(spec, u, lam, scoped.run_cells(jobs))
 
 
 def run_table(
@@ -178,6 +183,7 @@ def run_table(
     seed: int = 2006,
     faults_during_overhead: bool = False,
     runner: Optional[BatchRunner] = None,
+    backend=None,
     fast_static: bool = False,
 ) -> TableResult:
     """Regenerate one full table.
@@ -199,6 +205,12 @@ def run_table(
         cell grid is dispatched in one batch, so worker processes stay
         busy across row boundaries.  Results are identical to the serial
         path for any worker count.
+    backend:
+        Alternative to ``runner``: name where cells run (``"serial"``,
+        ``"process"``, ``"distributed"``) or pass an
+        :class:`~repro.sim.backends.ExecutionBackend`; a named backend
+        is built for this call and released afterwards.  Results are
+        bit-identical across backends for a fixed block size.
     fast_static:
         Route the static scheme columns (Poisson, k-f-t) through the
         vectorised fast path instead of the event executor — one to two
@@ -231,8 +243,8 @@ def run_table(
         for (u, lam) in spec.rows
         for column in range(len(spec.schemes))
     ]
-    runner = runner or BatchRunner.serial()
-    estimates = runner.run_cells(jobs)
+    with runner_scope(runner, backend=backend) as scoped:
+        estimates = scoped.run_cells(jobs)
     columns = len(spec.schemes)
     rows = [
         _assemble_row(

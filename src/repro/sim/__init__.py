@@ -3,6 +3,7 @@ accounting, tracing, metrics and the Monte-Carlo harness."""
 
 from repro.sim import (
     backends,
+    distributed,
     energy,
     engine,
     executor,
@@ -19,6 +20,7 @@ from repro.sim import (
 
 __all__ = [
     "backends",
+    "distributed",
     "energy",
     "engine",
     "executor",

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
 import weakref
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -45,7 +46,7 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SimulationError
 from repro.sim.energy import EnergyModel
 from repro.sim.executor import SimulationLimits
 from repro.sim.faults import FaultProcess
@@ -59,10 +60,15 @@ __all__ = [
     "SerialBackend",
     "ProcessBackend",
     "DistributedBackend",
+    "BACKEND_NAMES",
+    "make_backend",
     "execute_block",
     "plan_blocks",
     "default_workers",
 ]
+
+#: The backend names the string selector accepts (CLI ``--backend``).
+BACKEND_NAMES = ("serial", "process", "distributed")
 
 
 def default_workers() -> int:
@@ -216,15 +222,7 @@ class ProcessBackend:
 
     def run_tasks(self, tasks: Sequence[BlockTask]) -> List[CellAccumulator]:
         results: List[Optional[CellAccumulator]] = [None] * len(tasks)
-        shippable: Dict[int, bool] = {}
-        pooled: List[int] = []
-        local: List[int] = []
-        for index, task in enumerate(tasks):
-            ok = shippable.get(task.job_index)
-            if ok is None:
-                ok = _picklable(task.job)
-                shippable[task.job_index] = ok
-            (pooled if ok else local).append(index)
+        pooled, local = partition_shippable(tasks)
         futures: List[Tuple[int, Future]] = []
         try:
             for index in pooled:
@@ -272,15 +270,15 @@ class ProcessBackend:
 
 
 class DistributedBackend:
-    """The seam a future off-host executor plugs into (stub).
+    """Block execution over the socket transport in
+    :mod:`repro.sim.distributed`.
 
-    A real implementation ships each :class:`BlockTask` to a remote
-    worker and collects its :class:`~repro.sim.montecarlo.
-    CellAccumulator`.  The contract it must honour — and everything it
-    may rely on — is:
+    The off-host contract — what the transport honours and everything
+    it may rely on — is:
 
     * **Payload.**  Tasks pickle: jobs are frozen dataclasses of specs
       and ``functools.partial`` factories over module-level classes.
+      Jobs that do *not* pickle (closures) run in-process instead.
     * **Results.**  One accumulator per task, aligned with input order;
       each is O(1) in ``stop - start`` (streaming moments and integer
       counters — never raw observations), so result transport is
@@ -291,26 +289,172 @@ class DistributedBackend:
       so at-least-once delivery plus idempotent collection is enough.
     * **Merging** happens at the coordinator, in block order — workers
       never need to see each other.
+    * **Availability.**  Dead workers have their in-flight tasks
+      requeued (bounded retries); with no workers left the remainder is
+      recomputed in-process — the backend never fails where
+      :class:`SerialBackend` would have succeeded.
 
-    Until such a transport exists, instantiating the stub is allowed
-    (so wiring can be tested) but running tasks is not.
+    Parameters
+    ----------
+    url:
+        Bind address for the coordinator, ``tcp://host:port`` (default
+        loopback with an OS-assigned port).  Remote workers join with
+        ``repro worker tcp://<coordinator-host>:<port>``.
+    cluster:
+        A :class:`~repro.sim.distributed.LocalCluster` (or a worker
+        count, shorthand for one) to spawn loopback worker subprocesses
+        automatically — the tests/CLI path.  ``None`` means workers are
+        started externally against :attr:`coordinator_url`.
+
+    The coordinator and any cluster start lazily on first
+    :meth:`run_tasks`; :meth:`close` tears both down and is idempotent
+    (a closed backend reopens fresh on the next batch).
     """
 
     name = "distributed"
 
-    def __init__(self, url: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        *,
+        cluster: Optional[object] = None,
+        batch_size: Optional[int] = None,
+        max_retries: Optional[int] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if isinstance(cluster, int):
+            from repro.sim.distributed import LocalCluster
+
+            cluster = LocalCluster(cluster)
         self.url = url
+        self.cluster = cluster
+        self.batch_size = batch_size
+        self.max_retries = max_retries
+        self.connect_timeout = connect_timeout
+        self._coordinator = None
+
+    @property
+    def coordinator_url(self) -> Optional[str]:
+        """Where workers should connect (None until the first batch)."""
+        if self._coordinator is None:
+            return None
+        return self._coordinator.url
 
     def run_tasks(self, tasks: Sequence[BlockTask]) -> List[CellAccumulator]:
-        raise NotImplementedError(
-            "DistributedBackend is a stub: implement run_tasks() against a "
-            "transport that ships pickled BlockTasks and returns their "
-            "CellAccumulators in input order (see the class docstring for "
-            "the full contract)."
-        )
+        tasks = list(tasks)
+        if not tasks:
+            return []  # nothing to ship: no transport needed either
+        return self._ensure_coordinator().run_tasks(tasks)
 
     def close(self) -> None:
-        """Nothing to release."""
+        """Stop the cluster workers and the coordinator (idempotent)."""
+        if self.cluster is not None:
+            self.cluster.close()
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+
+    def _ensure_coordinator(self):
+        if self._coordinator is None:
+            from repro.sim.distributed import Coordinator
+
+            kwargs = {}
+            if self.batch_size is not None:
+                kwargs["batch_size"] = self.batch_size
+            if self.max_retries is not None:
+                kwargs["max_retries"] = self.max_retries
+            self._coordinator = Coordinator(
+                self.url or "tcp://127.0.0.1:0", **kwargs
+            )
+            if self.cluster is not None:
+                self.cluster.start(self._coordinator.url)
+                connected = self._coordinator.wait_for_workers(
+                    self.cluster.size, timeout=self.connect_timeout
+                )
+                if connected == 0 and self.cluster.size > 0:
+                    # An explicitly requested cluster where *nothing*
+                    # connected is a broken deployment (bad worker
+                    # entry point, wrong secret), not a transient
+                    # fault: failing loudly beats silently computing
+                    # the whole grid in-process.  Workers dying later
+                    # still fall back gracefully.
+                    self.close()
+                    raise SimulationError(
+                        f"none of the {self.cluster.size} cluster workers "
+                        f"connected within {self.connect_timeout}s"
+                    )
+                if connected < self.cluster.size:
+                    print(
+                        f"repro: warning: only {connected} of "
+                        f"{self.cluster.size} cluster workers connected",
+                        file=sys.stderr,
+                    )
+            elif self.url is not None:
+                # An explicit URL means external workers are expected;
+                # give the first one a moment to join so small batches
+                # don't fall back in-process before anyone arrives.
+                self._coordinator.wait_for_workers(
+                    1, timeout=self.connect_timeout
+                )
+        return self._coordinator
+
+
+def make_backend(
+    backend,
+    *,
+    workers: Optional[int] = None,
+    cluster_workers: Optional[int] = None,
+    url: Optional[str] = None,
+):
+    """Resolve a backend selector to an :class:`ExecutionBackend`.
+
+    ``backend`` may already be a backend instance (returned as-is) or
+    one of :data:`BACKEND_NAMES`:
+
+    * ``"serial"`` — :class:`SerialBackend` (in-process reference).
+    * ``"process"`` — :class:`ProcessBackend` over ``workers``
+      processes (``None`` = one per CPU).
+    * ``"distributed"`` — :class:`DistributedBackend`; with
+      ``cluster_workers`` it spawns that many loopback worker
+      subprocesses, with ``url`` it binds the coordinator there for
+      externally started workers.
+    """
+    if not isinstance(backend, str):
+        if isinstance(backend, ExecutionBackend):
+            if workers is not None or cluster_workers or url is not None:
+                raise ParameterError(
+                    "workers/cluster_workers/url cannot reconfigure an "
+                    "already-constructed backend instance; pass them when "
+                    "building it, or use a backend name"
+                )
+            return backend
+        raise ParameterError(
+            f"backend must be an ExecutionBackend or one of "
+            f"{BACKEND_NAMES}, got {backend!r}"
+        )
+    # Reject topology knobs the chosen backend cannot honour rather
+    # than silently dropping them — the CLI layer raises for the same
+    # contradictions, and the API must not be looser.
+    if backend != "distributed" and (cluster_workers or url is not None):
+        raise ParameterError(
+            f"cluster_workers/url only apply to backend='distributed', "
+            f"not {backend!r}"
+        )
+    if backend in ("serial", "distributed") and workers is not None:
+        raise ParameterError(
+            f"workers does not apply to backend={backend!r}"
+            + (" (use cluster_workers)" if backend == "distributed" else "")
+        )
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "process":
+        return ProcessBackend(workers)
+    if backend == "distributed":
+        cluster = cluster_workers if cluster_workers else None
+        return DistributedBackend(url=url, cluster=cluster)
+    raise ParameterError(
+        f"unknown backend {backend!r}; valid names: {', '.join(BACKEND_NAMES)}"
+    )
 
 
 def _picklable(job: object) -> bool:
@@ -320,3 +464,26 @@ def _picklable(job: object) -> bool:
         return True
     except Exception:
         return False
+
+
+def partition_shippable(
+    tasks: Sequence[BlockTask],
+) -> Tuple[List[int], List[int]]:
+    """Split task indices into (shippable, in-process-only).
+
+    The picklability probe is memoised per ``job_index`` — every block
+    of a job shares one payload — and is the single fallback-partition
+    policy for every off-process backend (the process pool and the
+    distributed coordinator both use it), so the "closures run
+    in-process" rule cannot drift between them.
+    """
+    shippable: Dict[int, bool] = {}
+    remote: List[int] = []
+    local: List[int] = []
+    for index, task in enumerate(tasks):
+        ok = shippable.get(task.job_index)
+        if ok is None:
+            ok = _picklable(task.job)
+            shippable[task.job_index] = ok
+        (remote if ok else local).append(index)
+    return remote, local

@@ -1,0 +1,804 @@
+"""Socket transport behind :class:`~repro.sim.backends.DistributedBackend`.
+
+The off-host contract documented on the backend (picklable
+:class:`~repro.sim.backends.BlockTask`\\ s in, O(1)
+:class:`~repro.sim.montecarlo.CellAccumulator`\\ s out, idempotent
+recompute) is narrow enough that the transport can stay small: frames
+are an 8-byte big-endian length prefix followed by a pickle, flowing
+over plain TCP.  Three pieces ship here:
+
+* :func:`serve_worker` — the worker process's serve loop: connect to a
+  coordinator, receive task batches, :func:`~repro.sim.backends.
+  execute_block` each and *stream* the accumulators back one by one
+  (so a connection lost mid-batch loses only the unsent tail).  Replies
+  to heartbeat pings; exits after ``idle_timeout`` seconds of silence.
+* :class:`Coordinator` — the dispatch side :meth:`~repro.sim.backends.
+  DistributedBackend.run_tasks` delegates to: a task queue, per-worker
+  in-flight tracking, requeue-on-disconnect with bounded retries, and
+  in-process recompute for whatever cannot (or can no longer) run
+  remotely — unpicklable jobs, tasks past their retry budget, and the
+  whole remainder when no workers are connected.  It therefore never
+  fails where :class:`~repro.sim.backends.SerialBackend` would have
+  succeeded, and fails with the genuine exception where serial would
+  fail (worker-side errors are reproduced locally, not wrapped).
+* :class:`LocalCluster` — spawns N worker subprocesses on loopback for
+  tests and the CLI (``--backend distributed --cluster-workers N``).
+
+Failure semantics (pinned by ``tests/test_distributed_faults.py``): a
+worker that dies mid-batch has its unfinished tasks requeued to the
+survivors; results that already streamed back are kept; a task is
+resolved exactly once, so nothing is lost or double-merged; and because
+every block re-derives its random streams from the task payload alone,
+a recomputed block is bit-identical to the one the dead worker would
+have sent — the merged estimates match the serial pass exactly.
+
+Wire protocol (every frame: ``>Q`` length prefix + pickle of a tuple):
+
+===========================  =========================================
+coordinator → worker          ``("tasks", epoch, [(index, BlockTask)…])``,
+                              ``("ping",)``, ``("shutdown",)``
+worker → coordinator          ``("hello", pid)``,
+                              ``("result", epoch, index, CellAccumulator)``,
+                              ``("error", epoch, index, text)``,
+                              ``("pong",)``
+===========================  =========================================
+
+``epoch`` tags each :meth:`Coordinator.run_tasks` batch so a result
+that straggles in after its batch ended (e.g. the batch already failed
+over locally) is ignored instead of polluting the next one.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import pickle
+import secrets as _secrets
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.backends import BlockTask, execute_block, partition_shippable
+from repro.sim.montecarlo import CellAccumulator
+
+__all__ = [
+    "Coordinator",
+    "LocalCluster",
+    "serve_worker",
+    "parse_url",
+    "SECRET_ENV",
+    "DEFAULT_PORT",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_HEARTBEAT",
+    "DEFAULT_IDLE_TIMEOUT",
+]
+
+#: Default coordinator port when a URL omits one.
+DEFAULT_PORT = 8642
+#: Tasks handed to a worker per claim; small keeps load-balance tight
+#: while amortising a frame per batch.
+DEFAULT_BATCH_SIZE = 4
+#: Dispatch attempts per task before the coordinator stops trusting
+#: workers with it and recomputes in-process.
+DEFAULT_MAX_RETRIES = 3
+#: Seconds between coordinator pings on an idle worker link.
+DEFAULT_HEARTBEAT = 5.0
+#: Seconds of silence after which a worker exits its serve loop.
+DEFAULT_IDLE_TIMEOUT = 120.0
+
+_HEADER = struct.Struct(">Q")
+#: Refuse absurd frames (a corrupt prefix would otherwise try to
+#: allocate petabytes).  Task batches and accumulators are kilobytes.
+_MAX_FRAME = 256 * 1024 * 1024
+
+#: Environment variable carrying the cluster's shared secret; the
+#: coordinator and every worker read it as their default ``secret``.
+SECRET_ENV = "REPRO_CLUSTER_SECRET"
+_NONCE_BYTES = 32
+_DIGEST = "sha256"
+_DIGEST_BYTES = 32
+_LOOPBACK_HOSTS = frozenset({"127.0.0.1", "localhost"})
+
+
+def _default_secret() -> bytes:
+    return os.environ.get(SECRET_ENV, "").encode()
+
+
+def _authenticate_as_server(sock: socket.socket, secret: bytes) -> bool:
+    """Challenge a connecting worker before parsing any pickle.
+
+    The handshake is raw fixed-length bytes on purpose: frames are
+    pickles, and :func:`pickle.loads` on attacker-controlled bytes is
+    code execution — so nothing gets unpickled until the peer has
+    proven knowledge of the shared secret.  Mutual: the worker checks
+    our response digest before it parses our frames, so a rogue
+    coordinator cannot feed a worker pickles either.  (With the default
+    empty secret — loopback clusters — the exchange still happens but
+    proves nothing; non-loopback binds therefore *require* a secret.)
+    """
+    nonce = _secrets.token_bytes(_NONCE_BYTES)
+    sock.sendall(nonce)
+    reply = _recv_exact(sock, _DIGEST_BYTES)
+    expected = hmac.new(secret, nonce + b"worker", _DIGEST).digest()
+    if not hmac.compare_digest(reply, expected):
+        return False
+    sock.sendall(hmac.new(secret, nonce + b"server", _DIGEST).digest())
+    return True
+
+
+def _authenticate_as_worker(sock: socket.socket, secret: bytes) -> None:
+    nonce = _recv_exact(sock, _NONCE_BYTES)
+    sock.sendall(hmac.new(secret, nonce + b"worker", _DIGEST).digest())
+    reply = _recv_exact(sock, _DIGEST_BYTES)
+    expected = hmac.new(secret, nonce + b"server", _DIGEST).digest()
+    if not hmac.compare_digest(reply, expected):
+        raise ConnectionError("coordinator failed mutual authentication")
+
+
+# -- framing -----------------------------------------------------------
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """Arm TCP keepalive so a *silently* dead peer surfaces.
+
+    The link threads deliberately block in ``recv`` without an
+    application timeout while a batch is in flight (a slow adaptive
+    block is legitimate and unbounded).  That leaves one failure mode
+    the app layer cannot see: a peer that vanishes without FIN/RST
+    (cable pull, dropped route).  Kernel keepalive probes turn that
+    into ``ECONNRESET`` within ~75 s here, which the normal
+    broken-link path handles (requeue + fallback).  A SIGSTOPped peer
+    still ACKs probes — that case remains out of scope.
+    """
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    # Per-protocol knobs are Linux-specific; degrade to plain keepalive
+    # (kernel defaults, ~2 h) where they do not exist.
+    for option, value in (
+        ("TCP_KEEPIDLE", 30),
+        ("TCP_KEEPINTVL", 15),
+        ("TCP_KEEPCNT", 3),
+    ):
+        if hasattr(socket, option):
+            try:
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, getattr(socket, option), value
+                )
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        buf += chunk
+    return bytes(buf)
+
+
+def _recv_msg(sock: socket.socket) -> tuple:
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > _MAX_FRAME:
+        raise ConnectionError(f"frame of {length} bytes exceeds protocol limit")
+    payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        # A frame we cannot decode (version-skewed peer, corrupt
+        # stream) is a broken link, whatever exception pickle raised —
+        # normalise so every caller's broken-link path handles it.
+        raise ConnectionError(f"undecodable frame from peer: {exc!r}")
+
+
+def _send_msg(sock: socket.socket, message: tuple) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """``"tcp://host:port"`` (or plain ``host:port``) → ``(host, port)``.
+
+    Port ``0`` is valid for a coordinator bind address (the OS picks);
+    the resolved port is what :attr:`Coordinator.url` reports.
+    """
+    text = url.strip()
+    if "//" in text:
+        scheme, _, rest = text.partition("//")
+        if scheme not in ("tcp:", ""):
+            raise ParameterError(f"unsupported URL scheme in {url!r} (use tcp://)")
+        text = rest
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = text, str(DEFAULT_PORT)
+    if not host:
+        raise ParameterError(f"no host in URL {url!r}")
+    if ":" in host:
+        raise ParameterError(
+            f"IPv6 addresses are not supported in {url!r}; use an IPv4 "
+            f"address or hostname"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ParameterError(f"invalid port in URL {url!r}")
+    if not 0 <= port <= 65535:
+        raise ParameterError(f"port out of range in URL {url!r}")
+    return host, port
+
+
+# -- worker ------------------------------------------------------------
+
+
+def serve_worker(
+    url: str,
+    *,
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+    max_tasks: Optional[int] = None,
+    connect_timeout: float = 10.0,
+    secret: Optional[bytes] = None,
+) -> int:
+    """Serve blocks for the coordinator at ``url`` until told to stop.
+
+    The loop: receive a task batch, execute each block, stream its
+    accumulator back immediately (never buffering the whole batch, so a
+    crash loses only unsent work).  Pings are answered with pongs; after
+    ``idle_timeout`` seconds without any frame the worker exits cleanly
+    (a live coordinator pings idle workers well inside that window).
+
+    ``max_tasks`` caps how many blocks this worker completes before it
+    *abruptly* drops the connection — mid-batch if the cap lands there.
+    That is deliberately crash-shaped: it exists so the fault-injection
+    suite can kill workers at exact, reproducible points.
+
+    ``secret`` is the cluster's shared secret for the mutual HMAC
+    handshake (default: the ``REPRO_CLUSTER_SECRET`` environment
+    variable; empty = unauthenticated, loopback-only coordinators).
+
+    Returns the process exit code (0 — disconnects and idle timeouts,
+    including a coordinator that vanishes mid-block, are normal worker
+    lifecycle, not errors).  Only a failure to *establish* the
+    connection (unreachable host, failed handshake) raises.
+    """
+    host, port = parse_url(url)
+    if port == 0:
+        raise ParameterError("worker needs an explicit coordinator port, got 0")
+    if secret is None:
+        secret = _default_secret()
+    completed = 0
+    with socket.create_connection((host, port), timeout=connect_timeout) as sock:
+        sock.settimeout(idle_timeout)
+        _enable_keepalive(sock)
+        _authenticate_as_worker(sock, secret)
+        try:
+            _send_msg(sock, ("hello", os.getpid()))
+            while True:
+                try:
+                    message = _recv_msg(sock)
+                except socket.timeout:
+                    return 0  # idle: the coordinator has forgotten us
+                kind = message[0]
+                if kind == "shutdown":
+                    return 0
+                if kind == "ping":
+                    _send_msg(sock, ("pong",))
+                    continue
+                if kind != "tasks":
+                    continue  # unknown frame: ignore, stay compatible
+                _, epoch, batch = message
+                for index, block_task in batch:
+                    if max_tasks is not None and completed >= max_tasks:
+                        return 0  # injected crash: abandon rest of batch
+                    try:
+                        accumulator = execute_block(block_task)
+                    except Exception:
+                        _send_msg(
+                            sock, ("error", epoch, index, traceback.format_exc())
+                        )
+                    else:
+                        _send_msg(sock, ("result", epoch, index, accumulator))
+                        completed += 1
+        except (ConnectionError, OSError):
+            return 0  # coordinator gone (even mid-send): nothing to serve
+
+
+# -- coordinator -------------------------------------------------------
+
+
+@dataclass
+class _Link:
+    """One connected worker: its socket, liveness, and in-flight set."""
+
+    sock: socket.socket
+    pid: int
+    wid: int
+    in_flight: Set[Tuple[int, int]] = field(default_factory=set)
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    reported_error: bool = False
+
+    def send(self, message: tuple) -> None:
+        with self.send_lock:
+            _send_msg(self.sock, message)
+
+
+class Coordinator:
+    """Accepts worker connections and dispatches block-task batches.
+
+    One instance serves many :meth:`run_tasks` batches (workers persist
+    across them).  Within a batch every task index is resolved exactly
+    once — by a worker result or by in-process recompute — and results
+    come back aligned with input order, which is all the
+    :class:`~repro.sim.backends.ExecutionBackend` protocol asks for.
+
+    Thread model: one accept thread, one handler thread per worker
+    link, and the caller's thread running :meth:`run_tasks` (which also
+    executes the local-fallback work).  All shared state sits behind a
+    single condition variable; sockets get a per-link send lock so
+    ``close()`` can interject a shutdown frame safely.
+    """
+
+    def __init__(
+        self,
+        url: str = "tcp://127.0.0.1:0",
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+        poll_interval: float = 0.05,
+        secret: Optional[bytes] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+        if max_retries < 1:
+            raise ParameterError(f"max_retries must be >= 1, got {max_retries}")
+        self.batch_size = int(batch_size)
+        self.max_retries = int(max_retries)
+        self.heartbeat = float(heartbeat)
+        self.poll_interval = float(poll_interval)
+        self._secret = _default_secret() if secret is None else secret
+        host, port = parse_url(url)
+        if host not in _LOOPBACK_HOSTS and not self._secret:
+            raise ParameterError(
+                f"binding the coordinator to non-loopback {host!r} requires "
+                f"a shared secret (set {SECRET_ENV} on the coordinator and "
+                f"every worker): the wire format is pickle, and accepting "
+                f"unauthenticated pickles is remote code execution"
+            )
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        self._cond = threading.Condition()
+        self._links: Dict[int, _Link] = {}
+        self._next_wid = 0
+        self._closed = False
+        # Per-batch state, valid while _active (all guarded by _cond).
+        self._active = False
+        self._epoch = 0
+        self._tasks: Sequence[BlockTask] = ()
+        self._queue: Deque[int] = deque()
+        self._local_pending: List[int] = []
+        self._attempts: Dict[int, int] = {}
+        self._results: Dict[int, CellAccumulator] = {}
+        self._resolved: Set[int] = set()
+        self._batch_lock = threading.Lock()
+        self._finalizer = weakref.finalize(self, _close_socket, listener)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- public surface ------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The resolved ``tcp://host:port`` workers should connect to."""
+        return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def workers(self) -> int:
+        """Currently connected worker count."""
+        with self._cond:
+            return len(self._links)
+
+    def wait_for_workers(self, count: int, timeout: float = 10.0) -> int:
+        """Block until ``count`` workers are connected (or timeout).
+
+        Returns the number actually connected — never raises: running
+        short-handed (even zero-handed) is a supported degraded mode,
+        the batch just leans on the in-process fallback.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._links) < count and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return len(self._links)
+
+    def run_tasks(self, tasks: Sequence[BlockTask]) -> List[CellAccumulator]:
+        """Evaluate one batch; one accumulator per task, input order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        with self._batch_lock:
+            with self._cond:
+                if self._closed:
+                    raise SimulationError("coordinator is closed")
+            remote, unshippable = partition_shippable(tasks)
+            with self._cond:
+                if self._closed:  # re-check: close() may have raced us
+                    raise SimulationError("coordinator is closed")
+                self._epoch += 1
+                epoch = self._epoch
+                self._active = True
+                self._tasks = tasks
+                self._queue.clear()
+                self._queue.extend(remote)
+                self._local_pending = list(unshippable)
+                self._attempts = {}
+                self._results = {}
+                self._resolved = set()
+                self._cond.notify_all()
+            try:
+                while True:
+                    with self._cond:
+                        if len(self._resolved) == len(tasks):
+                            break
+                        if self._closed:
+                            raise SimulationError(
+                                "coordinator closed while a batch was running"
+                            )
+                        local = self._take_local_locked()
+                        if not local:
+                            self._cond.wait(self.poll_interval)
+                            local = self._take_local_locked()
+                    for index in local:
+                        # Runs the genuine job code in this process: a
+                        # deterministic job error surfaces here exactly
+                        # as SerialBackend would raise it.
+                        accumulator = execute_block(tasks[index])
+                        self._record(None, epoch, index, accumulator)
+                return [self._results[index] for index in range(len(tasks))]
+            finally:
+                with self._cond:
+                    self._active = False
+                    self._tasks = ()
+                    self._queue.clear()
+                    self._local_pending = []
+                    self._cond.notify_all()
+
+    def close(self) -> None:
+        """Shut down: stop accepting, release workers (idempotent)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            links = list(self._links.values())
+            self._cond.notify_all()
+        self._finalizer()  # closes the listener; accept loop exits
+        for link in links:
+            try:
+                link.sock.settimeout(1.0)
+                link.send(("shutdown",))
+            except OSError:
+                pass
+            _close_socket(link.sock)
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- accept / per-link threads -------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._cond:
+                if self._closed:
+                    _close_socket(sock)
+                    return
+            threading.Thread(
+                target=self._serve_link,
+                args=(sock,),
+                name="repro-coordinator-link",
+                daemon=True,
+            ).start()
+
+    def _serve_link(self, sock: socket.socket) -> None:
+        link: Optional[_Link] = None
+        try:
+            sock.settimeout(self.heartbeat * 4)
+            _enable_keepalive(sock)
+            if not _authenticate_as_server(sock, self._secret):
+                return  # failed the challenge: never unpickle its bytes
+            hello = _recv_msg(sock)
+            if not (
+                isinstance(hello, tuple)
+                and len(hello) == 2
+                and hello[0] == "hello"
+            ):
+                return
+            sock.settimeout(None)
+            with self._cond:
+                if self._closed:
+                    return
+                link = _Link(sock=sock, pid=hello[1], wid=self._next_wid)
+                self._next_wid += 1
+                self._links[link.wid] = link
+                self._cond.notify_all()
+            while True:
+                claimed = self._claim(link)
+                if claimed is None:
+                    return  # coordinator closing
+                epoch, batch = claimed
+                if not batch:
+                    # Idle: heartbeat so dead peers surface and live
+                    # workers' idle clocks keep resetting.
+                    sock.settimeout(self.heartbeat * 4)
+                    link.send(("ping",))
+                    while _recv_msg(sock)[0] != "pong":
+                        pass
+                    sock.settimeout(None)
+                    continue
+                link.send(("tasks", epoch, batch))
+                remaining = {index for index, _ in batch}
+                while remaining:
+                    message = _recv_msg(sock)
+                    kind = message[0]
+                    if kind == "result":
+                        _, ep, index, accumulator = message
+                        self._record(link, ep, index, accumulator)
+                        remaining.discard(index)
+                    elif kind == "error":
+                        _, ep, index, text = message
+                        self._record_error(link, ep, index, text)
+                        remaining.discard(index)
+        except (ConnectionError, OSError, EOFError, socket.timeout,
+                pickle.PickleError, struct.error):
+            pass  # broken link: _drop_link requeues whatever it held
+        finally:
+            self._drop_link(link)
+            _close_socket(sock)
+
+    # -- shared-state helpers (all take/hold self._cond) ----------------
+
+    def _claim(self, link: _Link) -> Optional[Tuple[int, List[Tuple[int, BlockTask]]]]:
+        """Next batch for ``link``: None to stop, [] to heartbeat."""
+        deadline = time.monotonic() + self.heartbeat
+        with self._cond:
+            while True:
+                if self._closed:
+                    return None
+                if self._active and self._queue:
+                    epoch = self._epoch
+                    batch: List[Tuple[int, BlockTask]] = []
+                    while self._queue and len(batch) < self.batch_size:
+                        index = self._queue.popleft()
+                        self._attempts[index] = self._attempts.get(index, 0) + 1
+                        link.in_flight.add((epoch, index))
+                        batch.append((index, self._tasks[index]))
+                    return epoch, batch
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return self._epoch, []
+                self._cond.wait(remaining)
+
+    def _record(
+        self,
+        link: Optional[_Link],
+        epoch: int,
+        index: int,
+        accumulator: CellAccumulator,
+    ) -> None:
+        """Resolve a task exactly once; stale or duplicate results drop."""
+        with self._cond:
+            if link is not None:
+                link.in_flight.discard((epoch, index))
+            if not self._active or epoch != self._epoch or index in self._resolved:
+                return
+            self._results[index] = accumulator
+            self._resolved.add(index)
+            self._cond.notify_all()
+
+    def _record_error(
+        self, link: _Link, epoch: int, index: int, text: str
+    ) -> None:
+        """A worker-side exception: recompute locally for serial parity.
+
+        The remote traceback is surfaced on stderr (once per link, not
+        once per block — a broken worker environment fails every block
+        the same way).  The local recompute then either produces the
+        genuine result (worker-environment problem) or raises the
+        genuine exception (job problem), so nothing is lost — but
+        without the warning, an all-broken cluster would silently
+        degrade to serial-speed fallback with zero diagnostics.
+        """
+        with self._cond:
+            link.in_flight.discard((epoch, index))
+            warn = not link.reported_error
+            link.reported_error = True
+            if not self._active or epoch != self._epoch or index in self._resolved:
+                return
+            if index not in self._local_pending:
+                self._local_pending.append(index)
+            self._cond.notify_all()
+        if warn:
+            print(
+                f"repro: warning: worker pid={link.pid} failed a block; "
+                f"recomputing in-process.  Remote traceback:\n{text}",
+                file=sys.stderr,
+            )
+
+    def _drop_link(self, link: Optional[_Link]) -> None:
+        """Deregister a dead worker and requeue its in-flight tasks."""
+        if link is None:
+            return
+        with self._cond:
+            self._links.pop(link.wid, None)
+            for epoch, index in link.in_flight:
+                if (
+                    not self._active
+                    or epoch != self._epoch
+                    or index in self._resolved
+                ):
+                    continue
+                if self._attempts.get(index, 0) >= self.max_retries:
+                    if index not in self._local_pending:
+                        self._local_pending.append(index)
+                else:
+                    self._queue.append(index)
+            link.in_flight.clear()
+            self._cond.notify_all()
+
+    def _take_local_locked(self) -> List[int]:
+        """Indices the caller's thread should compute in-process now.
+
+        Always the designated-local backlog (unpicklable jobs, retry
+        exhaustion, worker errors); plus — when no workers are
+        connected — *one* task off the queue.  One, not all: the
+        no-workers fallback keeps the batch progressing at serial
+        speed, but a worker that connects mid-batch (the external
+        ``repro worker`` path, where workers race the first batch)
+        still finds the rest of the queue waiting for it.
+        """
+        local = self._local_pending
+        self._local_pending = []
+        if not self._links and self._queue:
+            local.append(self._queue.popleft())
+        return local
+
+
+# -- local cluster -----------------------------------------------------
+
+
+class LocalCluster:
+    """N worker subprocesses on loopback, for tests and the CLI.
+
+    Workers are spawned lazily by :meth:`start` (the backend calls it
+    with its coordinator's URL) as ``python -m repro worker <url>``,
+    with the package root on ``PYTHONPATH``.  ``max_tasks`` — an int
+    for all workers or one value per worker (``None`` = unlimited) —
+    makes a worker crash after completing that many blocks; that is the
+    fault-injection hook the test suite drives.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        idle_timeout: float = 60.0,
+        max_tasks: Union[None, int, Sequence[Optional[int]]] = None,
+        python: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ParameterError(f"workers must be >= 0, got {workers}")
+        self.size = int(workers)
+        self.idle_timeout = float(idle_timeout)
+        if max_tasks is None or isinstance(max_tasks, int):
+            self.max_tasks: List[Optional[int]] = [max_tasks] * self.size
+        else:
+            self.max_tasks = list(max_tasks)
+            if len(self.max_tasks) != self.size:
+                raise ParameterError(
+                    f"max_tasks needs one entry per worker "
+                    f"({self.size}), got {len(self.max_tasks)}"
+                )
+        self.python = python or sys.executable
+        self._procs: List[subprocess.Popen] = []
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def start(self, url: str) -> None:
+        """Spawn the workers against ``url`` (no-op while running)."""
+        if self._procs:
+            return
+        env = dict(os.environ)
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        src_root = os.path.dirname(package_root)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        for cap in self.max_tasks:
+            command = [
+                self.python, "-m", "repro", "worker", url,
+                "--idle-timeout", str(self.idle_timeout),
+            ]
+            if cap is not None:
+                command += ["--max-tasks", str(cap)]
+            self._procs.append(
+                subprocess.Popen(
+                    command, env=env, stdout=subprocess.DEVNULL
+                )
+            )
+        self._finalizer = weakref.finalize(
+            self, _terminate_procs, list(self._procs)
+        )
+
+    @property
+    def processes(self) -> List[subprocess.Popen]:
+        """The live worker process handles (for fault injection)."""
+        return list(self._procs)
+
+    def alive(self) -> int:
+        """How many workers are still running."""
+        return sum(1 for proc in self._procs if proc.poll() is None)
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker (fault injection; waits for the corpse)."""
+        proc = self._procs[index]
+        proc.kill()
+        proc.wait()
+
+    def close(self) -> None:
+        """Terminate every worker and reap it (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _terminate_procs(self._procs)
+        self._procs = []
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _terminate_procs(procs: List[subprocess.Popen]) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def _close_socket(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -174,6 +174,7 @@ def estimate(
     faults_during_overhead: bool = False,
     limits: SimulationLimits = SimulationLimits(),
     runner: Optional["BatchRunner"] = None,
+    backend=None,
 ) -> CellEstimate:
     """Monte-Carlo estimate of one experiment cell (see module doc).
 
@@ -182,23 +183,26 @@ def estimate(
     serial one for the same ``seed`` and block size.  Without a runner
     the default serial runner is used, so the no-runner path follows
     the *same* blocked reduction as every parallel topology.
+    ``backend`` instead names where blocks run (``"serial"``,
+    ``"process"``, ``"distributed"`` — see :func:`~repro.sim.backends.
+    make_backend`) or passes a backend instance; a named backend is
+    built for this call and released afterwards.  ``runner`` and
+    ``backend`` are mutually exclusive.
     """
-    from repro.sim.parallel import BatchRunner, CellJob
+    from repro.sim.parallel import CellJob, runner_scope
 
-    if runner is None:
-        runner = BatchRunner.serial()
-    return runner.run_cell(
-        CellJob(
-            task=task,
-            policy_factory=policy_factory,
-            reps=reps,
-            seed=seed,
-            faults=faults,
-            energy_model=energy_model,
-            faults_during_overhead=faults_during_overhead,
-            limits=limits,
-        )
+    job = CellJob(
+        task=task,
+        policy_factory=policy_factory,
+        reps=reps,
+        seed=seed,
+        faults=faults,
+        energy_model=energy_model,
+        faults_during_overhead=faults_during_overhead,
+        limits=limits,
     )
+    with runner_scope(runner, backend=backend) as scoped:
+        return scoped.run_cell(job)
 
 
 class CellAccumulator:

@@ -46,7 +46,8 @@ grid with one slow adaptive column still keeps every worker busy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import ParameterError
 from repro.sim.backends import (
@@ -55,6 +56,7 @@ from repro.sim.backends import (
     ProcessBackend,
     SerialBackend,
     default_workers,
+    make_backend,
     plan_blocks,
 )
 from repro.sim.montecarlo import CellAccumulator, CellEstimate
@@ -62,6 +64,7 @@ from repro.sim.montecarlo import CellAccumulator, CellEstimate
 __all__ = [
     "CellJob",
     "BatchRunner",
+    "runner_scope",
     "default_workers",
     "DEFAULT_BLOCK_SIZE",
 ]
@@ -72,6 +75,12 @@ __all__ = [
 #: cannot tolerate.  256 reps keeps per-block dispatch negligible while
 #: giving a 10,000-rep cell ~40 blocks to load-balance.
 DEFAULT_BLOCK_SIZE = 256
+
+#: Sentinel distinguishing "workers not given" from an explicit value —
+#: the inference path reads the default as 1 (serial), but a named
+#: backend must read it as "unspecified" (e.g. a process pool defaults
+#: to one worker per CPU, not a 1-process pool).
+_UNSET_WORKERS = object()
 
 
 class BatchRunner:
@@ -92,23 +101,51 @@ class BatchRunner:
         bit-identical across worker counts and backends.
     backend:
         An explicit :class:`~repro.sim.backends.ExecutionBackend`
-        (e.g. a distributed implementation); overrides ``workers``.
+        instance or one of the names in :data:`~repro.sim.backends.
+        BACKEND_NAMES` (``"serial"``, ``"process"``, ``"distributed"``);
+        overrides the ``workers``-based inference.  ``"process"`` uses
+        ``workers`` for its pool size — unspecified/``None`` = one per
+        CPU (matching every higher-level entry point), an explicit
+        ``1`` = a genuine single-process pool (unlike the inference
+        path, where 1 means serial).  ``"distributed"`` takes
+        ``cluster_workers``/``url`` instead; passing knobs a named
+        backend cannot honour raises.
+    cluster_workers:
+        With ``backend="distributed"``: spawn that many loopback
+        worker subprocesses (a :class:`~repro.sim.distributed.
+        LocalCluster`).  ``0``/``None`` means workers connect
+        externally (or the batch falls back in-process).
+    url:
+        With ``backend="distributed"``: the coordinator bind address.
     """
 
     def __init__(
         self,
-        workers: Optional[int] = 1,
+        workers: Optional[int] = _UNSET_WORKERS,  # type: ignore[assignment]
         *,
         chunk_size: Optional[int] = None,
-        backend: Optional[ExecutionBackend] = None,
+        backend: Union[ExecutionBackend, str, None] = None,
+        cluster_workers: Optional[int] = None,
+        url: Optional[str] = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
         self.block_size = int(chunk_size) if chunk_size else DEFAULT_BLOCK_SIZE
         if backend is not None:
-            self.backend: ExecutionBackend = backend
-            self.workers = getattr(backend, "workers", 1)
+            self.backend: ExecutionBackend = make_backend(
+                backend,
+                workers=None if workers is _UNSET_WORKERS else workers,
+                cluster_workers=cluster_workers,
+                url=url,
+            )
+            self.workers = getattr(self.backend, "workers", 1)
             return
+        if cluster_workers or url:
+            raise ParameterError(
+                "cluster_workers/url only apply to backend='distributed'"
+            )
+        if workers is _UNSET_WORKERS:
+            workers = 1  # the historical serial default
         if workers is None:
             workers = default_workers()
         if workers < 1:
@@ -168,3 +205,50 @@ class BatchRunner:
             else:
                 merged[task.job_index] = shard
         return [merged[index].finalize() for index in range(len(jobs))]
+
+
+@contextmanager
+def runner_scope(
+    runner: Optional[BatchRunner] = None,
+    *,
+    backend: Union[ExecutionBackend, str, None] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    cluster_workers: Optional[int] = None,
+    url: Optional[str] = None,
+) -> Iterator[BatchRunner]:
+    """The runner an API call should use, with ownership sorted out.
+
+    Every dispatcher that accepts both ``runner=`` (caller-owned, we
+    must not close it) and ``backend=`` (a name — we build the runner
+    and must release it) funnels through here:
+
+    * an explicit ``runner`` is yielded untouched (passing ``backend``
+      too is a contradiction and raises);
+    * no runner, no backend — the implicit serial runner (stateless,
+      nothing to release);
+    * a ``backend`` *name* builds a runner for the call and closes it
+      afterwards (``backend="process"`` with ``workers`` unspecified
+      means one worker per CPU); a backend *instance* builds a runner
+      but leaves closing the backend to whoever constructed it.
+    """
+    if runner is not None:
+        if backend is not None:
+            raise ParameterError("pass either runner= or backend=, not both")
+        yield runner
+        return
+    if backend is None:
+        yield BatchRunner.serial(chunk_size=chunk_size)
+        return
+    scoped = BatchRunner(
+        workers=workers,
+        chunk_size=chunk_size,
+        backend=backend,
+        cluster_workers=cluster_workers,
+        url=url,
+    )
+    try:
+        yield scoped
+    finally:
+        if isinstance(backend, str):
+            scoped.close()

@@ -1,0 +1,197 @@
+"""Backend-conformance suite: one contract, every backend.
+
+The :class:`~repro.sim.backends.ExecutionBackend` contract —
+input-order results, block-size-fixed bit-identical estimates whatever
+the worker topology, in-process fallback for unshippable jobs, ``[]``
+for empty input, idempotent ``close()`` — is exercised here against
+*every* shipped backend: :class:`SerialBackend` (the reference),
+:class:`ProcessBackend` over a 2-process pool, and
+:class:`DistributedBackend` over a real 2-worker loopback
+:class:`~repro.sim.distributed.LocalCluster`.  A new backend earns its
+place by passing this module unchanged.
+
+The shared grid deliberately mixes an executor :class:`CellJob` with
+vectorised :class:`~repro.sim.fastpath.StaticCellJob` cells — the
+acceptance shape for the distributed transport — and the per-backend
+fixtures are module-scoped, so the distributed backend also proves
+that one coordinator/cluster survives many consecutive batches (the
+``validate`` usage pattern).
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.core.checkpoints import CostModel
+from repro.core.schemes import KFaultTolerantPolicy, PoissonArrivalPolicy
+from repro.sim.backends import (
+    CellJob,
+    DistributedBackend,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    plan_blocks,
+)
+from repro.sim.distributed import LocalCluster
+from repro.sim.fastpath import StaticCellJob, static_cell_for_scheme
+from repro.sim.parallel import BatchRunner
+from repro.sim.task import TaskSpec
+
+BACKEND_NAMES = ["serial", "process", "distributed"]
+CHUNK = 16
+
+
+def _task() -> TaskSpec:
+    return TaskSpec(
+        cycles=7600.0,
+        deadline=10_000.0,
+        fault_budget=5,
+        fault_rate=1.4e-3,
+        costs=CostModel.scp_favourable(),
+    )
+
+
+def _mixed_jobs():
+    """A small mixed (executor + fast-static) grid, fresh per call."""
+    task = _task()
+    return [
+        StaticCellJob(
+            spec=static_cell_for_scheme(task, "Poisson", 1.0), reps=90, seed=4
+        ),
+        CellJob(
+            task=task,
+            policy_factory=partial(PoissonArrivalPolicy, 1.0),
+            reps=50,
+            seed=4,
+        ),
+        StaticCellJob(
+            spec=static_cell_for_scheme(task, "k-f-t", 1.0), reps=70, seed=11
+        ),
+        CellJob(
+            task=task,
+            policy_factory=partial(KFaultTolerantPolicy, 1.0),
+            reps=40,
+            seed=7,
+        ),
+    ]
+
+
+def _make_backend(name: str) -> ExecutionBackend:
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(2)
+    return DistributedBackend(cluster=LocalCluster(2))
+
+
+@pytest.fixture(scope="module", params=BACKEND_NAMES)
+def backend(request):
+    """One long-lived backend per flavour, shared across the module.
+
+    Sharing is part of the test: every backend must serve several
+    independent batches from one instance (the pool is reused, the
+    distributed coordinator and its workers persist across batches).
+    """
+    instance = _make_backend(request.param)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture(scope="module")
+def reference_task_results():
+    """Per-task accumulators from the serial reference, in input order."""
+    tasks = plan_blocks(_mixed_jobs(), CHUNK)
+    return [repr(acc.finalize()) for acc in SerialBackend().run_tasks(tasks)]
+
+
+@pytest.fixture(scope="module")
+def reference_estimates():
+    """Whole-grid estimates from the serial runner at the shared chunk."""
+    return BatchRunner.serial(chunk_size=CHUNK).run_cells(_mixed_jobs())
+
+
+class TestSharedContract:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, ExecutionBackend)
+        assert isinstance(backend.name, str) and backend.name
+
+    def test_results_align_with_input_order(
+        self, backend, reference_task_results
+    ):
+        """One accumulator per task, position i answering task i.
+
+        Completion order is scrambled by real pools and sockets; the
+        per-index comparison against the serial reference proves the
+        backend re-aligned them.
+        """
+        tasks = plan_blocks(_mixed_jobs(), CHUNK)
+        results = backend.run_tasks(tasks)
+        assert len(results) == len(tasks)
+        for index, accumulator in enumerate(results):
+            assert accumulator.reps == tasks[index].stop - tasks[index].start
+            assert repr(accumulator.finalize()) == reference_task_results[index]
+
+    def test_estimates_bit_identical_across_backends(
+        self, backend, reference_estimates
+    ):
+        """Fixed block size ⇒ the merged grid matches serial exactly.
+
+        Serial runs one worker, the pool two processes, the cluster two
+        socket workers — three different topologies, byte-equal
+        estimates.
+        """
+        runner = BatchRunner(backend=backend, chunk_size=CHUNK)
+        estimates = runner.run_cells(_mixed_jobs())
+        assert all(
+            ours.same_values(ref)
+            for ours, ref in zip(estimates, reference_estimates)
+        )
+
+    def test_no_task_lost_or_double_merged(self, backend):
+        """Merged rep counts are exact — at-least-once delivery never
+        inflates or starves a cell."""
+        jobs = _mixed_jobs()
+        runner = BatchRunner(backend=backend, chunk_size=CHUNK)
+        estimates = runner.run_cells(jobs)
+        assert [cell.reps for cell in estimates] == [job.reps for job in jobs]
+
+    def test_empty_task_list_returns_empty(self, backend):
+        assert backend.run_tasks([]) == []
+
+    def test_unpicklable_job_falls_back_in_process(self, backend):
+        """A closure factory cannot ship; the backend must still answer
+        (in-process) and agree with the serial reference."""
+        job = CellJob(
+            task=_task(),
+            policy_factory=lambda: PoissonArrivalPolicy(1.0),  # not picklable
+            reps=30,
+            seed=3,
+        )
+        reference = BatchRunner.serial(chunk_size=CHUNK).run_cells([job])[0]
+        runner = BatchRunner(backend=backend, chunk_size=CHUNK)
+        estimate = runner.run_cells([job])[0]
+        assert estimate.same_values(reference)
+
+
+class TestLifecycle:
+    """close() semantics need fresh instances (the shared fixture must
+    stay open for the other tests)."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_close_is_idempotent(self, name):
+        instance = _make_backend(name)
+        instance.close()
+        instance.close()
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_empty_input_needs_no_resources(self, name):
+        """run_tasks([]) must not spin up pools, clusters or sockets."""
+        instance = _make_backend(name)
+        try:
+            assert instance.run_tasks([]) == []
+            if isinstance(instance, DistributedBackend):
+                assert instance.coordinator_url is None
+            if isinstance(instance, ProcessBackend):
+                assert instance._pool is None
+        finally:
+            instance.close()

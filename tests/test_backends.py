@@ -113,15 +113,26 @@ class TestProtocolConformance:
             ProcessBackend(0)
 
 
-class TestDistributedStub:
-    def test_run_tasks_not_implemented(self, jobs):
-        backend = DistributedBackend(url="tcp://nowhere:1")
-        assert backend.url == "tcp://nowhere:1"
-        with pytest.raises(NotImplementedError, match="BlockTask"):
-            backend.run_tasks(plan_blocks(jobs, 30))
+class TestDistributedSurface:
+    """The off-host contract's local half (the socket transport itself
+    is covered by tests/test_distributed*.py and the conformance
+    suite)."""
 
-    def test_tasks_it_would_receive_are_picklable(self, jobs):
-        # The stub's documented contract: payloads must pickle.
+    def test_url_recorded_but_nothing_started(self):
+        backend = DistributedBackend(url="tcp://127.0.0.1:0")
+        assert backend.url == "tcp://127.0.0.1:0"
+        assert backend.coordinator_url is None  # lazy until a batch
+        backend.close()
+
+    def test_empty_task_list_returns_empty(self):
+        # Regression: the stub used to raise even for zero tasks.
+        backend = DistributedBackend()
+        assert backend.run_tasks([]) == []
+        assert backend.coordinator_url is None
+        backend.close()
+
+    def test_tasks_it_receives_are_picklable(self, jobs):
+        # The documented contract: payloads must pickle.
         import pickle
 
         for block_task in plan_blocks(jobs, 30):

@@ -74,7 +74,11 @@ class TestCommands:
 class TestWorkersFlag:
     def test_defaults_to_serial(self):
         args = build_parser().parse_args(["table", "1a"])
-        assert args.workers == 1
+        assert args.workers is None  # unspecified, distinct from --workers 1
+        assert _make_runner(args) is None
+
+    def test_explicit_workers_one_is_serial_too(self):
+        args = build_parser().parse_args(["table", "1a", "--workers", "1"])
         assert _make_runner(args) is None
 
     def test_parses_worker_count(self):
@@ -212,3 +216,117 @@ class TestSweepCommand:
 
         with pytest.raises(SystemExit):
             main(["sweep", "bogus"])
+
+
+class TestBackendFlag:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table", "1a"])
+        assert args.backend is None
+        assert args.cluster_workers == 0
+
+    def test_explicit_process_backend(self):
+        args = build_parser().parse_args(
+            ["table", "1a", "--backend", "process", "--workers", "3"]
+        )
+        runner = _make_runner(args)
+        assert runner.workers == 3
+        assert runner.backend.name == "process"
+        runner.close()
+
+    def test_explicit_serial_backend_is_implicit_default(self):
+        args = build_parser().parse_args(["table", "1a", "--backend", "serial"])
+        assert _make_runner(args) is None
+
+    def test_explicit_process_backend_without_workers_uses_all_cpus(self):
+        args = build_parser().parse_args(["table", "1a", "--backend", "process"])
+        runner = _make_runner(args)
+        try:
+            assert runner.backend.name == "process"
+            assert runner.workers == default_workers()
+        finally:
+            runner.close()
+
+    def test_explicit_process_backend_with_one_worker_is_a_real_pool(self):
+        args = build_parser().parse_args(
+            ["table", "1a", "--backend", "process", "--workers", "1"]
+        )
+        runner = _make_runner(args)
+        try:
+            assert runner.backend.name == "process"
+            assert runner.workers == 1
+        finally:
+            runner.close()
+
+    def test_distributed_backend_builds_cluster_runner(self):
+        args = build_parser().parse_args(
+            ["table", "1a", "--backend", "distributed", "--cluster-workers", "2"]
+        )
+        runner = _make_runner(args)
+        try:
+            assert runner.backend.name == "distributed"
+            assert runner.backend.cluster.size == 2
+        finally:
+            runner.close()
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "1a", "--backend", "quantum"])
+
+    def test_contradictory_flags_exit_2(self):
+        assert main(
+            ["table", "1a", "--backend", "serial", "--workers", "4"]
+        ) == 2
+        assert main(
+            ["table", "1a", "--backend", "distributed", "--workers", "4"]
+        ) == 2
+        assert main(["table", "1a", "--cluster-workers", "2"]) == 2
+
+    def test_accepted_on_validate_and_sweep(self):
+        assert build_parser().parse_args(
+            ["validate", "--backend", "process"]
+        ).backend == "process"
+        assert build_parser().parse_args(
+            ["sweep", "fixed-m", "--backend", "distributed",
+             "--cluster-workers", "1"]
+        ).cluster_workers == 1
+
+    def test_table_output_byte_identical_distributed_vs_serial(self, capsys):
+        """The CLI acceptance path: a 2-worker loopback cluster renders
+        the very bytes the serial run renders."""
+        base = ["table", "2b", "--reps", "24", "--seed", "3",
+                "--chunk-size", "8", "--no-paper"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--backend", "distributed",
+                            "--cluster-workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+
+class TestWorkerCommand:
+    def test_parses_url_and_flags(self):
+        args = build_parser().parse_args(
+            ["worker", "tcp://10.1.2.3:8642", "--idle-timeout", "7.5",
+             "--max-tasks", "3"]
+        )
+        assert args.url == "tcp://10.1.2.3:8642"
+        assert args.idle_timeout == 7.5
+        assert args.max_tasks == 3
+
+    def test_invalid_url_exits_2(self):
+        assert main(["worker", "http://nope:1"]) == 2
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "soon"])
+    def test_rejects_nonpositive_idle_timeout(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["worker", "tcp://h:1", "--idle-timeout", bad]
+            )
+
+    def test_unreachable_coordinator_exits_1(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # guaranteed-free port: nobody listens
+        assert main(["worker", f"tcp://127.0.0.1:{port}"]) == 1

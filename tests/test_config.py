@@ -110,3 +110,93 @@ class TestTableSpecs:
                 rows=((0.5, 1e-4),),
                 adaptive_variant="nope",
             )
+
+
+class TestExecutionSettings:
+    """The one validated where-does-it-run selector behind the CLI."""
+
+    def _settings(self, **kwargs):
+        from repro.experiments.config import ExecutionSettings
+
+        return ExecutionSettings(**kwargs)
+
+    def test_default_is_implicit_serial(self):
+        settings = self._settings()
+        assert settings.resolved_backend == "serial"
+        assert settings.make_runner() is None
+
+    def test_workers_imply_process(self):
+        settings = self._settings(workers=4)
+        assert settings.resolved_backend == "process"
+        runner = settings.make_runner()
+        assert runner.workers == 4
+        runner.close()
+
+    def test_workers_one_stays_serial_when_inferred(self):
+        settings = self._settings(workers=1)
+        assert settings.resolved_backend == "serial"
+        assert settings.make_runner() is None
+
+    def test_explicit_process_honours_workers_verbatim(self):
+        from repro.sim.parallel import default_workers
+
+        unspecified = self._settings(backend="process").make_runner()
+        assert unspecified.backend.name == "process"
+        assert unspecified.workers == default_workers()
+        unspecified.close()
+        single = self._settings(backend="process", workers=1).make_runner()
+        assert single.backend.name == "process"
+        assert single.workers == 1  # a genuine 1-process pool
+        single.close()
+
+    def test_workers_zero_means_all_cpus(self):
+        from repro.sim.parallel import default_workers
+
+        runner = self._settings(workers=0).make_runner()
+        assert runner.workers == default_workers()
+        runner.close()
+
+    def test_chunk_size_alone_stays_serial(self):
+        runner = self._settings(chunk_size=64).make_runner()
+        assert runner is not None
+        assert runner.block_size == 64
+        assert runner.backend.name == "serial"
+
+    def test_distributed_with_cluster(self):
+        settings = self._settings(backend="distributed", cluster_workers=2)
+        assert settings.resolved_backend == "distributed"
+        runner = settings.make_runner()
+        try:
+            assert runner.backend.name == "distributed"
+            assert runner.backend.cluster.size == 2
+        finally:
+            runner.close()
+
+    def test_distributed_url_passthrough(self):
+        settings = self._settings(backend="distributed", url="tcp://127.0.0.1:0")
+        runner = settings.make_runner()
+        try:
+            assert runner.backend.url == "tcp://127.0.0.1:0"
+            assert runner.backend.cluster is None
+        finally:
+            runner.close()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(backend="quantum"),
+            dict(workers=-1),
+            dict(chunk_size=0),
+            dict(cluster_workers=-2),
+            dict(backend="serial", workers=4),
+            dict(backend="distributed", workers=2),
+            dict(backend="distributed", workers=1),
+            dict(backend="process", cluster_workers=2),
+            dict(cluster_workers=2),
+            dict(url="tcp://x:1"),
+            dict(backend="serial", url="tcp://x:1"),
+        ],
+    )
+    def test_contradictions_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            self._settings(**kwargs)

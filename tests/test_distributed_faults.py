@@ -1,0 +1,244 @@
+"""Fault injection against the distributed backend.
+
+Correctness for a distributed transport *is* its failure behaviour, so
+every scenario here ends the same way: whatever was killed, dropped or
+never started, the merged :class:`~repro.sim.montecarlo.CellEstimate`\\ s
+must be bit-identical to the :class:`~repro.sim.backends.SerialBackend`
+pass over the same mixed (executor + fast-static) grid, with exact rep
+counts (nothing lost, nothing double-merged).
+
+Deterministic injection uses the worker's ``max_tasks`` crash hook
+(complete N blocks, then drop the connection — mid-batch if the cap
+lands there); one scenario also SIGKILLs a live worker mid-run, where
+*any* interleaving must still converge to the identical answer.
+
+The merge-idempotence property test pins the contract clause that
+makes all of this sound: a recomputed block is byte-equal to the
+original, so at-least-once delivery plus resolve-once collection
+cannot change the moments.
+"""
+
+import random
+import threading
+import time
+from functools import partial
+
+import pytest
+
+from repro.core.checkpoints import CostModel
+from repro.core.schemes import KFaultTolerantPolicy, PoissonArrivalPolicy
+from repro.sim.backends import (
+    CellJob,
+    DistributedBackend,
+    SerialBackend,
+    execute_block,
+    plan_blocks,
+)
+from repro.sim.distributed import LocalCluster
+from repro.sim.fastpath import StaticCellJob, static_cell_for_scheme
+from repro.sim.montecarlo import CellAccumulator
+from repro.sim.parallel import BatchRunner
+from repro.sim.task import TaskSpec
+
+CHUNK = 8
+
+
+def _task() -> TaskSpec:
+    return TaskSpec(
+        cycles=7600.0,
+        deadline=10_000.0,
+        fault_budget=5,
+        fault_rate=1.4e-3,
+        costs=CostModel.scp_favourable(),
+    )
+
+
+def _grid_jobs():
+    """The mixed grid every scenario replays (fresh instances)."""
+    task = _task()
+    return [
+        StaticCellJob(
+            spec=static_cell_for_scheme(task, "Poisson", 1.0), reps=120, seed=4
+        ),
+        CellJob(
+            task=task,
+            policy_factory=partial(PoissonArrivalPolicy, 1.0),
+            reps=60,
+            seed=4,
+        ),
+        StaticCellJob(
+            spec=static_cell_for_scheme(task, "k-f-t", 1.0), reps=80, seed=9
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return BatchRunner.serial(chunk_size=CHUNK).run_cells(_grid_jobs())
+
+
+def _assert_identical_to_serial(estimates, serial_reference):
+    jobs = _grid_jobs()
+    assert [cell.reps for cell in estimates] == [job.reps for job in jobs]
+    assert all(
+        ours.same_values(ref)
+        for ours, ref in zip(estimates, serial_reference)
+    )
+
+
+def _run_distributed(backend: DistributedBackend):
+    runner = BatchRunner(backend=backend, chunk_size=CHUNK)
+    try:
+        return runner.run_cells(_grid_jobs())
+    finally:
+        runner.close()
+
+
+class TestWorkerFailures:
+    def test_worker_killed_mid_grid(self, serial_reference):
+        """One of two workers crashes after three blocks; its in-flight
+        tasks requeue to the survivor and the answer is unchanged."""
+        backend = DistributedBackend(
+            cluster=LocalCluster(2, max_tasks=(3, None))
+        )
+        estimates = _run_distributed(backend)
+        _assert_identical_to_serial(estimates, serial_reference)
+
+    def test_connection_drop_after_partial_results(self, serial_reference):
+        """A worker streams part of a batch, then drops the link.
+
+        ``batch_size=4`` with ``max_tasks=2`` guarantees the crash
+        lands mid-batch: two accumulators made it back, two did not.
+        The delivered ones must be kept (not recomputed *and* merged
+        twice), the undelivered ones must be re-run — byte-equality
+        with serial proves both at once.
+        """
+        backend = DistributedBackend(
+            cluster=LocalCluster(1, max_tasks=2), batch_size=4
+        )
+        estimates = _run_distributed(backend)
+        _assert_identical_to_serial(estimates, serial_reference)
+
+    def test_all_workers_die(self, serial_reference):
+        """Every worker crashes almost immediately; the coordinator
+        finishes the grid in-process rather than failing."""
+        backend = DistributedBackend(cluster=LocalCluster(2, max_tasks=1))
+        estimates = _run_distributed(backend)
+        _assert_identical_to_serial(estimates, serial_reference)
+
+    def test_zero_workers_from_the_start(self, serial_reference):
+        """No cluster, nobody ever connects: the backend must still
+        succeed anywhere SerialBackend would (pure local fallback)."""
+        backend = DistributedBackend()
+        estimates = _run_distributed(backend)
+        _assert_identical_to_serial(estimates, serial_reference)
+
+    def test_sigkill_mid_run(self, serial_reference):
+        """A live worker is SIGKILLed while the grid is in flight.
+
+        Unlike the ``max_tasks`` scenarios the kill point is not
+        deterministic — which is the point: *every* interleaving
+        (killed before, during or after its batches) must converge to
+        the identical estimates.
+        """
+        cluster = LocalCluster(2)
+        backend = DistributedBackend(cluster=cluster)
+        runner = BatchRunner(backend=backend, chunk_size=CHUNK)
+        outcome = {}
+
+        def run():
+            outcome["estimates"] = runner.run_cells(_grid_jobs())
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            time.sleep(1.0)  # let workers connect and claim work
+            cluster.kill_worker(0)
+            thread.join(timeout=120.0)
+            assert not thread.is_alive(), "batch never completed after kill"
+        finally:
+            runner.close()
+        _assert_identical_to_serial(outcome["estimates"], serial_reference)
+
+
+class TestMergeIdempotence:
+    """Property: coordinator-side recompute cannot change the moments.
+
+    Randomized (cells × blocks) plans where each block is recomputed
+    0–2 extra times — the accumulator actually merged is the *last*
+    recompute, exactly what a requeued-and-retried block looks like at
+    the coordinator.  The merged estimates must be byte-equal to the
+    single-execution fold, pinning the "idempotent recompute" clause
+    of the DistributedBackend contract.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_recomputed_blocks_merge_identically(self, seed):
+        rng = random.Random(seed)
+        task = _task()
+        jobs = []
+        for index in range(rng.randint(2, 4)):
+            reps = rng.randint(15, 60)
+            job_seed = rng.randint(0, 10_000)
+            if rng.random() < 0.5:
+                scheme = rng.choice(["Poisson", "k-f-t"])
+                jobs.append(
+                    StaticCellJob(
+                        spec=static_cell_for_scheme(task, scheme, 1.0),
+                        reps=reps,
+                        seed=job_seed,
+                    )
+                )
+            else:
+                jobs.append(
+                    CellJob(
+                        task=task,
+                        policy_factory=partial(PoissonArrivalPolicy, 1.0),
+                        reps=reps,
+                        seed=job_seed,
+                    )
+                )
+        chunk = rng.choice([8, 16, 32])
+        tasks = plan_blocks(jobs, chunk)
+        baseline = BatchRunner.serial(chunk_size=chunk).run_cells(jobs)
+
+        merged = {}
+        for block_task in tasks:
+            accumulator = execute_block(block_task)
+            for _ in range(rng.randint(0, 2)):
+                accumulator = execute_block(block_task)  # retried delivery
+            if block_task.job_index in merged:
+                merged[block_task.job_index].merge(accumulator)
+            else:
+                merged[block_task.job_index] = accumulator
+        replayed = [merged[index].finalize() for index in range(len(jobs))]
+        assert all(
+            ours.same_values(ref) for ours, ref in zip(replayed, baseline)
+        )
+
+    def test_duplicate_result_is_dropped_not_merged_twice(self):
+        """Resolve-once at the accumulator level: merging a block's
+        duplicate would inflate the rep count — the coordinator instead
+        drops it, which the conformance rep checks also pin.  Here the
+        unit-level statement: two executions of one BlockTask are
+        byte-equal, so dropping either is sound."""
+        tasks = plan_blocks(_grid_jobs(), CHUNK)
+        chosen = tasks[len(tasks) // 2]
+        first = execute_block(chosen)
+        second = execute_block(chosen)
+        assert isinstance(first, CellAccumulator)
+        assert repr(first.finalize()) == repr(second.finalize())
+
+    def test_local_fallback_matches_worker_execution(self):
+        """The no-workers path runs the very same execute_block the
+        workers run — byte-equal accumulators per task."""
+        tasks = plan_blocks(_grid_jobs(), CHUNK)
+        local = SerialBackend().run_tasks(tasks)
+        backend = DistributedBackend()
+        try:
+            fallback = backend.run_tasks(tasks)
+        finally:
+            backend.close()
+        assert [repr(a.finalize()) for a in fallback] == [
+            repr(a.finalize()) for a in local
+        ]
