@@ -1,0 +1,267 @@
+"""Executor hot-path throughput: reps/s per scheme, path and backend.
+
+PR 4 overhauled the Monte-Carlo executor hot path — batched fault
+streams, a fused interval loop, slab accumulation, latency-adaptive
+dispatch — while keeping every ``CellEstimate`` bit-identical.  This
+benchmark is the performance contract that overhaul created:
+
+* **reps/s per scheme** on the reference executor grid (table 1a's
+  hardest row, all four scheme columns as event-executor cells), for
+
+  - the **slab** path (``CellJob.run_block`` → ``accumulate_range``:
+    the production path every backend runs), and
+  - the **runresult** path (``run_range`` + per-rep
+    ``CellAccumulator.add``: the pre-slab accumulation discipline,
+    kept in-tree as the comparison baseline);
+
+* **grid reps/s per backend** (serial / 2-process pool / 2-worker
+  loopback cluster), with the cross-backend estimates checked for
+  bit-identity while the clock runs;
+
+* a **regression gate**: with ``--baseline BENCH_executor.json`` the
+  run fails if any scheme's serial slab throughput drops more than 2×
+  below the committed baseline *scaled to this machine* (the same-run
+  runresult path is the machine yardstick, so CI's shared runners do
+  not flake on hardware difference), or below half the same-run
+  runresult path.
+
+Run standalone (not under pytest)::
+
+    python benchmarks/bench_executor.py              # full sizes
+    python benchmarks/bench_executor.py --quick      # CI smoke run
+    python benchmarks/bench_executor.py --baseline BENCH_executor.json
+
+Results are written to ``BENCH_executor.json`` (override with
+``--json``).  Exit status is non-zero when the agreement check or the
+baseline gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.config import table_spec
+from repro.sim.backends import DistributedBackend, ProcessBackend, SerialBackend
+from repro.sim.montecarlo import CellAccumulator, run_range
+from repro.sim.parallel import BatchRunner
+
+TABLE = "1a"
+ROW = (0.82, 0.0016)  # the grid's hardest (U, λ) row
+SEED = 2006
+
+
+def _grid_jobs(reps: int):
+    spec = table_spec(TABLE)
+    u, lam = ROW
+    return spec.schemes, [
+        spec.cell_job(u, lam, scheme, reps=reps, seed=SEED)
+        for scheme in spec.schemes
+    ]
+
+
+def _best_rate(callable_, reps: int, rounds: int) -> float:
+    best = 0.0
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, reps / elapsed)
+    return best
+
+
+def bench_schemes(reps: int, rounds: int) -> Dict[str, Dict[str, float]]:
+    """Serial slab vs runresult reps/s, per scheme column."""
+    schemes, jobs = _grid_jobs(reps)
+    report: Dict[str, Dict[str, float]] = {}
+    for scheme, job in zip(schemes, jobs):
+        job.run_block(0, 0, min(reps, 128))  # warm caches and pools
+
+        def slab():
+            return job.run_block(0, 0, reps)
+
+        def runresult():
+            return CellAccumulator().add_all(
+                run_range(
+                    job.task,
+                    job.policy_factory,
+                    start=0,
+                    stop=reps,
+                    seed=job.seed,
+                )
+            )
+
+        slab_rate = _best_rate(slab, reps, rounds)
+        runresult_rate = _best_rate(runresult, reps, rounds)
+        report[scheme] = {
+            "slab_reps_per_sec": slab_rate,
+            "runresult_reps_per_sec": runresult_rate,
+            "slab_over_runresult": (
+                slab_rate / runresult_rate if runresult_rate else math.inf
+            ),
+        }
+        print(
+            f"{scheme:>8}: slab {slab_rate:>10,.0f} reps/s | "
+            f"runresult {runresult_rate:>10,.0f} reps/s "
+            f"(x{report[scheme]['slab_over_runresult']:.2f})"
+        )
+    return report
+
+
+def bench_backends(
+    reps: int, include_distributed: bool
+) -> Dict[str, Dict[str, float]]:
+    """Whole-grid reps/s per backend + cross-backend bit-identity."""
+    report: Dict[str, Dict[str, float]] = {}
+    reference = None
+    backends = [("serial", lambda: SerialBackend()),
+                ("process", lambda: ProcessBackend(2))]
+    if include_distributed:
+        backends.append(("distributed", lambda: DistributedBackend(cluster=2)))
+    for name, build in backends:
+        _, jobs = _grid_jobs(reps)
+        backend = build()
+        runner = BatchRunner(backend=backend)
+        try:
+            runner.run_cells(_grid_jobs(min(reps, 128))[1])  # warm up
+            started = time.perf_counter()
+            estimates = runner.run_cells(jobs)
+            elapsed = time.perf_counter() - started
+        finally:
+            backend.close()
+        total = reps * len(jobs)
+        agrees = True
+        if reference is None:
+            reference = estimates
+        else:
+            agrees = all(
+                ours.same_values(ref) for ours, ref in zip(estimates, reference)
+            )
+        report[name] = {
+            "grid_reps_per_sec": total / elapsed if elapsed else math.inf,
+            "agrees_with_serial": agrees,
+        }
+        print(
+            f"backend {name:>11}: {report[name]['grid_reps_per_sec']:>10,.0f} "
+            f"reps/s (grid) agree={agrees}"
+        )
+    return report
+
+
+def check(report: Dict, baseline: Optional[Dict]) -> List[str]:
+    """Guarded properties; returns human-readable failures.
+
+    The baseline gate is **machine-relative**: the committed numbers
+    come from a different machine than CI's shared runners, so raw
+    reps/s comparisons would flake on hardware difference alone.  The
+    per-rep ``runresult`` path measured in the *same run* serves as the
+    machine yardstick — its baseline ratio estimates how fast this
+    machine is, and the slab path must stay within 2× of the
+    correspondingly scaled baseline.  A structural same-run invariant
+    (slab ≥ half of runresult) backstops the case where both paths
+    regress together.
+    """
+    failures: List[str] = []
+    for name, entry in report["backends"].items():
+        if not entry["agrees_with_serial"]:
+            failures.append(
+                f"backend {name} produced estimates that differ from serial"
+            )
+    for scheme, entry in report["schemes"].items():
+        if entry["slab_reps_per_sec"] < entry["runresult_reps_per_sec"] / 2.0:
+            failures.append(
+                f"{scheme}: slab path ({entry['slab_reps_per_sec']:,.0f} "
+                f"reps/s) fell below half the per-rep RunResult path "
+                f"({entry['runresult_reps_per_sec']:,.0f} reps/s) in the "
+                f"same run"
+            )
+    if baseline:
+        factors = [
+            report["schemes"][s]["runresult_reps_per_sec"]
+            / baseline["schemes"][s]["runresult_reps_per_sec"]
+            for s in report["schemes"]
+            if s in baseline.get("schemes", {})
+            and baseline["schemes"][s].get("runresult_reps_per_sec")
+        ]
+        machine = sorted(factors)[len(factors) // 2] if factors else 1.0
+        report["machine_factor_vs_baseline"] = machine
+        for scheme, entry in report["schemes"].items():
+            reference = baseline.get("schemes", {}).get(scheme)
+            if not reference:
+                continue
+            floor = reference["slab_reps_per_sec"] * machine / 2.0
+            if entry["slab_reps_per_sec"] < floor:
+                failures.append(
+                    f"{scheme}: {entry['slab_reps_per_sec']:,.0f} reps/s is "
+                    f">2x below the committed baseline scaled to this "
+                    f"machine ({reference['slab_reps_per_sec']:,.0f} reps/s "
+                    f"x {machine:.2f})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small rep counts and no cluster: the CI smoke run",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_executor.json",
+        help="where to write the machine-readable report",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "committed BENCH_executor.json to gate against: fail when a "
+            "scheme's serial slab reps/s regresses more than 2x"
+        ),
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="timing rounds per measurement (best-of; default 3, quick 2)",
+    )
+    args = parser.parse_args(argv)
+
+    reps = 256 if args.quick else 1024
+    rounds = args.rounds or (2 if args.quick else 3)
+
+    print(f"reference grid: table {TABLE} row {ROW}, {reps} reps per cell")
+    report: Dict = {
+        "table": TABLE,
+        "row": list(ROW),
+        "reps": reps,
+        "schemes": bench_schemes(reps, rounds),
+        "backends": bench_backends(reps, include_distributed=not args.quick),
+    }
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"note: no baseline at {args.baseline}; gate skipped")
+    failures = check(report, baseline)
+    report["failures"] = failures
+
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"report: {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("ok: backends agree bit-for-bit"
+          + ("; baseline gate passed" if baseline else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

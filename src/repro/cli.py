@@ -226,6 +226,16 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
             "record it with the seed when reproducibility matters."
         ),
     )
+    parser.add_argument(
+        "--no-adaptive-batch",
+        action="store_true",
+        help=(
+            "disable latency-adaptive dispatch batching on the parallel "
+            "backends (worker batches sized from an EWMA of observed "
+            "block latency).  Dispatch-only: results are bit-identical "
+            "with batching on or off."
+        ),
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> Optional["BatchRunner"]:
@@ -242,6 +252,7 @@ def _make_runner(args: argparse.Namespace) -> Optional["BatchRunner"]:
         chunk_size=getattr(args, "chunk_size", None),
         cluster_workers=getattr(args, "cluster_workers", 0),
         url=getattr(args, "url", None),
+        adaptive_batching=not getattr(args, "no_adaptive_batch", False),
     )
     return settings.make_runner()
 

@@ -149,13 +149,54 @@ class SpeedLadder:
         applies; when no speed is feasible the fastest is returned (the
         run is then expected to miss, which the executor detects).
         """
-        for frequency in self.frequencies:
-            t_est = estimated_completion_time(
-                work_cycles,
-                frequency,
-                rate=rate,
-                checkpoint_cycles=checkpoint_cycles,
-            )
+        if work_cycles < 0:
+            raise ParameterError(f"work_cycles must be >= 0, got {work_cycles}")
+        # Per-level factors depend only on (ladder, rate, c): memoised so
+        # the per-fault speed decision is two float ops per level.  The
+        # factored form reproduces estimated_completion_time's exact
+        # operation order: work·(1+loss) / (f·(1−loss)).
+        for frequency, numerator, denominator in _ladder_factors(
+            self, rate, checkpoint_cycles
+        ):
+            if work_cycles == 0:
+                t_est = 0.0
+            elif numerator is None:  # loss >= 1: no finite estimate
+                t_est = math.inf
+            else:
+                t_est = work_cycles * numerator / denominator
             if t_est <= deadline_left:
                 return frequency
         return self.maximum
+
+
+#: Memo of per-level ``t_est`` factors keyed by (frequencies, rate, c);
+#: bounded by periodic clearing (entries are tiny and keys few — one
+#: per distinct task parameterisation).
+_SPEED_FACTOR_MEMO: dict = {}
+
+
+def _ladder_factors(
+    ladder: "SpeedLadder", rate: float, checkpoint_cycles: float
+) -> list:
+    key = (ladder.frequencies, rate, checkpoint_cycles)
+    entry = _SPEED_FACTOR_MEMO.get(key)
+    if entry is None:
+        if rate < 0:
+            raise ParameterError(f"rate must be >= 0, got {rate}")
+        if checkpoint_cycles < 0:
+            raise ParameterError(
+                f"checkpoint_cycles must be >= 0, got {checkpoint_cycles}"
+            )
+        entry = []
+        for frequency in ladder.frequencies:
+            loss = math.sqrt(rate * checkpoint_cycles / frequency)
+            if loss >= 1.0:
+                entry.append((frequency, None, None))
+            else:
+                entry.append(
+                    (frequency, 1.0 + loss, frequency * (1.0 - loss))
+                )
+        if len(_SPEED_FACTOR_MEMO) > 1024:
+            _SPEED_FACTOR_MEMO.clear()
+        _SPEED_FACTOR_MEMO[key] = entry
+    return entry

@@ -166,24 +166,38 @@ def checkpoint_interval(
     _require_positive("cost", cost)
     if rate <= 0:
         return work
+    _require_non_negative("deadline_left", deadline_left)
 
+    # The helper formulas are inlined (operation for operation — this
+    # runs once per fault in every adaptive Monte-Carlo rep); the
+    # module-level functions stay the documented reference and
+    # tests/test_intervals.py pins exact agreement.
     expected_faults = rate * work
 
     if expected_faults <= faults_left:
         # The k-fault-tolerant requirement is at least as stringent as
         # the Poisson-arrival criterion (fig. 4 lines 2-7).
-        if work > poisson_threshold(deadline_left, rate, cost):
+        # Th_λ = (Rd + C) / (1 + sqrt(λC/2))
+        if work > (deadline_left + cost) / (1.0 + math.sqrt(rate * cost / 2.0)):
             interval = _deadline_or_work(work, deadline_left, cost)
-        elif work > k_fault_threshold(deadline_left, faults_left, cost):
-            interval = k_fault_interval(work, expected_faults, cost)
         else:
-            interval = k_fault_interval(work, faults_left, cost)
+            # Th = (sqrt(Rd + (Rf+1)C) − sqrt((Rf+1)C))², 0 at no slack
+            budget = (faults_left + 1.0) * cost
+            root = math.sqrt(deadline_left + budget) - math.sqrt(budget)
+            threshold = root * root if root > 0 else 0.0
+            if work > threshold:
+                # I2 with the expected fault count λ·Rt (fig. 4 line 6)
+                interval = math.sqrt(work * cost / expected_faults)
+            elif faults_left > 0:
+                interval = math.sqrt(work * cost / faults_left)
+            else:
+                interval = k_fault_interval(work, faults_left, cost)
     else:
         # Expected faults exceed the budget (fig. 4 lines 8-10).
-        if work > poisson_threshold(deadline_left, rate, cost):
+        if work > (deadline_left + cost) / (1.0 + math.sqrt(rate * cost / 2.0)):
             interval = _deadline_or_work(work, deadline_left, cost)
         else:
-            interval = poisson_interval(cost, rate)
+            interval = math.sqrt(2.0 * cost / rate)
 
     return min(max(interval, _MIN_INTERVAL), work)
 

@@ -65,14 +65,28 @@ def _integer_refine(
     objective: Callable[[int], float],
     max_m: int,
 ) -> SubdivisionPlan:
-    """Paper fig. 2: floor ``T/T̃`` and compare with its successor."""
+    """Paper fig. 2: floor ``T/T̃`` and compare with its successor.
+
+    ``objective`` is pure, so evaluations are memoised — the refined
+    ``m``'s value is computed once, not re-evaluated for the returned
+    plan (this sits on the adaptive schemes' per-fault replan path).
+    """
+    cache: dict = {}
+
+    def value(m: int) -> float:
+        result = cache.get(m)
+        if result is None:
+            result = objective(m)
+            cache[m] = result
+        return result
+
     if not continuous_opt > 0 or continuous_opt >= span:
         m = 1
     else:
         m = max(1, min(int(span / continuous_opt), max_m - 1))
-        if objective(m) > objective(m + 1):
+        if value(m) > value(m + 1):
             m += 1
-    return SubdivisionPlan(m=m, sublength=span / m, expected_time=objective(m))
+    return SubdivisionPlan(m=m, sublength=span / m, expected_time=value(m))
 
 
 def num_scp(
@@ -110,7 +124,43 @@ def num_scp(
             m=max_m, sublength=span / max_m, expected_time=objective(max_m)
         )
     opt = renewal.scp_optimal_sublength(span, rate=rate, store=store)
-    return _integer_refine(span, opt, objective, max_m)
+
+    # Inlined _integer_refine over an inlined R1: this sits on the
+    # adaptive schemes' per-fault replan path, so the two candidate
+    # evaluations share one argument validation and one ``expm1``
+    # (both value-deterministic) while performing R1's float operations
+    # in exactly scp_interval_time's order — tests/test_optimizer.py
+    # pins exact agreement of the fast path with the objective.
+    renewal._validate(span, rate, store, compare, rollback)
+    refine = 0 < opt < span  # fig. 2's "else" branch (NaN/inf ⇒ m = 1)
+    if refine:
+        m = max(1, min(int(span / opt), max_m - 1))
+    else:
+        m = 1
+    faults = renewal.expected_faults_per_interval(span, rate)
+
+    def r1(m_int: int) -> float:
+        # scp_interval_time(span / m_int, ...), op for op — including
+        # recomputing the continuous m as span/sublength, whose float
+        # value is *not* always m_int.
+        sublength = span / m_int
+        m_cont = span / sublength
+        fault_free = span + m_cont * store + compare
+        per_fault = (
+            (span + sublength) / 2.0
+            + (m_cont + 1.0) / 2.0 * store
+            + compare
+            + rollback
+        )
+        return fault_free + per_fault * faults
+
+    best = r1(m)
+    if refine:
+        successor = r1(m + 1)
+        if best > successor:
+            m += 1
+            best = successor
+    return SubdivisionPlan(m=m, sublength=span / m, expected_time=best)
 
 
 def num_ccp(

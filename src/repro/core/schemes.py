@@ -79,6 +79,14 @@ class CheckpointPolicy(abc.ABC):
     #: Human-readable identifier used in reports.
     name: str = "policy"
 
+    #: Declares that :meth:`plan` only changes in :meth:`start` /
+    #: :meth:`on_fault` (true for every in-repo scheme: plans are
+    #: cached between replans).  The executor hot loop then asks for
+    #: the plan once per replan boundary instead of once per interval —
+    #: identical execution, fewer calls.  Policies whose plan depends
+    #: on mid-run state must leave this ``False``.
+    plan_stable: bool = False
+
     @abc.abstractmethod
     def start(self, state: ExecutionState) -> None:
         """Initialise speed and plan at task start."""
@@ -94,6 +102,8 @@ class CheckpointPolicy(abc.ABC):
 
 class _StaticPolicy(CheckpointPolicy):
     """Shared behaviour of the two non-adaptive baselines."""
+
+    plan_stable = True  # the plan is fixed at start and never changes
 
     def __init__(self, frequency: float = 1.0) -> None:
         if frequency <= 0:
@@ -192,6 +202,11 @@ class AdaptiveConfig:
             raise ParameterError(f"max_m must be >= 1, got {self.max_m}")
 
 
+#: Memo of the adaptive schemes' initial (frequency, Plan) keyed by
+#: (task, config, scheme class); bounded by periodic clearing.
+_START_MEMO: dict = {}
+
+
 class _AdaptiveBase(CheckpointPolicy):
     """Common machinery of ``A_D``, ``A_D_S`` and ``A_D_C``.
 
@@ -200,13 +215,58 @@ class _AdaptiveBase(CheckpointPolicy):
     procedure; subdivision delegated to the concrete subclass.
     """
 
+    plan_stable = True  # replans happen only in start()/on_fault()
+
     def __init__(self, config: AdaptiveConfig | None = None) -> None:
         self.config = config or AdaptiveConfig()
         self._plan: Plan | None = None
+        # Per-fault replan caches: the ladder and sub-checkpoint kind
+        # are fixed per policy, the checkpoint cost and renewal-model
+        # arguments per (task, frequency) — and a policy instance sees
+        # exactly one task (fresh policy per run).
+        self._ladder = self.config.ladder
+        self._kind = self._sub_kind()
+        self._checkpoint_cycles: float | None = None
+        self._analysis_by_frequency: dict = {}
 
     def start(self, state: ExecutionState) -> None:
+        # Every rep of a Monte-Carlo cell starts from the same fresh
+        # state, so the initial (speed, plan) is a pure function of
+        # (task, config, scheme) — memoised across policy instances.
+        # `Plan` is frozen, so sharing one instance is safe.  Two
+        # guards keep the memo sound: only classes whose constructor is
+        # exactly _AdaptiveBase's may use it (a subclass with extra
+        # constructor state, e.g. the fixed-m ablation policy, is not a
+        # pure function of the key), and the state must actually *be*
+        # fresh — start() is public API and may legally be handed a
+        # tampered state, which must bypass the cache in both
+        # directions.
+        task = state.task
+        fresh = (
+            state.clock == 0.0
+            and state.remaining_cycles == task.cycles
+            and state.faults_left == float(task.fault_budget)
+            and state.frequency == 1.0
+        )
+        if not fresh or type(self).__init__ is not _AdaptiveBase.__init__:
+            key = None
+            memo = None
+        else:
+            try:
+                key = (task, self.config, type(self))
+                memo = _START_MEMO.get(key)
+            except TypeError:  # unhashable custom config: just compute
+                key = None
+                memo = None
+        if memo is not None:
+            state.frequency, self._plan = memo
+            return
         self._select_speed(state)
         self._replan(state)
+        if key is not None:
+            if len(_START_MEMO) > 1024:
+                _START_MEMO.clear()
+            _START_MEMO[key] = (state.frequency, self._plan)
 
     def plan(self, state: ExecutionState) -> Plan:
         assert self._plan is not None, "start() must run before plan()"
@@ -218,24 +278,41 @@ class _AdaptiveBase(CheckpointPolicy):
 
     def _select_speed(self, state: ExecutionState) -> None:
         task = state.task
-        state.frequency = self.config.ladder.select_speed(
+        checkpoint_cycles = self._checkpoint_cycles
+        if checkpoint_cycles is None:
+            checkpoint_cycles = self._checkpoint_cycles = (
+                task.costs.checkpoint_cycles
+            )
+        state.frequency = self._ladder.select_speed(
             state.remaining_cycles,
             state.deadline_left,
             rate=task.fault_rate,
-            checkpoint_cycles=task.costs.checkpoint_cycles,
+            checkpoint_cycles=checkpoint_cycles,
         )
 
     def _replan(self, state: ExecutionState) -> None:
         task = state.task
         frequency = state.frequency
-        cost = task.costs.checkpoint_cycles / frequency
+        checkpoint_cycles = self._checkpoint_cycles
+        if checkpoint_cycles is None:
+            checkpoint_cycles = self._checkpoint_cycles = (
+                task.costs.checkpoint_cycles
+            )
+        cost = checkpoint_cycles / frequency
         work = state.remaining_cycles / frequency
         deadline_left = max(state.deadline_left, _EPS_DEADLINE)
         interval = checkpoint_interval(
             deadline_left, work, cost, state.faults_left, task.fault_rate
         )
         m = self._subdivide(state, interval)
-        self._plan = Plan(interval_time=interval, m=m, sub_kind=self._sub_kind())
+        # checkpoint_interval clamps into (0, work] and _subdivide
+        # returns m >= 1, so Plan's validation is skipped (this runs
+        # once per detected fault in every adaptive Monte-Carlo rep).
+        plan = Plan.__new__(Plan)
+        object.__setattr__(plan, "interval_time", interval)
+        object.__setattr__(plan, "m", m)
+        object.__setattr__(plan, "sub_kind", self._kind)
+        self._plan = plan
 
     @abc.abstractmethod
     def _subdivide(self, state: ExecutionState, interval: float) -> int:
@@ -246,16 +323,25 @@ class _AdaptiveBase(CheckpointPolicy):
         """Kind of the interior sub-checkpoints."""
 
     def _analysis_args(self, state: ExecutionState) -> dict:
-        """Renewal-model arguments in time units at the current speed."""
-        task = state.task
+        """Renewal-model arguments in time units at the current speed.
+
+        Cached per frequency: a policy instance serves one run of one
+        task, so everything here is constant per speed level.
+        """
         frequency = state.frequency
-        return {
-            "rate": task.fault_rate * self.config.analysis_rate_factor,
-            "store": task.costs.store_cycles / frequency,
-            "compare": task.costs.compare_cycles / frequency,
-            "rollback": task.costs.rollback_cycles / frequency,
-            "max_m": self.config.max_m,
-        }
+        args = self._analysis_by_frequency.get(frequency)
+        if args is None:
+            task = state.task
+            costs = task.costs
+            args = {
+                "rate": task.fault_rate * self.config.analysis_rate_factor,
+                "store": costs.store_cycles / frequency,
+                "compare": costs.compare_cycles / frequency,
+                "rollback": costs.rollback_cycles / frequency,
+                "max_m": self.config.max_m,
+            }
+            self._analysis_by_frequency[frequency] = args
+        return args
 
 
 class AdaptiveDVSPolicy(_AdaptiveBase):

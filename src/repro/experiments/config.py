@@ -88,6 +88,10 @@ class ExecutionSettings:
     chunk_size: Optional[int] = None
     cluster_workers: int = 0
     url: Optional[str] = None
+    #: Latency-adaptive worker-batch sizing on the parallel backends
+    #: (dispatch-only; results are bit-identical either way).  Ignored
+    #: for serial execution, where there is no dispatch to batch.
+    adaptive_batching: bool = True
 
     def __post_init__(self) -> None:
         from repro.sim.backends import BACKEND_NAMES
@@ -153,18 +157,28 @@ class ExecutionSettings:
             # the inferred path keeps the historical mapping where
             # workers > 1 sized the pool and 0 meant one per CPU.
             pool = None if self.workers in (None, 0) else self.workers
+            # Only forward a non-default adaptive_batching: the backends
+            # default to adaptive on, and None keeps BatchRunner's
+            # serial-rejection logic out of play.
+            adaptive = None if self.adaptive_batching else False
             if self.backend == "process":
                 return BatchRunner(
                     backend="process",
                     workers=pool,
                     chunk_size=self.chunk_size,
+                    adaptive_batching=adaptive,
                 )
-            return BatchRunner(workers=pool, chunk_size=self.chunk_size)
+            return BatchRunner(
+                workers=pool,
+                chunk_size=self.chunk_size,
+                adaptive_batching=adaptive,
+            )
         return BatchRunner(
             backend="distributed",
             chunk_size=self.chunk_size,
             cluster_workers=self.cluster_workers or None,
             url=self.url,
+            adaptive_batching=None if self.adaptive_batching else False,
         )
 
 

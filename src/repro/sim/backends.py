@@ -33,10 +33,19 @@ from __future__ import annotations
 import os
 import pickle
 import sys
+import time
 import weakref
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import (
+    Deque,
     Dict,
     List,
     Optional,
@@ -50,12 +59,13 @@ from repro.errors import ParameterError, SimulationError
 from repro.sim.energy import EnergyModel
 from repro.sim.executor import SimulationLimits
 from repro.sim.faults import FaultProcess
-from repro.sim.montecarlo import CellAccumulator, PolicyFactory, run_range
+from repro.sim.montecarlo import CellAccumulator, PolicyFactory, accumulate_range
 from repro.sim.task import TaskSpec
 
 __all__ = [
     "CellJob",
     "BlockTask",
+    "DispatchStats",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessBackend",
@@ -63,12 +73,23 @@ __all__ = [
     "BACKEND_NAMES",
     "make_backend",
     "execute_block",
+    "execute_batch",
+    "dispatch_kind",
     "plan_blocks",
     "default_workers",
 ]
 
 #: The backend names the string selector accepts (CLI ``--backend``).
 BACKEND_NAMES = ("serial", "process", "distributed")
+
+#: Target wall-clock per dispatched batch for latency-adaptive
+#: batching: long enough to amortise per-message overhead on cheap
+#: (fast-static) blocks, short enough that a worker claim never holds
+#: more than a fraction of a second of work from the other workers.
+DEFAULT_DISPATCH_TARGET = 0.25
+
+#: Upper bound on adaptively grown batch sizes.
+MAX_DISPATCH_BATCH = 64
 
 
 def default_workers() -> int:
@@ -105,9 +126,12 @@ class CellJob:
         Rep ``i`` draws from ``SeedSequence(seed, spawn_key=(i,))``
         whatever the block bounds, so ``block`` is unused here — the
         executor path is deterministic *per rep*, stronger than the
-        per-block contract the static fast path provides.
+        per-block contract the static fast path provides.  Runs flow
+        through the worker's reusable :class:`~repro.sim.montecarlo.
+        RunSlab` (bit-identical to per-rep accumulation, see
+        :func:`~repro.sim.montecarlo.accumulate_range`).
         """
-        results = run_range(
+        return accumulate_range(
             self.task,
             self.policy_factory,
             start=start,
@@ -118,7 +142,6 @@ class CellJob:
             faults_during_overhead=self.faults_during_overhead,
             limits=self.limits,
         )
-        return CellAccumulator().add_all(results)
 
 
 @dataclass(frozen=True)
@@ -140,6 +163,89 @@ class BlockTask:
 def execute_block(task: BlockTask) -> CellAccumulator:
     """Worker entry point (module-level so it pickles by reference)."""
     return task.job.run_block(task.block, task.start, task.stop)
+
+
+def execute_batch(
+    tasks: Sequence[BlockTask],
+) -> Tuple[List[CellAccumulator], float]:
+    """Run several block tasks in one worker round trip.
+
+    Returns the accumulators (input order) plus the *measured compute
+    seconds* for the whole batch — the latency observation that feeds
+    :class:`DispatchStats`.  Batching is transport-only: each block is
+    still evaluated by :func:`execute_block`, so results are bit-
+    identical whatever rides together.
+    """
+    started = time.perf_counter()
+    results = [execute_block(task) for task in tasks]
+    return results, time.perf_counter() - started
+
+
+def dispatch_kind(task: BlockTask) -> str:
+    """The latency class of a block task (its job type).
+
+    Static fast-path blocks are ~100× cheaper than event-executor
+    blocks, so latency statistics are kept per job type — one EWMA for
+    ``StaticCellJob``, one for ``CellJob`` — rather than pooled.
+    """
+    return type(task.job).__name__
+
+
+class DispatchStats:
+    """EWMA of observed per-block compute latency, per job kind.
+
+    Turns a latency target into a batch size: cheap blocks ride many to
+    a message, expensive blocks go one at a time.  Until a kind has an
+    observation its batch size is 1 — maximum parallelism, and the
+    first completions seed the estimate.  Purely a dispatch heuristic:
+    it never affects block boundaries, seeding, or merge order, so
+    results are bit-identical for any state of the statistics
+    (``tests/test_backend_conformance.py``).
+    """
+
+    __slots__ = ("target_seconds", "alpha", "max_batch", "_ewma")
+
+    def __init__(
+        self,
+        target_seconds: float = DEFAULT_DISPATCH_TARGET,
+        alpha: float = 0.25,
+        max_batch: int = MAX_DISPATCH_BATCH,
+    ) -> None:
+        if target_seconds <= 0:
+            raise ParameterError(
+                f"target_seconds must be > 0, got {target_seconds}"
+            )
+        if not 0 < alpha <= 1:
+            raise ParameterError(f"alpha must be in (0, 1], got {alpha}")
+        if max_batch < 1:
+            raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
+        self.target_seconds = float(target_seconds)
+        self.alpha = float(alpha)
+        self.max_batch = int(max_batch)
+        self._ewma: Dict[str, float] = {}
+
+    def observe(self, kind: str, block_seconds: float) -> None:
+        """Record the measured compute time of one block of ``kind``."""
+        if block_seconds < 0:
+            return
+        current = self._ewma.get(kind)
+        if current is None:
+            self._ewma[kind] = block_seconds
+        else:
+            self._ewma[kind] = (
+                self.alpha * block_seconds + (1.0 - self.alpha) * current
+            )
+
+    def block_latency(self, kind: str) -> Optional[float]:
+        """Current latency estimate for ``kind`` (None before data)."""
+        return self._ewma.get(kind)
+
+    def batch_size(self, kind: str) -> int:
+        """Blocks of ``kind`` to ride one message, from the EWMA."""
+        latency = self._ewma.get(kind)
+        if latency is None or latency <= 0:
+            return 1
+        return max(1, min(int(self.target_seconds / latency), self.max_batch))
 
 
 def plan_blocks(jobs: Sequence[object], block_size: int) -> List[BlockTask]:
@@ -196,20 +302,44 @@ class SerialBackend:
 class ProcessBackend:
     """Block execution over a lazily created, reused process pool.
 
+    Dispatch is **latency-adaptive** (on by default): consecutive
+    same-kind blocks are grouped so one pool round trip carries
+    ``target_seconds`` of estimated compute — fast-static blocks (cheap)
+    ride dozens to a message while executor blocks go individually, so
+    mixed grids neither convoy behind per-future overhead nor
+    load-imbalance behind huge claims.  Submission is windowed: groups
+    are sized with the *current* EWMA as earlier groups complete.
+    Grouping is transport-only — block boundaries, seeding and merge
+    order are untouched, so results are bit-identical with adaptive
+    batching on or off (``tests/test_backend_conformance.py``).
+
     Parameters
     ----------
     workers:
         Worker processes; ``None`` means :func:`default_workers`.
+    adaptive_batching:
+        ``False`` pins every group to one block (the pre-adaptive
+        dispatch); ``None``/``True`` enables the EWMA sizing.
     """
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        adaptive_batching: Optional[bool] = None,
+        dispatch_stats: Optional[DispatchStats] = None,
+    ) -> None:
         if workers is None:
             workers = default_workers()
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
+        self.adaptive_batching = (
+            True if adaptive_batching is None else bool(adaptive_batching)
+        )
+        self.dispatch_stats = dispatch_stats or DispatchStats()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
 
@@ -220,36 +350,89 @@ class ProcessBackend:
             self._finalizer = None
         self._pool = None
 
+    def _next_group(
+        self, tasks: Sequence[BlockTask], pending: Deque[int]
+    ) -> Tuple[List[int], str]:
+        """Pop the next dispatch group: consecutive blocks of one kind."""
+        head_kind = dispatch_kind(tasks[pending[0]])
+        size = (
+            self.dispatch_stats.batch_size(head_kind)
+            if self.adaptive_batching
+            else 1
+        )
+        group = [pending.popleft()]
+        while pending and len(group) < size:
+            if dispatch_kind(tasks[pending[0]]) != head_kind:
+                break
+            group.append(pending.popleft())
+        return group, head_kind
+
     def run_tasks(self, tasks: Sequence[BlockTask]) -> List[CellAccumulator]:
         results: List[Optional[CellAccumulator]] = [None] * len(tasks)
         pooled, local = partition_shippable(tasks)
-        futures: List[Tuple[int, Future]] = []
-        try:
-            for index in pooled:
-                futures.append(
-                    (index, self._ensure_pool().submit(execute_block, tasks[index]))
-                )
-        except BrokenExecutor:
-            # The pool died while we were still handing it work (e.g. a
-            # worker OOM-killed between batches); the unsubmitted tail
-            # runs in-process below.
-            self.close()
+        pending: Deque[int] = deque(pooled)
+        in_flight: Dict[Future, Tuple[List[int], str]] = {}
+        # Enough groups in flight to keep every worker busy while the
+        # EWMA converges; small enough that late groups still benefit
+        # from updated batch sizes.
+        window = self.workers * 2
+        broken = False
+
+        def submit_upto_window() -> None:
+            nonlocal broken
+            while not broken and pending and len(in_flight) < window:
+                group, kind = self._next_group(tasks, pending)
+                try:
+                    future = self._ensure_pool().submit(
+                        execute_batch, [tasks[index] for index in group]
+                    )
+                except BrokenExecutor:
+                    # The pool died while we were still handing it work
+                    # (e.g. a worker OOM-killed between batches); the
+                    # unsubmitted remainder runs in-process below.
+                    pending.extendleft(reversed(group))
+                    self.close()
+                    broken = True
+                    return
+                in_flight[future] = (group, kind)
+
+        def collect(done) -> None:
+            nonlocal broken
+            for future in done:
+                group, kind = in_flight.pop(future)
+                try:
+                    accumulators, elapsed = future.result()
+                except BrokenExecutor:
+                    # A dead worker poisons the whole executor; discard
+                    # it (the next batch gets a fresh one) and recompute
+                    # in-process — the work is deterministic, so the
+                    # backend must not fail where the serial path would
+                    # have succeeded.
+                    self.close()
+                    broken = True
+                    for index in group:
+                        results[index] = execute_block(tasks[index])
+                else:
+                    self.dispatch_stats.observe(kind, elapsed / len(group))
+                    for index, accumulator in zip(group, accumulators):
+                        results[index] = accumulator
+
+        submit_upto_window()
         # Unshippable blocks run in-process *while* the pool works on
-        # the submitted ones, so a mixed grid overlaps both phases.
+        # the submitted ones, so a mixed grid overlaps both phases; a
+        # zero-timeout sweep after each local block keeps the window
+        # topped up so the pool never idles behind the local loop.
         for index in local:
             results[index] = execute_block(tasks[index])
-        for index, future in futures:
-            try:
-                results[index] = future.result()
-            except BrokenExecutor:
-                # A dead worker poisons the whole executor; discard it
-                # (the next batch gets a fresh one) and recompute this
-                # block in-process — the work is deterministic, so the
-                # backend must not fail where the serial path would
-                # have succeeded.
-                self.close()
-                results[index] = execute_block(tasks[index])
-        for index in pooled[len(futures):]:
+            if in_flight:
+                done, _ = wait(in_flight, timeout=0)
+                collect(done)
+                submit_upto_window()
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            collect(done)
+            submit_upto_window()
+        for index in pending:  # pool broke: finish the tail in-process
             results[index] = execute_block(tasks[index])
         return results  # type: ignore[return-value] - every slot filled
 
@@ -321,6 +504,7 @@ class DistributedBackend:
         batch_size: Optional[int] = None,
         max_retries: Optional[int] = None,
         connect_timeout: float = 10.0,
+        adaptive_batching: Optional[bool] = None,
     ) -> None:
         if isinstance(cluster, int):
             from repro.sim.distributed import LocalCluster
@@ -331,6 +515,7 @@ class DistributedBackend:
         self.batch_size = batch_size
         self.max_retries = max_retries
         self.connect_timeout = connect_timeout
+        self.adaptive_batching = adaptive_batching
         self._coordinator = None
 
     @property
@@ -363,6 +548,8 @@ class DistributedBackend:
                 kwargs["batch_size"] = self.batch_size
             if self.max_retries is not None:
                 kwargs["max_retries"] = self.max_retries
+            if self.adaptive_batching is not None:
+                kwargs["adaptive_batching"] = self.adaptive_batching
             self._coordinator = Coordinator(
                 self.url or "tcp://127.0.0.1:0", **kwargs
             )
@@ -405,6 +592,7 @@ def make_backend(
     workers: Optional[int] = None,
     cluster_workers: Optional[int] = None,
     url: Optional[str] = None,
+    adaptive_batching: Optional[bool] = None,
 ):
     """Resolve a backend selector to an :class:`ExecutionBackend`.
 
@@ -418,14 +606,24 @@ def make_backend(
       ``cluster_workers`` it spawns that many loopback worker
       subprocesses, with ``url`` it binds the coordinator there for
       externally started workers.
+
+    ``adaptive_batching`` (``None`` = backend default, i.e. on)
+    controls latency-adaptive dispatch for the parallel backends; it is
+    a pure dispatch knob with no effect on results, and meaningless
+    (rejected) for ``"serial"``.
     """
     if not isinstance(backend, str):
         if isinstance(backend, ExecutionBackend):
-            if workers is not None or cluster_workers or url is not None:
+            if (
+                workers is not None
+                or cluster_workers
+                or url is not None
+                or adaptive_batching is not None
+            ):
                 raise ParameterError(
-                    "workers/cluster_workers/url cannot reconfigure an "
-                    "already-constructed backend instance; pass them when "
-                    "building it, or use a backend name"
+                    "workers/cluster_workers/url/adaptive_batching cannot "
+                    "reconfigure an already-constructed backend instance; "
+                    "pass them when building it, or use a backend name"
                 )
             return backend
         raise ParameterError(
@@ -446,12 +644,19 @@ def make_backend(
             + (" (use cluster_workers)" if backend == "distributed" else "")
         )
     if backend == "serial":
+        if adaptive_batching is not None:
+            raise ParameterError(
+                "adaptive_batching does not apply to backend='serial' "
+                "(there is no dispatch to batch)"
+            )
         return SerialBackend()
     if backend == "process":
-        return ProcessBackend(workers)
+        return ProcessBackend(workers, adaptive_batching=adaptive_batching)
     if backend == "distributed":
         cluster = cluster_workers if cluster_workers else None
-        return DistributedBackend(url=url, cluster=cluster)
+        return DistributedBackend(
+            url=url, cluster=cluster, adaptive_batching=adaptive_batching
+        )
     raise ParameterError(
         f"unknown backend {backend!r}; valid names: {', '.join(BACKEND_NAMES)}"
     )

@@ -38,7 +38,11 @@ Wire protocol (every frame: ``>Q`` length prefix + pickle of a tuple):
 coordinator → worker          ``("tasks", epoch, [(index, BlockTask)…])``,
                               ``("ping",)``, ``("shutdown",)``
 worker → coordinator          ``("hello", pid)``,
-                              ``("result", epoch, index, CellAccumulator)``,
+                              ``("result", epoch, index,
+                              CellAccumulator, seconds)`` (the trailing
+                              compute-seconds float feeds adaptive
+                              claim sizing; 4-tuples from older workers
+                              are accepted),
                               ``("error", epoch, index, text)``,
                               ``("pong",)``
 ===========================  =========================================
@@ -67,7 +71,13 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ParameterError, SimulationError
-from repro.sim.backends import BlockTask, execute_block, partition_shippable
+from repro.sim.backends import (
+    BlockTask,
+    DispatchStats,
+    dispatch_kind,
+    execute_block,
+    partition_shippable,
+)
 from repro.sim.montecarlo import CellAccumulator
 
 __all__ = [
@@ -299,6 +309,7 @@ def serve_worker(
                 for index, block_task in batch:
                     if max_tasks is not None and completed >= max_tasks:
                         return 0  # injected crash: abandon rest of batch
+                    started = time.perf_counter()
                     try:
                         accumulator = execute_block(block_task)
                     except Exception:
@@ -306,7 +317,18 @@ def serve_worker(
                             sock, ("error", epoch, index, traceback.format_exc())
                         )
                     else:
-                        _send_msg(sock, ("result", epoch, index, accumulator))
+                        # The measured compute seconds feed the
+                        # coordinator's latency-adaptive batch sizing.
+                        _send_msg(
+                            sock,
+                            (
+                                "result",
+                                epoch,
+                                index,
+                                accumulator,
+                                time.perf_counter() - started,
+                            ),
+                        )
                         completed += 1
         except (ConnectionError, OSError):
             return 0  # coordinator gone (even mid-send): nothing to serve
@@ -356,6 +378,7 @@ class Coordinator:
         heartbeat: float = DEFAULT_HEARTBEAT,
         poll_interval: float = 0.05,
         secret: Optional[bytes] = None,
+        adaptive_batching: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
@@ -363,6 +386,14 @@ class Coordinator:
             raise ParameterError(f"max_retries must be >= 1, got {max_retries}")
         self.batch_size = int(batch_size)
         self.max_retries = int(max_retries)
+        #: Latency-adaptive claim sizing (see :class:`~repro.sim.
+        #: backends.DispatchStats`): workers report per-block compute
+        #: seconds with each result, and a claim takes up to
+        #: ``target/EWMA`` consecutive same-kind tasks instead of the
+        #: fixed ``batch_size``.  Dispatch-only — results are
+        #: bit-identical either way.
+        self.adaptive_batching = bool(adaptive_batching)
+        self.dispatch_stats = DispatchStats()
         self.heartbeat = float(heartbeat)
         self.poll_interval = float(poll_interval)
         self._secret = _default_secret() if secret is None else secret
@@ -565,8 +596,12 @@ class Coordinator:
                     message = _recv_msg(sock)
                     kind = message[0]
                     if kind == "result":
-                        _, ep, index, accumulator = message
-                        self._record(link, ep, index, accumulator)
+                        # 5-tuple since the adaptive-dispatch protocol
+                        # (trailing compute seconds); 4-tuple accepted
+                        # for older workers.
+                        _, ep, index, accumulator = message[:4]
+                        seconds = message[4] if len(message) > 4 else None
+                        self._record(link, ep, index, accumulator, seconds)
                         remaining.discard(index)
                     elif kind == "error":
                         _, ep, index, text = message
@@ -590,9 +625,39 @@ class Coordinator:
                     return None
                 if self._active and self._queue:
                     epoch = self._epoch
+                    adaptive = self.adaptive_batching
+                    if adaptive:
+                        # Latency-adaptive claim sizing: take
+                        # consecutive same-kind tasks worth ~the
+                        # dispatch target of estimated compute.  The
+                        # configured batch_size stays the
+                        # pre-observation claim size (an explicitly
+                        # tuned value keeps working on high-latency
+                        # links); once the kind has a latency sample
+                        # the EWMA sizing takes over.  An adaptive
+                        # claim never mixes kinds, so a cheap
+                        # fast-static run cannot hide an expensive
+                        # executor block inside a big claim.
+                        head_kind = dispatch_kind(self._tasks[self._queue[0]])
+                        if self.dispatch_stats.block_latency(head_kind) is None:
+                            size = self.batch_size
+                        else:
+                            size = self.dispatch_stats.batch_size(head_kind)
+                    else:
+                        # Disabled: exactly the pre-adaptive dispatch —
+                        # fixed batch_size, kinds mixed freely.
+                        head_kind = None
+                        size = self.batch_size
                     batch: List[Tuple[int, BlockTask]] = []
-                    while self._queue and len(batch) < self.batch_size:
-                        index = self._queue.popleft()
+                    while self._queue and len(batch) < size:
+                        index = self._queue[0]
+                        if (
+                            adaptive
+                            and batch
+                            and dispatch_kind(self._tasks[index]) != head_kind
+                        ):
+                            break
+                        self._queue.popleft()
                         self._attempts[index] = self._attempts.get(index, 0) + 1
                         link.in_flight.add((epoch, index))
                         batch.append((index, self._tasks[index]))
@@ -608,13 +673,23 @@ class Coordinator:
         epoch: int,
         index: int,
         accumulator: CellAccumulator,
+        seconds: Optional[float] = None,
     ) -> None:
-        """Resolve a task exactly once; stale or duplicate results drop."""
+        """Resolve a task exactly once; stale or duplicate results drop.
+
+        ``seconds`` is the worker-measured compute time of the block
+        (None for local recomputes and pre-adaptive workers); it feeds
+        the latency EWMA behind adaptive claim sizing.
+        """
         with self._cond:
             if link is not None:
                 link.in_flight.discard((epoch, index))
             if not self._active or epoch != self._epoch or index in self._resolved:
                 return
+            if seconds is not None and isinstance(seconds, float):
+                self.dispatch_stats.observe(
+                    dispatch_kind(self._tasks[index]), seconds
+                )
             self._results[index] = accumulator
             self._resolved.add(index)
             self._cond.notify_all()

@@ -28,18 +28,46 @@ landing inside checkpoint overhead windows are ignored — the convention
 of the paper's analysis and, empirically, of its simulator (DESIGN.md
 §5); set ``faults_during_overhead=True`` to have them corrupt state
 too.
+
+Hot path
+--------
+The interval loop is the per-rep cost of every Monte-Carlo cell, so it
+is written against a fixed arithmetic contract: **every float operation
+happens in the same order as the reference implementation**, which is
+what keeps :class:`RunResult`\\ s (and therefore the block-merged
+``CellEstimate``\\ s) bit-identical while the bookkeeping around them
+gets cheaper.  Concretely:
+
+* fault arrivals come from the *batched* :class:`~repro.sim.faults.
+  FaultStream` (``take_until`` resolves a whole segment's faults in one
+  ``searchsorted``) whose arrival values are bit-identical to the
+  sequential iterator;
+* per-segment energy is ``coef · cycles`` with ``coef = (n·V(f))·V(f)``
+  cached per frequency — the exact operation order of
+  :meth:`~repro.sim.energy.EnergyModel.segment_energy`, minus the
+  per-segment lambda call and dict updates;
+* trace callbacks are skipped entirely when the recorder is the
+  :data:`~repro.sim.trace.NULL_RECORDER` no-op singleton;
+* per-interval scratch (:class:`_Corruption`) is pooled per run, and
+  :func:`execute_once` exposes the loop without building a
+  :class:`RunResult` (no ``cycles_by_frequency`` dict) for callers that
+  only fold counters — the slab path of
+  :func:`repro.sim.montecarlo.accumulate_range`.
+
+``benchmarks/bench_executor.py`` tracks the resulting reps/s and CI
+fails the perf-smoke job on a >2× regression.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.checkpoints import CheckpointKind
 from repro.errors import ParameterError, SimulationError
-from repro.sim.energy import EnergyAccount, EnergyModel
+from repro.sim.energy import EnergyModel
 from repro.sim.faults import FaultProcess, FaultStream
 from repro.sim.state import ExecutionState
 from repro.sim.task import TaskSpec
@@ -48,10 +76,29 @@ from repro.sim.trace import NULL_RECORDER, TraceRecorder
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.schemes import CheckpointPolicy
 
-__all__ = ["RunResult", "SimulationLimits", "simulate_run"]
+__all__ = ["RunResult", "RunOutcome", "SimulationLimits", "simulate_run",
+           "execute_once", "default_energy_model"]
 
 #: Work below this many cycles counts as "finished" (guards float drift).
 _CYCLE_EPS = 1e-9
+
+#: Minimum meaningful sub-interval span in cycles: ``m`` is clamped so
+#: no sub-interval falls below it.  Shared by _effective_subdivisions
+#: and its inline copy in the fused loop — the two must stay
+#: operation-identical for the traced ≡ fused bit-identity contract.
+_MIN_SUB_CYCLES = 1e-6
+
+#: Cached default model — building ``EnergyModel.paper_dmr()`` per run
+#: is measurable at Monte-Carlo scale and the instance is immutable.
+_DEFAULT_MODEL: Optional[EnergyModel] = None
+
+
+def default_energy_model() -> EnergyModel:
+    """The shared calibrated paper model (one instance per process)."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = EnergyModel.paper_dmr()
+    return _DEFAULT_MODEL
 
 
 @dataclass(frozen=True)
@@ -94,34 +141,154 @@ class RunResult:
         return self.timely
 
 
-@dataclass
-class _Corruption:
-    """Tracks state divergence since the last consistent point."""
+@dataclass(slots=True)
+class RunOutcome:
+    """The accumulator-facing subset of a run's outcome.
 
-    first_fault_time: Optional[float] = None
-    count: int = 0
+    What :func:`execute_once` returns: everything a
+    :class:`~repro.sim.montecarlo.CellAccumulator` folds, nothing it
+    does not (no per-frequency cycle map, no failure taxonomy) — the
+    payload the slab path writes straight into NumPy scratch arrays.
+    (A slotted, non-frozen dataclass: it is created once per rep.)
+    """
+
+    completed: bool
+    timely: bool
+    finish_time: float
+    energy: float
+    detected_faults: int
+    injected_faults: int
+    checkpoints: int
+    sub_checkpoints: int
+    rollbacks: int
+
+
+class _Corruption:
+    """Tracks state divergence since the last consistent point.
+
+    Pooled per run (two instances cover the working corruption and the
+    rollback-window carry) instead of allocated per interval.
+    """
+
+    __slots__ = ("first_fault_time", "count")
+
+    def __init__(self) -> None:
+        self.first_fault_time: Optional[float] = None
+        self.count = 0
+
+    def reset(self) -> None:
+        self.first_fault_time = None
+        self.count = 0
 
     def record(self, time: float) -> None:
         if self.first_fault_time is None:
             self.first_fault_time = time
         self.count += 1
 
+    def record_many(self, times) -> None:
+        """Fold a segment's arrivals (ordered, non-empty) in one call."""
+        if self.first_fault_time is None:
+            self.first_fault_time = float(times[0])
+        self.count += len(times)
+
     @property
     def corrupted(self) -> bool:
         return self.first_fault_time is not None
 
 
-@dataclass
-class _Interval:
-    """Bookkeeping for executing one CSCP interval."""
+class _Environment:
+    """Per-run context threaded through the interval runner.
 
-    committed_cycles: float = 0.0
-    detected: bool = False
-    corruption: _Corruption = field(default_factory=_Corruption)
-    #: Corruption introduced during the rollback overhead itself (only
-    #: possible with ``faults_during_overhead``); it poisons the *next*
-    #: attempt, whose comparison will detect it.
-    carry: Optional[_Corruption] = None
+    Owns the cached head of the fault stream (``next_fault``) so the
+    common no-fault segment costs one float compare, the per-frequency
+    energy coefficients, and the running totals the loop updates.
+    """
+
+    __slots__ = (
+        "state",
+        "stream",
+        "recorder",
+        "tracing",
+        "overhead_corrupting",
+        "next_fault",
+        "energy",
+        "cycles_map",
+        "coef",
+        "coef_freq",
+        "_coefs",
+        "_voltage_of",
+        "_nproc",
+    )
+
+    def __init__(
+        self,
+        state: ExecutionState,
+        stream: FaultStream,
+        model: EnergyModel,
+        faults_during_overhead: bool,
+        recorder: TraceRecorder,
+        cycles_map: Optional[Dict[float, float]],
+    ) -> None:
+        self.state = state
+        self.stream = stream
+        self.recorder = recorder
+        self.tracing = recorder is not NULL_RECORDER
+        self.overhead_corrupting = faults_during_overhead
+        self.next_fault = stream.peek()
+        self.energy = 0.0
+        self.cycles_map = cycles_map
+        self._voltage_of = model.voltage_of
+        self._nproc = model.n_processors
+        self._coefs: Dict[float, float] = {}
+        self.coef = 0.0
+        self.coef_freq = -1.0  # sentinel: no frequency is negative
+
+    def _coefficient(self, frequency: float) -> float:
+        """Energy per cycle at ``frequency`` — ``(n·V(f))·V(f)``.
+
+        Exactly :meth:`EnergyModel.segment_energy`'s operation order
+        (``n * v * v * cycles`` associates left), so ``coef * cycles``
+        is bit-identical to the per-segment computation.
+        """
+        coef = self._coefs.get(frequency)
+        if coef is None:
+            voltage = self._voltage_of(frequency)
+            coef = self._nproc * voltage * voltage
+            self._coefs[frequency] = coef
+        self.coef = coef
+        self.coef_freq = frequency
+        return coef
+
+    def advance(
+        self, cycles: float, corruption: _Corruption, corrupting: bool, label: str
+    ) -> None:
+        """Advance time by ``cycles`` at the current speed; resolve faults."""
+        if cycles == 0.0:
+            return
+        if cycles < 0:
+            raise ParameterError(f"cannot advance by negative cycles: {cycles}")
+        state = self.state
+        frequency = state.frequency
+        start = state.clock
+        end = start + cycles / frequency
+        if self.next_fault <= end:
+            times = self.stream.take_until(end)
+            state.injected_faults += len(times)
+            if self.tracing:
+                recorder = self.recorder
+                for time in times:
+                    recorder.fault(float(time), corrupting=corrupting)
+            if corrupting and len(times):
+                corruption.record_many(times)
+            self.next_fault = self.stream.peek()
+        state.clock = end
+        coef = self.coef if frequency == self.coef_freq else self._coefficient(frequency)
+        self.energy += coef * cycles
+        cycles_map = self.cycles_map
+        if cycles_map is not None:
+            cycles_map[frequency] = cycles_map.get(frequency, 0.0) + cycles
+        if self.tracing:
+            self.recorder.segment(label, frequency, start, end, cycles)
 
 
 def simulate_run(
@@ -161,69 +328,30 @@ def simulate_run(
         Optional :class:`~repro.sim.trace.TraceRecorder`.
     """
     if energy_model is None:
-        energy_model = EnergyModel.paper_dmr()
+        energy_model = default_energy_model()
     if rng is None:
         rng = np.random.default_rng()
 
-    stream = faults.stream(rng)
-    state = ExecutionState.fresh(task)
-    account = EnergyAccount(energy_model)
-    env = _Environment(
-        state=state,
-        account=account,
-        stream=stream,
-        faults_during_overhead=faults_during_overhead,
-        recorder=recorder,
+    cycles_map: Dict[float, float] = {}
+    state, energy, failure = _execute(
+        task,
+        policy,
+        faults.stream(rng),
+        energy_model,
+        faults_during_overhead,
+        limits,
+        recorder,
+        cycles_map,
     )
-
-    policy.start(state)
-    recorder.speed(state.clock, state.frequency)
-
-    failure: Optional[str] = None
-    carried: Optional[_Corruption] = None
-    intervals = 0
-    while state.remaining_cycles > _CYCLE_EPS:
-        intervals += 1
-        if intervals > limits.max_intervals:
-            raise SimulationError(
-                f"run exceeded {limits.max_intervals} CSCP intervals; "
-                "policy/executor inconsistency"
-            )
-        if state.remaining_time > state.deadline_left:
-            failure = "deadline_infeasible"
-            break
-        if state.clock > limits.horizon(task):
-            failure = "horizon"
-            break
-
-        plan = policy.plan(state)
-        outcome = _run_interval(env, plan, carried)
-        carried = outcome.carry
-        state.remaining_cycles -= outcome.committed_cycles
-        if outcome.detected:
-            state.detected_faults += 1
-            state.rollbacks += 1
-            state.faults_left -= 1
-            previous_frequency = state.frequency
-            policy.on_fault(state)
-            if state.frequency != previous_frequency:
-                recorder.speed(state.clock, state.frequency)
-
     completed = state.remaining_cycles <= _CYCLE_EPS
     timely = completed and state.clock <= task.deadline + _CYCLE_EPS
-    if completed:
-        failure = None
-    elif failure is None:
-        failure = "deadline_infeasible"
-    recorder.finish(state.clock, completed=completed, timely=timely)
-
     return RunResult(
         completed=completed,
         timely=timely,
         finish_time=state.clock,
-        energy=account.total,
-        cycles_executed=account.total_cycles,
-        cycles_by_frequency=dict(account.cycles_by_frequency),
+        energy=energy,
+        cycles_executed=sum(cycles_map.values()),
+        cycles_by_frequency=cycles_map,
         detected_faults=state.detected_faults,
         injected_faults=state.injected_faults,
         checkpoints=state.checkpoints,
@@ -233,59 +361,168 @@ def simulate_run(
     )
 
 
-@dataclass
-class _Environment:
-    """Bundles the per-run context threaded through the interval runner."""
+def execute_once(
+    task: TaskSpec,
+    policy: "CheckpointPolicy",
+    faults: FaultProcess,
+    energy_model: Optional[EnergyModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    faults_during_overhead: bool = False,
+    limits: SimulationLimits = SimulationLimits(),
+) -> RunOutcome:
+    """One run, returning only what the accumulators fold.
 
-    state: ExecutionState
-    account: EnergyAccount
-    stream: FaultStream
-    faults_during_overhead: bool
-    recorder: TraceRecorder
+    The slab-path twin of :func:`simulate_run`: identical simulation
+    (bit-for-bit — same stream, same arithmetic), but no
+    ``cycles_by_frequency`` dict is maintained and no
+    :class:`RunResult`/failure taxonomy is built, which is measurable
+    at 10,000-rep cell scale.
+    """
+    if energy_model is None:
+        energy_model = default_energy_model()
+    if rng is None:
+        rng = np.random.default_rng()
+    state, energy, _failure = _execute(
+        task,
+        policy,
+        faults.stream(rng),
+        energy_model,
+        faults_during_overhead,
+        limits,
+        NULL_RECORDER,
+        None,
+    )
+    completed = state.remaining_cycles <= _CYCLE_EPS
+    timely = completed and state.clock <= task.deadline + _CYCLE_EPS
+    return RunOutcome(
+        completed=completed,
+        timely=timely,
+        finish_time=state.clock,
+        energy=energy,
+        detected_faults=state.detected_faults,
+        injected_faults=state.injected_faults,
+        checkpoints=state.checkpoints,
+        sub_checkpoints=state.sub_checkpoints,
+        rollbacks=state.rollbacks,
+    )
 
-    def advance_execution(self, cycles: float, corruption: _Corruption) -> None:
-        """Advance time executing useful work; faults corrupt state."""
-        self._advance(cycles, corruption, corrupting=True, label="exec")
 
-    def advance_overhead(
-        self, cycles: float, corruption: _Corruption, label: str
-    ) -> None:
-        """Advance time on checkpoint/rollback overhead."""
-        self._advance(
-            cycles, corruption, corrupting=self.faults_during_overhead, label=label
+def _execute(
+    task: TaskSpec,
+    policy: "CheckpointPolicy",
+    stream: FaultStream,
+    energy_model: EnergyModel,
+    faults_during_overhead: bool,
+    limits: SimulationLimits,
+    recorder: TraceRecorder,
+    cycles_map: Optional[Dict[float, float]],
+) -> Tuple[ExecutionState, float, Optional[str]]:
+    """Run the interval loop; returns ``(state, energy, failure)``.
+
+    Dispatches between two implementations with identical arithmetic:
+    the traced path (per-segment recorder callbacks, object-based
+    bookkeeping) and the fused Monte-Carlo hot path (everything in
+    locals, no per-segment calls) taken whenever no recorder is
+    attached.  ``tests/test_executor_slab.py`` pins their bit-equality.
+    """
+    if recorder is NULL_RECORDER:
+        return _execute_fast(
+            task, policy, stream, energy_model, faults_during_overhead,
+            limits, cycles_map,
         )
+    return _execute_traced(
+        task, policy, stream, energy_model, faults_during_overhead,
+        limits, recorder, cycles_map,
+    )
 
-    def _advance(
-        self, cycles: float, corruption: _Corruption, *, corrupting: bool, label: str
-    ) -> None:
-        if cycles < 0:
-            raise ParameterError(f"cannot advance by negative cycles: {cycles}")
-        if cycles == 0:
-            return
-        state = self.state
-        frequency = state.frequency
-        start = state.clock
-        end = start + cycles / frequency
-        while self.stream.peek() <= end:
-            fault_time = self.stream.pop()
-            state.injected_faults += 1
-            self.recorder.fault(fault_time, corrupting=corrupting)
-            if corrupting:
-                corruption.record(fault_time)
-        state.clock = end
-        self.account.charge(frequency, cycles)
-        self.recorder.segment(label, frequency, start, end, cycles)
+
+def _execute_traced(
+    task: TaskSpec,
+    policy: "CheckpointPolicy",
+    stream: FaultStream,
+    energy_model: EnergyModel,
+    faults_during_overhead: bool,
+    limits: SimulationLimits,
+    recorder: TraceRecorder,
+    cycles_map: Optional[Dict[float, float]],
+) -> Tuple[ExecutionState, float, Optional[str]]:
+    """The reference interval loop, with trace callbacks."""
+    state = ExecutionState.fresh(task)
+    env = _Environment(
+        state, stream, energy_model, faults_during_overhead, recorder, cycles_map
+    )
+    policy.start(state)
+    tracing = env.tracing
+    if tracing:
+        recorder.speed(state.clock, state.frequency)
+
+    failure: Optional[str] = None
+    # Pooled corruption trackers: `carried` aliases one of them (or is
+    # None) and the other is free for the next rollback window.
+    corr_a = _Corruption()
+    corr_b = _Corruption()
+    carried: Optional[_Corruption] = None
+    intervals = 0
+    max_intervals = limits.max_intervals
+    horizon = limits.horizon(task)
+    while state.remaining_cycles > _CYCLE_EPS:
+        intervals += 1
+        if intervals > max_intervals:
+            raise SimulationError(
+                f"run exceeded {max_intervals} CSCP intervals; "
+                "policy/executor inconsistency"
+            )
+        if state.remaining_time > state.deadline_left:
+            failure = "deadline_infeasible"
+            break
+        if state.clock > horizon:
+            failure = "horizon"
+            break
+
+        plan = policy.plan(state)
+        if carried is None:
+            corruption = corr_a
+            corruption.reset()
+            spare = corr_b
+        else:
+            # A rollback window corrupted the restored state: it
+            # poisons this attempt, whose comparison will detect it.
+            corruption = carried
+            spare = corr_a if carried is corr_b else corr_b
+        committed, detected = _run_interval(env, plan, corruption, spare)
+        carried = spare if detected and spare.corrupted else None
+        state.remaining_cycles -= committed
+        if detected:
+            state.detected_faults += 1
+            state.rollbacks += 1
+            state.faults_left -= 1
+            previous_frequency = state.frequency
+            policy.on_fault(state)
+            if tracing and state.frequency != previous_frequency:
+                recorder.speed(state.clock, state.frequency)
+
+    completed = state.remaining_cycles <= _CYCLE_EPS
+    if completed:
+        failure = None
+    elif failure is None:
+        failure = "deadline_infeasible"
+    if tracing:
+        timely = completed and state.clock <= task.deadline + _CYCLE_EPS
+        recorder.finish(state.clock, completed=completed, timely=timely)
+    return state, env.energy, failure
 
 
 def _run_interval(
-    env: _Environment, plan, carried: Optional[_Corruption] = None
-) -> _Interval:
+    env: _Environment, plan, corruption: _Corruption, spare: _Corruption
+) -> Tuple[float, bool]:
     """Execute one CSCP interval according to ``plan``.
 
-    ``carried`` is corruption inherited from a preceding rollback window
-    (see :class:`_Interval`).  Returns the committed work and whether a
-    fault was detected (the rollback cost is already charged when it
-    was).
+    ``corruption`` is the working tracker (possibly carrying corruption
+    inherited from a preceding rollback window); ``spare`` is the free
+    pooled tracker a rollback window may write into.  Returns
+    ``(committed_cycles, detected)`` — the rollback cost is already
+    charged when a fault was detected.
     """
     state = env.state
     costs = state.task.costs
@@ -296,77 +533,423 @@ def _run_interval(
     sub_cycles = interval_cycles / m
     sub_kind: CheckpointKind = plan.sub_kind
 
-    outcome = _Interval()
-    if carried is not None and carried.corrupted:
-        outcome.corruption = carried
-    corruption = outcome.corruption
+    tracing = env.tracing
+    overhead_corrupting = env.overhead_corrupting
+    advance = env.advance
     clean_boundary = 0  # index of last sub-boundary with consistent stored state
 
     for index in range(1, m + 1):
-        env.advance_execution(sub_cycles, corruption)
+        advance(sub_cycles, corruption, True, "exec")
         if index < m:
             state.sub_checkpoints += 1
             if sub_kind is CheckpointKind.SCP:
                 # Store without comparing: detection waits for the CSCP.
-                env.advance_overhead(costs.store_cycles, corruption, "scp")
-                env.recorder.checkpoint(state.clock, CheckpointKind.SCP)
+                advance(costs.store_cycles, corruption, overhead_corrupting, "scp")
+                if tracing:
+                    env.recorder.checkpoint(state.clock, CheckpointKind.SCP)
                 if not corruption.corrupted:
                     clean_boundary = index
             elif sub_kind is CheckpointKind.CCP:
-                env.advance_overhead(costs.compare_cycles, corruption, "ccp")
-                env.recorder.checkpoint(state.clock, CheckpointKind.CCP)
+                advance(costs.compare_cycles, corruption, overhead_corrupting, "ccp")
+                if tracing:
+                    env.recorder.checkpoint(state.clock, CheckpointKind.CCP)
                 if corruption.corrupted:
                     # Early detection: roll back to the opening CSCP.
-                    _detect(env, outcome, committed=0.0)
-                    return outcome
+                    _detect(env, spare, committed=0.0)
+                    return 0.0, True
             else:
                 # Interior CSCP: compare AND store — detect early, and a
                 # clean pass becomes the new rollback target.
-                env.advance_overhead(costs.checkpoint_cycles, corruption, "cscp")
-                env.recorder.checkpoint(state.clock, CheckpointKind.CSCP)
+                advance(
+                    costs.checkpoint_cycles, corruption, overhead_corrupting, "cscp"
+                )
+                if tracing:
+                    env.recorder.checkpoint(state.clock, CheckpointKind.CSCP)
                 if corruption.corrupted:
-                    _detect(
-                        env, outcome, committed=clean_boundary * sub_cycles
-                    )
-                    return outcome
+                    committed = clean_boundary * sub_cycles
+                    _detect(env, spare, committed=committed)
+                    return committed, True
                 clean_boundary = index
 
     # Closing CSCP: compare (detects any divergence) and store.
-    env.advance_overhead(costs.checkpoint_cycles, corruption, "cscp")
+    advance(costs.checkpoint_cycles, corruption, overhead_corrupting, "cscp")
     state.checkpoints += 1
-    env.recorder.checkpoint(state.clock, CheckpointKind.CSCP)
+    if tracing:
+        env.recorder.checkpoint(state.clock, CheckpointKind.CSCP)
 
     if corruption.corrupted:
         if sub_kind is CheckpointKind.SCP:
             committed = clean_boundary * sub_cycles
         else:
             committed = 0.0
-        _detect(env, outcome, committed=committed)
-        return outcome
+        _detect(env, spare, committed=committed)
+        return committed, True
 
-    outcome.committed_cycles = interval_cycles
-    return outcome
+    return interval_cycles, False
 
 
-def _detect(env: _Environment, outcome: _Interval, *, committed: float) -> None:
-    """Charge the rollback and fill in the outcome of a failed interval.
+def _execute_fast(
+    task: TaskSpec,
+    policy: "CheckpointPolicy",
+    stream: FaultStream,
+    energy_model: EnergyModel,
+    overhead_corrupting: bool,
+    limits: SimulationLimits,
+    cycles_map: Optional[Dict[float, float]],
+) -> Tuple[ExecutionState, float, Optional[str]]:
+    """The fused Monte-Carlo hot loop — :func:`_execute_traced` with
+    the per-segment advance and per-interval runner inlined.
+
+    Identical arithmetic in identical order — ``end = clock +
+    cycles/f``, ``energy += coef·cycles``, the same fault consumption —
+    but on local variables, with no per-segment or per-interval
+    function calls.  The :class:`ExecutionState` is synchronised before
+    every policy callback (``plan``; ``on_fault`` on detection) and on
+    exit, so policies observe exactly the state the reference loop
+    shows them.  Policies declaring ``plan_stable`` (every in-repo
+    scheme) are asked for their plan only at start and after each
+    fault; the plan-derived per-interval constants are cached in
+    between.
+    """
+    state = ExecutionState.fresh(task)
+    policy.start(state)
+
+    costs = task.costs
+    store_cycles = costs.store_cycles
+    compare_cycles = costs.compare_cycles
+    checkpoint_cycles = costs.checkpoint_cycles
+    rollback_cycles = costs.rollback_cycles
+    if (
+        store_cycles < 0
+        or compare_cycles < 0
+        or checkpoint_cycles < 0
+        or rollback_cycles < 0
+    ):
+        raise ParameterError("cannot advance by negative cycles")
+    voltage_of = energy_model.voltage_of
+    n_processors = energy_model.n_processors
+    deadline = task.deadline
+    horizon = limits.horizon(task)
+    max_intervals = limits.max_intervals
+    drain_until = stream.drain_until
+    plan_of = policy.plan
+    plan_stable = getattr(policy, "plan_stable", False)
+    kind_scp = CheckpointKind.SCP
+    kind_ccp = CheckpointKind.CCP
+
+    # Hoisted mutable run state (synced to ``state`` at policy
+    # boundaries and on exit).
+    clock = state.clock
+    remaining = state.remaining_cycles
+    faults_left = state.faults_left
+    injected = 0
+    detected = 0
+    checkpoints = 0
+    subs = 0
+    rollbacks = 0
+    energy = 0.0
+    next_fault = stream.peek()
+    frequency = state.frequency
+    voltage = voltage_of(frequency)
+    coef = n_processors * voltage * voltage  # segment_energy's op order
+    coefs: Dict[float, float] = {frequency: coef}
+    #: Fault time carried out of a corrupting rollback window (only
+    #: with ``faults_during_overhead``); poisons the next interval.
+    carried_fault: Optional[float] = None
+    failure: Optional[str] = None
+    intervals = 0
+    # Plan-derived constants, recomputed whenever the plan may have
+    # changed (every interval unless the policy declares plan_stable).
+    need_plan = True
+    interval_full = 0.0
+    m_full = 1
+    sub_full = 0.0
+    plan_m = 1
+    is_scp = False
+    is_ccp = False
+
+    while remaining > _CYCLE_EPS:
+        intervals += 1
+        if intervals > max_intervals:
+            raise SimulationError(
+                f"run exceeded {max_intervals} CSCP intervals; "
+                "policy/executor inconsistency"
+            )
+        if remaining / frequency > deadline - clock:
+            failure = "deadline_infeasible"
+            break
+        if clock > horizon:
+            failure = "horizon"
+            break
+
+        if need_plan:
+            need_plan = not plan_stable
+            state.clock = clock
+            state.remaining_cycles = remaining
+            state.injected_faults = injected
+            state.checkpoints = checkpoints
+            state.sub_checkpoints = subs
+            plan = plan_of(state)
+            if state.frequency != frequency:
+                frequency = state.frequency
+                coef = coefs.get(frequency)
+                if coef is None:
+                    voltage = voltage_of(frequency)
+                    coef = n_processors * voltage * voltage
+                    coefs[frequency] = coef
+            interval_full = plan.interval_time * frequency
+            if interval_full < 0:
+                raise ParameterError(
+                    f"cannot advance by negative cycles: {interval_full}"
+                )
+            plan_m = plan.m
+            m_full = _effective_subdivisions(plan_m, interval_full)
+            sub_full = interval_full / m_full
+            sub_kind = plan.sub_kind
+            is_scp = sub_kind is kind_scp
+            is_ccp = sub_kind is kind_ccp
+
+        if remaining < interval_full:
+            # The tail interval: clamp to the remaining work
+            # (_effective_subdivisions, inline).
+            interval_cycles = remaining
+            m = plan_m
+            if interval_cycles <= 0:
+                m = 1
+            else:
+                largest = int(interval_cycles / _MIN_SUB_CYCLES)
+                if largest < 1:
+                    largest = 1
+                if m > largest:
+                    m = largest
+                if m < 1:
+                    m = 1
+            sub_cycles = interval_cycles / m
+        else:
+            interval_cycles = interval_full
+            m = m_full
+            sub_cycles = sub_full
+
+        first_fault = carried_fault
+        carried_fault = None
+        committed = -1.0  # sentinel: no detection
+        clean_boundary = 0  # last sub-boundary with consistent stored state
+
+        if m == 1:
+            # Plain-CSCP interval (the A_D and static schemes, and any
+            # unsubdivided adaptive interval): one execution segment
+            # and the closing CSCP, no sub-boundary machinery.
+            if sub_cycles != 0.0:
+                end = clock + sub_cycles / frequency
+                if next_fault <= end:
+                    times, next_fault = drain_until(end)
+                    injected += len(times)
+                    if first_fault is None:
+                        first_fault = times[0]
+                clock = end
+                energy += coef * sub_cycles
+                if cycles_map is not None:
+                    cycles_map[frequency] = (
+                        cycles_map.get(frequency, 0.0) + sub_cycles
+                    )
+            if checkpoint_cycles != 0.0:
+                end = clock + checkpoint_cycles / frequency
+                if next_fault <= end:
+                    times, next_fault = drain_until(end)
+                    injected += len(times)
+                    if overhead_corrupting and first_fault is None:
+                        first_fault = times[0]
+                clock = end
+                energy += coef * checkpoint_cycles
+                if cycles_map is not None:
+                    cycles_map[frequency] = (
+                        cycles_map.get(frequency, 0.0) + checkpoint_cycles
+                    )
+            checkpoints += 1
+            if first_fault is None:
+                remaining -= interval_cycles
+                continue
+            # clean_boundary is 0, so the SCP rollback target and the
+            # plain-CSCP one coincide: nothing was committed.
+            committed = 0.0
+        else:
+            for index in range(1, m + 1):
+                # -- execute one sub-interval (always corrupting) -----
+                if sub_cycles != 0.0:
+                    end = clock + sub_cycles / frequency
+                    if next_fault <= end:
+                        times, next_fault = drain_until(end)
+                        injected += len(times)
+                        if first_fault is None:
+                            first_fault = times[0]
+                    clock = end
+                    energy += coef * sub_cycles
+                    if cycles_map is not None:
+                        cycles_map[frequency] = (
+                            cycles_map.get(frequency, 0.0) + sub_cycles
+                        )
+                if index < m:
+                    subs += 1
+                    if is_scp:
+                        # Store without comparing: detection waits for
+                        # the closing CSCP.
+                        if store_cycles != 0.0:
+                            end = clock + store_cycles / frequency
+                            if next_fault <= end:
+                                times, next_fault = drain_until(end)
+                                injected += len(times)
+                                if overhead_corrupting and first_fault is None:
+                                    first_fault = times[0]
+                            clock = end
+                            energy += coef * store_cycles
+                            if cycles_map is not None:
+                                cycles_map[frequency] = (
+                                    cycles_map.get(frequency, 0.0)
+                                    + store_cycles
+                                )
+                        if first_fault is None:
+                            clean_boundary = index
+                    elif is_ccp:
+                        if compare_cycles != 0.0:
+                            end = clock + compare_cycles / frequency
+                            if next_fault <= end:
+                                times, next_fault = drain_until(end)
+                                injected += len(times)
+                                if overhead_corrupting and first_fault is None:
+                                    first_fault = times[0]
+                            clock = end
+                            energy += coef * compare_cycles
+                            if cycles_map is not None:
+                                cycles_map[frequency] = (
+                                    cycles_map.get(frequency, 0.0)
+                                    + compare_cycles
+                                )
+                        if first_fault is not None:
+                            # Early detection: roll back to the opening
+                            # CSCP.
+                            committed = 0.0
+                            break
+                    else:
+                        # Interior CSCP: compare AND store — detect
+                        # early, and a clean pass becomes the new
+                        # rollback target.
+                        if checkpoint_cycles != 0.0:
+                            end = clock + checkpoint_cycles / frequency
+                            if next_fault <= end:
+                                times, next_fault = drain_until(end)
+                                injected += len(times)
+                                if overhead_corrupting and first_fault is None:
+                                    first_fault = times[0]
+                            clock = end
+                            energy += coef * checkpoint_cycles
+                            if cycles_map is not None:
+                                cycles_map[frequency] = (
+                                    cycles_map.get(frequency, 0.0)
+                                    + checkpoint_cycles
+                                )
+                        if first_fault is not None:
+                            committed = clean_boundary * sub_cycles
+                            break
+                        clean_boundary = index
+            else:
+                # -- closing CSCP: compare (detects divergence), store
+                if checkpoint_cycles != 0.0:
+                    end = clock + checkpoint_cycles / frequency
+                    if next_fault <= end:
+                        times, next_fault = drain_until(end)
+                        injected += len(times)
+                        if overhead_corrupting and first_fault is None:
+                            first_fault = times[0]
+                    clock = end
+                    energy += coef * checkpoint_cycles
+                    if cycles_map is not None:
+                        cycles_map[frequency] = (
+                            cycles_map.get(frequency, 0.0) + checkpoint_cycles
+                        )
+                checkpoints += 1
+                if first_fault is not None:
+                    committed = clean_boundary * sub_cycles if is_scp else 0.0
+
+            if committed < 0.0:
+                remaining -= interval_cycles
+                continue
+
+        # -- detection: charge the rollback, let the policy react -----
+        remaining -= committed
+        if rollback_cycles != 0.0:
+            end = clock + rollback_cycles / frequency
+            if next_fault <= end:
+                times, next_fault = drain_until(end)
+                injected += len(times)
+                if overhead_corrupting:
+                    # Corrupts the freshly restored state: carried into
+                    # the next attempt, whose comparison detects it.
+                    carried_fault = times[0]
+            clock = end
+            energy += coef * rollback_cycles
+            if cycles_map is not None:
+                cycles_map[frequency] = (
+                    cycles_map.get(frequency, 0.0) + rollback_cycles
+                )
+        detected += 1
+        rollbacks += 1
+        faults_left -= 1
+        state.clock = clock
+        state.remaining_cycles = remaining
+        state.faults_left = faults_left
+        state.detected_faults = detected
+        state.rollbacks = rollbacks
+        state.injected_faults = injected
+        state.checkpoints = checkpoints
+        state.sub_checkpoints = subs
+        policy.on_fault(state)
+        need_plan = True
+        if state.frequency != frequency:
+            frequency = state.frequency
+            coef = coefs.get(frequency)
+            if coef is None:
+                voltage = voltage_of(frequency)
+                coef = n_processors * voltage * voltage
+                coefs[frequency] = coef
+
+    state.clock = clock
+    state.remaining_cycles = remaining
+    state.faults_left = faults_left
+    state.detected_faults = detected
+    state.rollbacks = rollbacks
+    state.injected_faults = injected
+    state.checkpoints = checkpoints
+    state.sub_checkpoints = subs
+    completed = remaining <= _CYCLE_EPS
+    if completed:
+        failure = None
+    elif failure is None:
+        failure = "deadline_infeasible"
+    return state, energy, failure
+
+
+def _detect(env: _Environment, spare: _Corruption, *, committed: float) -> None:
+    """Charge the rollback of a failed interval.
 
     Faults arriving *during* the rollback operation (possible only with
     ``faults_during_overhead``) corrupt the freshly restored state; they
-    are tracked separately and carried into the next attempt.
+    are tracked in ``spare`` and — when present — carried into the next
+    attempt by the caller.
     """
-    costs = env.state.task.costs
-    carry = _Corruption()
-    env.advance_overhead(costs.rollback_cycles, carry, "rollback")
-    env.recorder.rollback(env.state.clock, committed)
-    outcome.detected = True
-    outcome.committed_cycles = committed
-    outcome.carry = carry if carry.corrupted else None
+    spare.reset()
+    env.advance(
+        env.state.task.costs.rollback_cycles,
+        spare,
+        env.overhead_corrupting,
+        "rollback",
+    )
+    if env.tracing:
+        env.recorder.rollback(env.state.clock, committed)
 
 
 def _effective_subdivisions(m: int, interval_cycles: float) -> int:
     """Clamp ``m`` so every sub-interval spans a meaningful cycle count."""
     if interval_cycles <= 0:
         return 1
-    largest = max(1, int(interval_cycles / 1e-6))
+    largest = max(1, int(interval_cycles / _MIN_SUB_CYCLES))
     return max(1, min(m, largest))

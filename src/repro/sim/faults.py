@@ -22,13 +22,34 @@ strictly increasing arrival times in wall-clock time units.  Fault
 arrivals are in wall-clock time and therefore independent of the
 processor speed, matching the paper's DVS model (slower execution means
 longer exposure).
+
+Batching
+--------
+:class:`FaultStream` pre-draws inter-arrival gaps in chunks — from the
+*same* generator in the *same* order a one-gap-at-a-time iterator would
+consume them — and keeps a buffer of upcoming arrival times.  Arrival
+values are bit-identical to the sequential iterator's: NumPy fills a
+``size=n`` draw by repeating the scalar routine against the same bit
+stream, and the anchored ``cumsum`` performs the exact left-to-right
+float additions ``((clock + g₀) + g₁) + …`` the scalar loop performs
+(``tests/test_fault_batching.py`` pins this event-for-event for every
+process).  Pre-drawing ahead is safe because the stream is its
+generator's only consumer: the gap *values* do not depend on when they
+are drawn, and each Monte-Carlo rep gets a fresh substream, so
+over-drawn gaps are simply discarded with the stream.
+
+On top of ``peek``/``pop`` the buffer enables :meth:`take_until` — all
+arrivals inside a time segment in one ``searchsorted`` — which is what
+lets the executor hot loop resolve a segment's faults without one
+Python call per event.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
@@ -45,47 +66,176 @@ __all__ = [
 ]
 
 
+#: First chunk of gaps pre-drawn by a growing stream; doubles per
+#: refill up to :data:`_MAX_CHUNK`.  Small, because the typical rep
+#: sees only a handful of faults and over-drawing costs a little time
+#: (never correctness — see module docstring).
+_INITIAL_CHUNK = 16
+_MAX_CHUNK = 4096
+
+_NO_TIMES: List[float] = []
+
+
 class FaultStream:
     """Stateful view of one realisation of a fault process.
 
     ``peek()`` returns the next arrival time without consuming it;
-    ``pop()`` consumes and returns it.  Arrivals are strictly
-    increasing; an exhausted stream reports ``inf``.
+    ``pop()`` consumes and returns it; :meth:`take_until` consumes and
+    returns every arrival inside a segment at once.  Arrivals are
+    strictly increasing; an exhausted stream reports ``inf``.
+
+    Gaps are pre-drawn in chunks (vectorised via ``draw_gaps`` when the
+    process provides it, otherwise by looping ``draw_gap``) and turned
+    into arrival times with an anchored cumulative sum — bit-identical
+    to the sequential ``clock + gap`` iterator, whatever mix of
+    ``peek``/``pop``/``take_until`` the caller interleaves.  ``chunk``
+    fixes the pre-draw size (``chunk=1`` reproduces the legacy
+    one-at-a-time laziness exactly); ``None`` grows it geometrically.
     """
 
-    def __init__(self, draw_gap, start: float = 0.0) -> None:
+    __slots__ = (
+        "_draw_gap",
+        "_draw_gaps",
+        "_clock",
+        "_times",
+        "_pos",
+        "_exhausted",
+        "_chunk",
+        "_fixed_chunk",
+    )
+
+    def __init__(
+        self,
+        draw_gap: Callable[[], Optional[float]],
+        start: float = 0.0,
+        *,
+        draw_gaps: Optional[Callable[[int], np.ndarray]] = None,
+        chunk: Optional[int] = None,
+    ) -> None:
+        if chunk is not None and chunk < 1:
+            raise ParameterError(f"chunk must be >= 1, got {chunk}")
         self._draw_gap = draw_gap
+        self._draw_gaps = draw_gaps
         self._clock = float(start)
-        self._next: Optional[float] = None
+        self._times: List[float] = _NO_TIMES
+        self._pos = 0
+        self._exhausted = False
+        self._chunk = chunk if chunk is not None else _INITIAL_CHUNK
+        self._fixed_chunk = chunk is not None
+
+    def _refill(self) -> bool:
+        """Pre-draw the next chunk of gaps; False once exhausted."""
+        if self._exhausted:
+            return False
+        n = self._chunk
+        if not self._fixed_chunk and self._chunk < _MAX_CHUNK:
+            self._chunk = min(self._chunk * 2, _MAX_CHUNK)
+        if self._draw_gaps is not None:
+            gaps = np.asarray(self._draw_gaps(n), dtype=np.float64)
+        else:
+            drawn: List[float] = []
+            draw = self._draw_gap
+            for _ in range(n):
+                gap = draw()
+                if gap is None:
+                    self._exhausted = True
+                    break
+                drawn.append(gap)
+            if not drawn:
+                return False
+            gaps = np.asarray(drawn, dtype=np.float64)
+        # Anchored cumulative sum: exactly the scalar iterator's
+        # ((clock + g0) + g1) + … left-to-right float additions.
+        gaps[0] += self._clock
+        times = np.cumsum(gaps)
+        self._clock = float(times[-1])
+        # The buffer is kept as a plain list: arrival consumption is
+        # per-event Python code in the executor, where list indexing
+        # and bisection beat NumPy scalar access by several times.
+        self._times = times.tolist()
+        self._pos = 0
+        return True
 
     def peek(self) -> float:
         """Time of the next fault (``inf`` if none will ever occur)."""
-        if self._next is None:
-            gap = self._draw_gap()
-            self._next = math.inf if gap is None else self._clock + gap
-        return self._next
+        if self._pos >= len(self._times) and not self._refill():
+            return math.inf
+        return self._times[self._pos]
 
     def pop(self) -> float:
         """Consume and return the next fault time."""
-        value = self.peek()
-        if math.isfinite(value):
-            self._clock = value
-        self._next = None
+        if self._pos >= len(self._times) and not self._refill():
+            return math.inf
+        value = self._times[self._pos]
+        self._pos += 1
         return value
+
+    def take_until(self, time: float) -> List[float]:
+        """Consume and return every arrival at or before ``time``.
+
+        The executor hot path: one binary search (``searchsorted``
+        semantics, ``side='right'``) per buffered chunk instead of a
+        ``peek``/``pop`` call pair per event.  Returns the arrivals in
+        order (possibly empty).  Equivalent to popping while
+        ``peek() <= time``.
+        """
+        taken: Optional[List[float]] = None
+        while True:
+            times = self._times
+            pos = self._pos
+            if pos >= len(times):
+                if not self._refill():
+                    break
+                continue
+            idx = bisect_right(times, time, pos)
+            if idx <= pos:
+                break
+            if taken is None:
+                taken = times[pos:idx]
+            else:
+                taken.extend(times[pos:idx])
+            self._pos = idx
+            if idx < len(times):
+                break
+        # A fresh list on the empty path: callers own the return value,
+        # and handing out a shared sentinel would let one caller's
+        # mutation corrupt every stream in the process.
+        return [] if taken is None else taken
+
+    def drain_until(self, time: float):
+        """``(take_until(time), peek())`` in one call.
+
+        The executor's per-segment shape: consume the segment's
+        arrivals *and* learn the next pending arrival without a second
+        method call.  The common case — everything needed is already
+        buffered — is a single bisection.
+        """
+        times = self._times
+        pos = self._pos
+        if pos < len(times):
+            idx = bisect_right(times, time, pos)
+            if idx < len(times):  # next arrival still buffered
+                self._pos = idx
+                return times[pos:idx], times[idx]
+        return self.take_until(time), self.peek()
 
     def advance_past(self, time: float) -> int:
         """Consume every arrival at or before ``time``; return count."""
-        count = 0
-        while self.peek() <= time:
-            self.pop()
-            count += 1
-        return count
+        return int(len(self.take_until(time)))
 
 
 class FaultProcess:
-    """Base class: a distribution over fault-arrival traces."""
+    """Base class: a distribution over fault-arrival traces.
 
-    def stream(self, rng: np.random.Generator) -> FaultStream:
+    ``stream(rng)`` yields a batched :class:`FaultStream`;
+    ``stream(rng, chunk=1)`` pins the pre-draw size (``1`` reproduces
+    the legacy one-gap-at-a-time laziness, the conformance tests'
+    reference) — either way the arrival sequence is identical.
+    """
+
+    def stream(
+        self, rng: np.random.Generator, *, chunk: Optional[int] = None
+    ) -> FaultStream:
         raise NotImplementedError
 
     @property
@@ -104,11 +254,17 @@ class PoissonFaults(FaultProcess):
         if self.rate < 0:
             raise ParameterError(f"rate must be >= 0, got {self.rate}")
 
-    def stream(self, rng: np.random.Generator) -> FaultStream:
+    def stream(
+        self, rng: np.random.Generator, *, chunk: Optional[int] = None
+    ) -> FaultStream:
         if self.rate == 0:
-            return FaultStream(lambda: None)
-        rate = self.rate
-        return FaultStream(lambda: rng.exponential(1.0 / rate))
+            return FaultStream(lambda: None, chunk=chunk)
+        scale = 1.0 / self.rate
+        return FaultStream(
+            lambda: rng.exponential(scale),
+            draw_gaps=lambda n: rng.exponential(scale, size=n),
+            chunk=chunk,
+        )
 
     @property
     def mean_rate(self) -> float:
@@ -131,11 +287,18 @@ class DualPoissonFaults(FaultProcess):
                 f"rate_per_processor must be >= 0, got {self.rate_per_processor}"
             )
 
-    def stream(self, rng: np.random.Generator) -> FaultStream:
+    def stream(
+        self, rng: np.random.Generator, *, chunk: Optional[int] = None
+    ) -> FaultStream:
         merged = 2.0 * self.rate_per_processor
         if merged == 0:
-            return FaultStream(lambda: None)
-        return FaultStream(lambda: rng.exponential(1.0 / merged))
+            return FaultStream(lambda: None, chunk=chunk)
+        scale = 1.0 / merged
+        return FaultStream(
+            lambda: rng.exponential(scale),
+            draw_gaps=lambda n: rng.exponential(scale, size=n),
+            chunk=chunk,
+        )
 
     @property
     def mean_rate(self) -> float:
@@ -160,9 +323,15 @@ class WeibullFaults(FaultProcess):
         if self.scale <= 0:
             raise ParameterError(f"scale must be > 0, got {self.scale}")
 
-    def stream(self, rng: np.random.Generator) -> FaultStream:
+    def stream(
+        self, rng: np.random.Generator, *, chunk: Optional[int] = None
+    ) -> FaultStream:
         shape, scale = self.shape, self.scale
-        return FaultStream(lambda: scale * rng.weibull(shape))
+        return FaultStream(
+            lambda: scale * rng.weibull(shape),
+            draw_gaps=lambda n: scale * rng.weibull(shape, size=n),
+            chunk=chunk,
+        )
 
     @property
     def mean_rate(self) -> float:
@@ -191,7 +360,9 @@ class BurstyFaults(FaultProcess):
         if self.quiet_dwell <= 0 or self.burst_dwell <= 0:
             raise ParameterError("dwell times must be > 0")
 
-    def stream(self, rng: np.random.Generator) -> FaultStream:
+    def stream(
+        self, rng: np.random.Generator, *, chunk: Optional[int] = None
+    ) -> FaultStream:
         state = {"bursting": False, "until": rng.exponential(self.quiet_dwell)}
         process = self
 
@@ -215,7 +386,10 @@ class BurstyFaults(FaultProcess):
                 )
                 state["until"] = rng.exponential(dwell)
 
-        return FaultStream(draw_gap)
+        # The MMPP state machine consumes a variable number of draws
+        # per gap, so gaps stay scalar; the stream still pre-draws and
+        # buffers them in chunks.
+        return FaultStream(draw_gap, chunk=chunk)
 
     @property
     def mean_rate(self) -> float:
@@ -239,7 +413,12 @@ class ScriptedFaults(FaultProcess):
             raise ParameterError("scripted fault times must be >= 0")
         object.__setattr__(self, "times", ordered)
 
-    def stream(self, rng: np.random.Generator = None) -> FaultStream:  # noqa: ARG002
+    def stream(
+        self,
+        rng: np.random.Generator = None,  # noqa: ARG002
+        *,
+        chunk: Optional[int] = None,
+    ) -> FaultStream:
         remaining: List[float] = list(self.times)
         last = [0.0]
 
@@ -251,7 +430,7 @@ class ScriptedFaults(FaultProcess):
             last[0] = nxt
             return gap
 
-        return FaultStream(draw_gap)
+        return FaultStream(draw_gap, chunk=chunk)
 
     @property
     def mean_rate(self) -> float:

@@ -53,6 +53,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ParameterError
 
 __all__ = [
@@ -293,6 +295,20 @@ class ProportionAccumulator:
         if success:
             self.successes += 1
 
+    def add_many(self, successes) -> "ProportionAccumulator":
+        """Record a whole block of trials (a bool array/sequence).
+
+        Integer counting, so this is exactly ``add`` in a loop — the
+        vectorised entry point the slab path folds its timely flags
+        through.
+        """
+        self.trials += len(successes)
+        if isinstance(successes, np.ndarray):
+            self.successes += int(np.count_nonzero(successes))
+        else:
+            self.successes += sum(1 for s in successes if s)
+        return self
+
     def merge(self, other: "ProportionAccumulator") -> "ProportionAccumulator":
         """Fold another accumulator's counts into this one."""
         self.successes += other.successes
@@ -346,10 +362,16 @@ class MomentAccumulator:
     def add_many(self, values: Iterable[float]) -> "MomentAccumulator":
         """Record observations in order (hot path for NumPy arrays).
 
-        The loop is the inlined equivalent of repeated :meth:`add`,
-        kept branch-light so vectorised callers (the static fast path)
-        can feed whole per-block arrays without building lists.
+        For a 1-D NumPy array the order-independent per-element work —
+        the squares and their Dekker error terms — is vectorised up
+        front (:meth:`_add_array`), leaving only the order-*dependent*
+        double-double fold in the Python loop.  Both paths perform the
+        exact float operations of repeated :meth:`add` in the same
+        order, so ``add`` and ``add_many`` are bit-identical per
+        element (pinned by ``tests/test_metrics.py``).
         """
+        if isinstance(values, np.ndarray) and values.ndim == 1:
+            return self._add_array(values)
         count = 0
         s_hi, s_lo = self._sum_hi, self._sum_lo
         q_hi, q_lo = self._sq_hi, self._sq_lo
@@ -377,6 +399,47 @@ class MomentAccumulator:
             q_hi = q + qe
             q_lo = qe - (q_hi - q)
         self.count += count
+        self._sum_hi, self._sum_lo = s_hi, s_lo
+        self._sq_hi, self._sq_lo = q_hi, q_lo
+        return self
+
+    def _add_array(self, values: np.ndarray) -> "MomentAccumulator":
+        """NumPy block path: vectorised Dekker products, scalar fold.
+
+        ``x²`` and its exact rounding error are elementwise (no
+        reassociation), so computing them as whole-array expressions
+        yields bit-for-bit the per-element values of the scalar loop;
+        the double-double accumulation itself is order-dependent and
+        stays a left-to-right fold over Python floats.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        n = int(arr.size)
+        if n == 0:
+            return self
+        p_arr = arr * arr
+        tx = _SPLITTER * arr
+        xh = tx - (tx - arr)
+        xl = arr - xh
+        pe_arr = ((xh * xh - p_arr) + xh * xl + xl * xh) + xl * xl
+        s_hi, s_lo = self._sum_hi, self._sum_lo
+        q_hi, q_lo = self._sq_hi, self._sq_lo
+        for x, p, pe in zip(arr.tolist(), p_arr.tolist(), pe_arr.tolist()):
+            # _dd_add(s_hi, s_lo, x, 0.0), inlined — the op order of
+            # add(), so the fold is bit-identical to repeated add().
+            s = s_hi + x
+            t = s - s_hi
+            e = (s_hi - (s - t)) + (x - t)
+            e += s_lo + 0.0
+            s_hi = s + e
+            s_lo = e - (s_hi - s)
+            # _dd_add(q_hi, q_lo, p, pe), inlined.
+            q = q_hi + p
+            tq = q - q_hi
+            qe = (q_hi - (q - tq)) + (p - tq)
+            qe += q_lo + pe
+            q_hi = q + qe
+            q_lo = qe - (q_hi - q)
+        self.count += n
         self._sum_hi, self._sum_lo = s_hi, s_lo
         self._sq_hi, self._sq_lo = q_hi, q_lo
         return self

@@ -21,12 +21,21 @@ shipping raw per-rep observations.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
+import numpy as np
+
 from repro.errors import ParameterError
 from repro.sim.energy import EnergyModel
-from repro.sim.executor import RunResult, SimulationLimits, simulate_run
+from repro.sim.executor import (
+    RunResult,
+    SimulationLimits,
+    default_energy_model,
+    execute_once,
+    simulate_run,
+)
 from repro.sim.faults import FaultProcess, PoissonFaults
 from repro.sim.metrics import (
     MeanEstimate,
@@ -44,6 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = [
     "CellAccumulator",
     "CellEstimate",
+    "RunSlab",
+    "accumulate_range",
     "estimate",
     "run_many",
     "run_range",
@@ -295,3 +306,143 @@ def summarize(results: List[RunResult]) -> CellEstimate:
     if not results:
         raise ParameterError("cannot summarise zero results")
     return CellAccumulator().add_all(results).finalize()
+
+
+class RunSlab:
+    """Reusable per-worker scratch arrays for one block of reps.
+
+    The slab path writes each rep's outcome straight into preallocated
+    NumPy columns and folds whole columns into the block's accumulators
+    afterwards (:func:`accumulate_range`) — no per-rep
+    :class:`~repro.sim.executor.RunResult`, no per-rep accumulator
+    calls, no per-rep allocation beyond the simulation itself.  One
+    slab per worker (thread) is reused across all blocks it executes;
+    it grows to the largest block it has seen and never shrinks.
+    """
+
+    __slots__ = (
+        "capacity",
+        "timely",
+        "energy",
+        "finish",
+        "detected",
+        "checkpoints",
+        "sub_checkpoints",
+    )
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = 0
+        self._grow(capacity)
+
+    def _grow(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.timely = np.empty(capacity, dtype=bool)
+        self.energy = np.empty(capacity, dtype=np.float64)
+        self.finish = np.empty(capacity, dtype=np.float64)
+        self.detected = np.empty(capacity, dtype=np.int64)
+        self.checkpoints = np.empty(capacity, dtype=np.int64)
+        self.sub_checkpoints = np.empty(capacity, dtype=np.int64)
+
+    def ensure(self, count: int) -> None:
+        """Make room for a ``count``-rep block."""
+        if count > self.capacity:
+            self._grow(count)
+
+    def fold(self, count: int) -> CellAccumulator:
+        """Fold the first ``count`` filled rows into a fresh accumulator.
+
+        Column-wise ``add_many`` feeds every accumulator the same
+        values in the same rep order as per-rep
+        :meth:`CellAccumulator.add` calls would, so the result is
+        bit-identical to the RunResult-at-a-time path
+        (``tests/test_executor_slab.py``).
+        """
+        timely = self.timely[:count]
+        energy = self.energy[:count]
+        accumulator = CellAccumulator()
+        accumulator.timely.add_many(timely)
+        accumulator.energy_timely.add_many(energy[timely])
+        accumulator.energy_all.add_many(energy)
+        accumulator.finish_timely.add_many(self.finish[:count][timely])
+        accumulator.detected_faults = int(self.detected[:count].sum())
+        accumulator.checkpoints = int(self.checkpoints[:count].sum())
+        accumulator.sub_checkpoints = int(self.sub_checkpoints[:count].sum())
+        return accumulator
+
+
+_SLAB_STORE = threading.local()
+
+
+def _worker_slab(count: int) -> RunSlab:
+    """This worker's reusable slab, grown to at least ``count`` rows."""
+    slab = getattr(_SLAB_STORE, "slab", None)
+    if slab is None:
+        slab = RunSlab(max(count, 256))
+        _SLAB_STORE.slab = slab
+    else:
+        slab.ensure(count)
+    return slab
+
+
+def accumulate_range(
+    task: TaskSpec,
+    policy_factory: PolicyFactory,
+    *,
+    start: int,
+    stop: int,
+    seed: int = 0,
+    faults: Optional[FaultProcess] = None,
+    energy_model: Optional[EnergyModel] = None,
+    faults_during_overhead: bool = False,
+    limits: SimulationLimits = SimulationLimits(),
+    slab: Optional[RunSlab] = None,
+) -> CellAccumulator:
+    """Reps ``[start, stop)`` of a cell, folded through a slab.
+
+    The accumulator-producing twin of :func:`run_range` and the hot
+    path behind :meth:`repro.sim.backends.CellJob.run_block`: identical
+    simulation and identical rep-order accumulation (bit-for-bit — the
+    same streams, the same arithmetic), but each run lands in reusable
+    NumPy scratch instead of a :class:`RunResult`, and the block folds
+    into the accumulators via vectorised ``add_many``.
+    """
+    if start < 0 or stop < start:
+        raise ParameterError(f"need 0 <= start <= stop, got [{start}, {stop})")
+    count = stop - start
+    if count == 0:
+        return CellAccumulator()
+    if faults is None:
+        faults = PoissonFaults(task.fault_rate)
+    if energy_model is None:
+        energy_model = default_energy_model()
+    if slab is None:
+        slab = _worker_slab(count)
+    else:
+        slab.ensure(count)
+    timely = slab.timely
+    energy = slab.energy
+    finish = slab.finish
+    detected = slab.detected
+    checkpoints = slab.checkpoints
+    sub_checkpoints = slab.sub_checkpoints
+    source = RandomSource(seed)
+    substream = source.substream
+    for row, index in enumerate(range(start, stop)):
+        outcome = execute_once(
+            task,
+            policy_factory(),
+            faults,
+            energy_model,
+            substream(index),
+            faults_during_overhead=faults_during_overhead,
+            limits=limits,
+        )
+        timely[row] = outcome.timely
+        energy[row] = outcome.energy
+        finish[row] = outcome.finish_time
+        detected[row] = outcome.detected_faults
+        checkpoints[row] = outcome.checkpoints
+        sub_checkpoints[row] = outcome.sub_checkpoints
+    return slab.fold(count)

@@ -117,6 +117,16 @@ class BatchRunner:
         externally (or the batch falls back in-process).
     url:
         With ``backend="distributed"``: the coordinator bind address.
+    adaptive_batching:
+        Latency-adaptive dispatch for the parallel backends: worker
+        batches are sized from an EWMA of observed block latency
+        (static fast-path blocks are ~100× cheaper than executor
+        blocks, so mixed grids stop convoying behind per-message
+        overhead).  Dispatch-only — block boundaries, seeding and the
+        merge order never change, so results are bit-identical with it
+        on or off.  ``None`` = backend default (on).  Ignored for
+        in-process execution (``workers=1``), which has no dispatch;
+        the explicit ``backend="serial"`` name still rejects it.
     """
 
     def __init__(
@@ -127,6 +137,7 @@ class BatchRunner:
         backend: Union[ExecutionBackend, str, None] = None,
         cluster_workers: Optional[int] = None,
         url: Optional[str] = None,
+        adaptive_batching: Optional[bool] = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -137,6 +148,7 @@ class BatchRunner:
                 workers=None if workers is _UNSET_WORKERS else workers,
                 cluster_workers=cluster_workers,
                 url=url,
+                adaptive_batching=adaptive_batching,
             )
             self.workers = getattr(self.backend, "workers", 1)
             return
@@ -151,9 +163,13 @@ class BatchRunner:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
-        self.backend = (
-            SerialBackend() if self.workers == 1 else ProcessBackend(self.workers)
-        )
+        if self.workers == 1:
+            # In-process execution has no dispatch; the knob is moot.
+            self.backend = SerialBackend()
+        else:
+            self.backend = ProcessBackend(
+                self.workers, adaptive_batching=adaptive_batching
+            )
 
     # -- public API ----------------------------------------------------
 
@@ -216,6 +232,7 @@ def runner_scope(
     chunk_size: Optional[int] = None,
     cluster_workers: Optional[int] = None,
     url: Optional[str] = None,
+    adaptive_batching: Optional[bool] = None,
 ) -> Iterator[BatchRunner]:
     """The runner an API call should use, with ownership sorted out.
 
@@ -246,6 +263,7 @@ def runner_scope(
         backend=backend,
         cluster_workers=cluster_workers,
         url=url,
+        adaptive_batching=adaptive_batching,
     )
     try:
         yield scoped

@@ -17,9 +17,14 @@ from repro.sim.task import TaskSpec
 __all__ = ["ExecutionState"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionState:
-    """Live state of one simulated task execution."""
+    """Live state of one simulated task execution.
+
+    ``slots=True``: the executor hot loop synchronises these fields
+    before every policy callback, and slotted attribute access keeps
+    that bookkeeping cheap at Monte-Carlo scale.
+    """
 
     task: TaskSpec
     remaining_cycles: float

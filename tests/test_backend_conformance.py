@@ -195,3 +195,128 @@ class TestLifecycle:
                 assert instance._pool is None
         finally:
             instance.close()
+
+
+class TestAdaptiveDispatch:
+    """Latency-adaptive batching is dispatch-only.
+
+    Whatever the EWMA state, whether it is on or off, and whatever the
+    coordinator's claim size, the merged estimates must be bit-identical
+    to the serial reference — batching changes how many blocks ride one
+    message, never block boundaries or merge order.
+    """
+
+    def test_process_adaptive_off_matches_serial(self, reference_estimates):
+        backend = ProcessBackend(2, adaptive_batching=False)
+        try:
+            estimates = BatchRunner(backend=backend, chunk_size=CHUNK).run_cells(
+                _mixed_jobs()
+            )
+        finally:
+            backend.close()
+        assert all(
+            ours.same_values(ref)
+            for ours, ref in zip(estimates, reference_estimates)
+        )
+
+    def test_process_warm_ewma_still_matches(self, reference_estimates):
+        """A second grid through the same backend runs with converged
+        latency statistics (bigger groups) — results cannot move."""
+        backend = ProcessBackend(2, adaptive_batching=True)
+        try:
+            runner = BatchRunner(backend=backend, chunk_size=CHUNK)
+            first = runner.run_cells(_mixed_jobs())
+            assert backend.dispatch_stats.block_latency("StaticCellJob") is not None
+            second = runner.run_cells(_mixed_jobs())
+        finally:
+            backend.close()
+        for cold, warm, ref in zip(first, second, reference_estimates):
+            assert cold.same_values(ref)
+            assert warm.same_values(ref)
+
+    def test_distributed_adaptive_off_matches(self, reference_estimates):
+        backend = DistributedBackend(
+            cluster=LocalCluster(2), adaptive_batching=False
+        )
+        try:
+            estimates = BatchRunner(backend=backend, chunk_size=CHUNK).run_cells(
+                _mixed_jobs()
+            )
+        finally:
+            backend.close()
+        assert all(
+            ours.same_values(ref)
+            for ours, ref in zip(estimates, reference_estimates)
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 7])
+    def test_coordinator_claim_size_is_result_free(
+        self, batch_size, reference_estimates
+    ):
+        backend = DistributedBackend(
+            cluster=LocalCluster(2),
+            batch_size=batch_size,
+            adaptive_batching=False,
+        )
+        try:
+            estimates = BatchRunner(backend=backend, chunk_size=CHUNK).run_cells(
+                _mixed_jobs()
+            )
+        finally:
+            backend.close()
+        assert all(
+            ours.same_values(ref)
+            for ours, ref in zip(estimates, reference_estimates)
+        )
+
+    def test_grouping_never_mixes_kinds(self):
+        """A dispatch group holds one job kind only, however large the
+        EWMA would let it grow."""
+        from collections import deque
+
+        from repro.sim.backends import DispatchStats, dispatch_kind, plan_blocks
+
+        backend = ProcessBackend(2, adaptive_batching=True)
+        # Pretend static blocks are very cheap: batch size maxes out.
+        backend.dispatch_stats.observe("StaticCellJob", 1e-6)
+        backend.dispatch_stats.observe("CellJob", 1e-6)
+        tasks = plan_blocks(_mixed_jobs(), CHUNK)
+        pending = deque(range(len(tasks)))
+        while pending:
+            group, kind = backend._next_group(tasks, pending)
+            assert group  # progress
+            assert {dispatch_kind(tasks[i]) for i in group} == {kind}
+        backend.close()
+
+
+class TestDispatchStats:
+    def test_batch_size_tracks_latency(self):
+        from repro.sim.backends import DispatchStats
+
+        stats = DispatchStats(target_seconds=0.1, max_batch=16)
+        assert stats.batch_size("x") == 1  # no data yet
+        stats.observe("x", 0.01)
+        assert stats.batch_size("x") == 10
+        stats.observe("y", 10.0)
+        assert stats.batch_size("y") == 1  # expensive blocks go alone
+        stats.observe("z", 1e-9)
+        assert stats.batch_size("z") == 16  # clamped at max_batch
+
+    def test_ewma_converges(self):
+        from repro.sim.backends import DispatchStats
+
+        stats = DispatchStats(alpha=0.5)
+        for _ in range(20):
+            stats.observe("k", 0.02)
+        assert stats.block_latency("k") == pytest.approx(0.02)
+
+    def test_rejects_bad_parameters(self):
+        from repro.errors import ParameterError
+        from repro.sim.backends import DispatchStats
+
+        with pytest.raises(ParameterError):
+            DispatchStats(target_seconds=0.0)
+        with pytest.raises(ParameterError):
+            DispatchStats(alpha=0.0)
+        with pytest.raises(ParameterError):
+            DispatchStats(max_batch=0)

@@ -330,3 +330,27 @@ class TestWorkerCommand:
         port = probe.getsockname()[1]
         probe.close()  # guaranteed-free port: nobody listens
         assert main(["worker", f"tcp://127.0.0.1:{port}"]) == 1
+
+
+class TestNoAdaptiveBatchFlag:
+    def test_flag_parses_and_reaches_settings(self):
+        args = build_parser().parse_args(
+            ["table", "1a", "--workers", "2", "--no-adaptive-batch"]
+        )
+        runner = _make_runner(args)
+        try:
+            assert runner.backend.adaptive_batching is False
+        finally:
+            runner.close()
+
+    def test_default_leaves_adaptive_on(self):
+        args = build_parser().parse_args(["table", "1a", "--workers", "2"])
+        runner = _make_runner(args)
+        try:
+            assert runner.backend.adaptive_batching is True
+        finally:
+            runner.close()
+
+    def test_flag_is_harmless_for_serial(self):
+        args = build_parser().parse_args(["table", "1a", "--no-adaptive-batch"])
+        assert _make_runner(args) is None

@@ -200,3 +200,37 @@ class TestExecutionSettings:
     def test_contradictions_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             self._settings(**kwargs)
+
+
+class TestAdaptiveBatchingSetting:
+    def test_default_is_on(self):
+        from repro.experiments.config import ExecutionSettings
+
+        assert ExecutionSettings().adaptive_batching is True
+
+    def test_forwarded_to_process_backend(self):
+        from repro.experiments.config import ExecutionSettings
+
+        runner = ExecutionSettings(
+            backend="process", workers=2, adaptive_batching=False
+        ).make_runner()
+        try:
+            assert runner.backend.adaptive_batching is False
+        finally:
+            runner.close()
+
+    def test_process_backend_defaults_adaptive_on(self):
+        from repro.experiments.config import ExecutionSettings
+
+        runner = ExecutionSettings(backend="process", workers=2).make_runner()
+        try:
+            assert runner.backend.adaptive_batching is True
+        finally:
+            runner.close()
+
+    def test_serial_ignores_the_knob(self):
+        # Serial execution has no dispatch; the flag must not error.
+        from repro.experiments.config import ExecutionSettings
+
+        settings = ExecutionSettings(adaptive_batching=False)
+        assert settings.make_runner() is None

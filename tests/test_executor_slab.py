@@ -1,0 +1,190 @@
+"""Bit-equality of the executor hot paths and the slab accumulation.
+
+Three identities underpin the PR-4 performance overhaul, and each is
+pinned here exactly (``repr`` equality — float-for-float, NaN-aware):
+
+1. **traced ≡ fused** — :func:`simulate_run` with a recorder attached
+   takes the reference object-based loop; without one it takes the
+   fused local-variable loop.  Same :class:`RunResult`, bit for bit.
+2. **execute_once ≡ simulate_run** — the slab-facing entry point skips
+   the ``cycles_by_frequency`` map and the ``RunResult``, changing
+   nothing it does report.
+3. **slab ≡ per-rep accumulation** — folding a block through
+   :func:`accumulate_range`'s NumPy scratch equals per-rep
+   ``CellAccumulator.add`` over :func:`run_range`'s results, which is
+   what keeps ``CellEstimate``\\ s bit-identical to the seed across
+   every backend.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.core.schemes import (
+    AdaptiveCCPPolicy,
+    AdaptiveDVSPolicy,
+    AdaptiveSCPPolicy,
+    KFaultTolerantPolicy,
+    PoissonArrivalPolicy,
+)
+from repro.core.checkpoints import CostModel
+from repro.sim.faults import BurstyFaults, PoissonFaults, WeibullFaults
+from repro.sim.montecarlo import (
+    CellAccumulator,
+    RunSlab,
+    accumulate_range,
+    run_range,
+)
+from repro.sim.executor import execute_once, simulate_run
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+from repro.sim.trace import Trace
+
+REPS = 60
+
+
+def _task(ccp: bool = False) -> TaskSpec:
+    return TaskSpec(
+        cycles=8200.0,
+        deadline=10_000.0,
+        fault_budget=5,
+        fault_rate=1.6e-3,
+        costs=CostModel.ccp_favourable() if ccp else CostModel.scp_favourable(),
+    )
+
+
+FACTORIES = [
+    ("Poisson", partial(PoissonArrivalPolicy, 1.0), False),
+    ("k-f-t", partial(KFaultTolerantPolicy, 1.0), False),
+    ("A_D", AdaptiveDVSPolicy, False),
+    ("A_D_S", AdaptiveSCPPolicy, False),
+    ("A_D_C", AdaptiveCCPPolicy, True),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,ccp", [(f, c) for _, f, c in FACTORIES], ids=[n for n, _, _ in FACTORIES]
+)
+class TestHotPathIdentity:
+    def test_traced_equals_fused(self, factory, ccp):
+        """A Trace recorder must not change a single result bit."""
+        task = _task(ccp)
+        for rep in range(25):
+            rng_a = RandomSource(11).substream(rep)
+            rng_b = RandomSource(11).substream(rep)
+            fused = simulate_run(task, factory(), PoissonFaults(task.fault_rate), rng=rng_a)
+            traced = simulate_run(
+                task,
+                factory(),
+                PoissonFaults(task.fault_rate),
+                rng=rng_b,
+                recorder=Trace(),
+            )
+            assert repr(fused) == repr(traced)
+
+    def test_traced_equals_fused_with_overhead_faults(self, factory, ccp):
+        task = _task(ccp)
+        for rep in range(15):
+            rng_a = RandomSource(5).substream(rep)
+            rng_b = RandomSource(5).substream(rep)
+            fused = simulate_run(
+                task,
+                factory(),
+                PoissonFaults(0.01),
+                rng=rng_a,
+                faults_during_overhead=True,
+            )
+            traced = simulate_run(
+                task,
+                factory(),
+                PoissonFaults(0.01),
+                rng=rng_b,
+                faults_during_overhead=True,
+                recorder=Trace(),
+            )
+            assert repr(fused) == repr(traced)
+
+    def test_execute_once_matches_simulate_run(self, factory, ccp):
+        task = _task(ccp)
+        for rep in range(25):
+            rng_a = RandomSource(3).substream(rep)
+            rng_b = RandomSource(3).substream(rep)
+            full = simulate_run(task, factory(), PoissonFaults(task.fault_rate), rng=rng_a)
+            lean = execute_once(task, factory(), PoissonFaults(task.fault_rate), rng=rng_b)
+            assert lean.completed == full.completed
+            assert lean.timely == full.timely
+            assert repr(lean.finish_time) == repr(full.finish_time)
+            assert repr(lean.energy) == repr(full.energy)
+            assert lean.detected_faults == full.detected_faults
+            assert lean.injected_faults == full.injected_faults
+            assert lean.checkpoints == full.checkpoints
+            assert lean.sub_checkpoints == full.sub_checkpoints
+            assert lean.rollbacks == full.rollbacks
+
+
+@pytest.mark.parametrize(
+    "factory,ccp", [(f, c) for _, f, c in FACTORIES], ids=[n for n, _, _ in FACTORIES]
+)
+def test_slab_equals_per_rep_accumulation(factory, ccp):
+    """accumulate_range ≡ CellAccumulator.add over run_range, bit for bit."""
+    task = _task(ccp)
+    per_rep = CellAccumulator().add_all(
+        run_range(task, factory, start=0, stop=REPS, seed=2006)
+    )
+    slab = accumulate_range(task, factory, start=0, stop=REPS, seed=2006)
+    assert repr(slab.finalize()) == repr(per_rep.finalize())
+
+
+@pytest.mark.parametrize(
+    "faults",
+    [
+        WeibullFaults(shape=0.8, scale=700.0),
+        BurstyFaults(
+            quiet_rate=2e-4, burst_rate=9e-3, quiet_dwell=2500.0, burst_dwell=350.0
+        ),
+    ],
+    ids=["weibull", "bursty"],
+)
+def test_slab_identity_with_alternate_fault_processes(faults):
+    task = _task()
+    per_rep = CellAccumulator().add_all(
+        run_range(task, AdaptiveSCPPolicy, start=0, stop=40, seed=9, faults=faults)
+    )
+    slab = accumulate_range(
+        task, AdaptiveSCPPolicy, start=0, stop=40, seed=9, faults=faults
+    )
+    assert repr(slab.finalize()) == repr(per_rep.finalize())
+
+
+def test_slab_block_split_invariance():
+    """Merging slab blocks in rep order equals one big slab block."""
+    task = _task()
+    whole = accumulate_range(task, AdaptiveSCPPolicy, start=0, stop=REPS, seed=4)
+    left = accumulate_range(task, AdaptiveSCPPolicy, start=0, stop=23, seed=4)
+    right = accumulate_range(task, AdaptiveSCPPolicy, start=23, stop=REPS, seed=4)
+    assert repr(left.merge(right).finalize()) == repr(whole.finalize())
+
+
+def test_slab_reuse_does_not_leak_between_blocks():
+    """A worker's slab is reused; stale rows must never contaminate a
+    later, smaller block."""
+    task = _task()
+    slab = RunSlab(8)
+    big = accumulate_range(
+        task, AdaptiveSCPPolicy, start=0, stop=30, seed=7, slab=slab
+    )
+    small = accumulate_range(
+        task, PoissonArrivalPolicy, start=5, stop=12, seed=7, slab=slab
+    )
+    reference = CellAccumulator().add_all(
+        run_range(task, PoissonArrivalPolicy, start=5, stop=12, seed=7)
+    )
+    assert small.reps == 7
+    assert repr(small.finalize()) == repr(reference.finalize())
+    assert big.reps == 30  # earlier fold untouched by later reuse
+
+
+def test_empty_range_yields_empty_accumulator():
+    task = _task()
+    accumulator = accumulate_range(task, AdaptiveSCPPolicy, start=5, stop=5, seed=0)
+    assert accumulator.reps == 0

@@ -1,0 +1,243 @@
+"""Event-for-event conformance of the batched fault streams.
+
+The batched :class:`~repro.sim.faults.FaultStream` pre-draws gaps in
+chunks (vectorised where the process allows) and turns them into
+arrival times with an anchored cumulative sum.  The contract is that
+the arrivals are **bit-identical** to the seed's one-gap-at-a-time
+iterator — the same generator consumed in the same order, the same
+left-to-right float additions.  This module pins that contract for
+every shipped :class:`~repro.sim.faults.FaultProcess`:
+
+* :class:`LegacyFaultStream` below is a verbatim copy of the seed's
+  lazy iterator, fed by the same scalar gap closures the seed built;
+* identity is asserted for pure ``pop`` consumption, for segment-wise
+  ``take_until``/``drain_until`` consumption, and for adversarial
+  interleavings of all three.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.faults import (
+    BurstyFaults,
+    DualPoissonFaults,
+    FaultStream,
+    PoissonFaults,
+    ScriptedFaults,
+    WeibullFaults,
+)
+
+HORIZON = 50_000.0
+
+
+class LegacyFaultStream:
+    """The seed's sequential iterator, copied verbatim (the reference)."""
+
+    def __init__(self, draw_gap, start: float = 0.0) -> None:
+        self._draw_gap = draw_gap
+        self._clock = float(start)
+        self._next = None
+
+    def peek(self) -> float:
+        if self._next is None:
+            gap = self._draw_gap()
+            self._next = math.inf if gap is None else self._clock + gap
+        return self._next
+
+    def pop(self) -> float:
+        value = self.peek()
+        if math.isfinite(value):
+            self._clock = value
+        self._next = None
+        return value
+
+
+def legacy_draw_gap(process, rng):
+    """The seed's scalar gap closures, per process type."""
+    if isinstance(process, PoissonFaults):
+        if process.rate == 0:
+            return lambda: None
+        rate = process.rate
+        return lambda: rng.exponential(1.0 / rate)
+    if isinstance(process, DualPoissonFaults):
+        merged = 2.0 * process.rate_per_processor
+        if merged == 0:
+            return lambda: None
+        return lambda: rng.exponential(1.0 / merged)
+    if isinstance(process, WeibullFaults):
+        shape, scale = process.shape, process.scale
+        return lambda: scale * rng.weibull(shape)
+    if isinstance(process, BurstyFaults):
+        state = {"bursting": False, "until": rng.exponential(process.quiet_dwell)}
+
+        def draw_gap():
+            gap = 0.0
+            while True:
+                rate = (
+                    process.burst_rate if state["bursting"] else process.quiet_rate
+                )
+                window = state["until"]
+                candidate = rng.exponential(1.0 / rate) if rate > 0 else math.inf
+                if candidate <= window:
+                    state["until"] = window - candidate
+                    return gap + candidate
+                gap += window
+                state["bursting"] = not state["bursting"]
+                dwell = (
+                    process.burst_dwell
+                    if state["bursting"]
+                    else process.quiet_dwell
+                )
+                state["until"] = rng.exponential(dwell)
+
+        return draw_gap
+    if isinstance(process, ScriptedFaults):
+        remaining = list(process.times)
+        last = [0.0]
+
+        def draw_gap():
+            if not remaining:
+                return None
+            nxt = remaining.pop(0)
+            gap = nxt - last[0]
+            last[0] = nxt
+            return gap
+
+        return draw_gap
+    raise AssertionError(f"no legacy closure for {process!r}")
+
+
+PROCESSES = [
+    PoissonFaults(1.4e-3),
+    PoissonFaults(0.05),
+    DualPoissonFaults(7e-4),
+    WeibullFaults(shape=0.7, scale=900.0),
+    WeibullFaults(shape=1.8, scale=400.0),
+    BurstyFaults(
+        quiet_rate=2e-4, burst_rate=8e-3, quiet_dwell=3000.0, burst_dwell=300.0
+    ),
+    ScriptedFaults([1.5, 3.25, 10.0, 10.5, 4000.0]),
+]
+
+
+def _legacy_events(process, seed, horizon=HORIZON, limit=100_000):
+    stream = LegacyFaultStream(legacy_draw_gap(process, np.random.default_rng(seed)))
+    events = []
+    while (
+        math.isfinite(stream.peek())
+        and stream.peek() <= horizon
+        and len(events) < limit
+    ):
+        events.append(stream.pop())
+    return events
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=lambda p: type(p).__name__)
+@pytest.mark.parametrize("seed", [0, 7, 2006])
+class TestEventForEventIdentity:
+    def test_pop_sequence_matches_legacy(self, process, seed):
+        """Pure pop consumption: every arrival bit-equal to the seed's."""
+        legacy = _legacy_events(process, seed)
+        stream = process.stream(np.random.default_rng(seed))
+        batched = [stream.pop() for _ in legacy]
+        assert batched == legacy  # exact float equality, element-wise
+        if len(legacy) < 100_000:
+            assert stream.peek() > HORIZON
+
+    def test_take_until_matches_legacy(self, process, seed):
+        """Segment-wise draining visits exactly the same events."""
+        legacy = _legacy_events(process, seed)
+        stream = process.stream(np.random.default_rng(seed))
+        rng = np.random.default_rng(seed + 1)
+        collected = []
+        t = 0.0
+        while t < HORIZON:
+            t += rng.exponential(HORIZON / 40.0)
+            collected.extend(stream.take_until(min(t, HORIZON)))
+        assert collected == legacy
+
+    def test_interleaved_consumption_matches_legacy(self, process, seed):
+        """Adversarial mix of peek/pop/take_until/drain_until."""
+        target = 500
+        legacy = _legacy_events(process, seed, horizon=math.inf, limit=10 * target)
+        stream = process.stream(np.random.default_rng(seed))
+        rng = np.random.default_rng(seed + 2)
+        collected = []
+        while len(collected) < target:
+            choice = rng.integers(0, 4)
+            if choice == 0:
+                value = stream.peek()  # must not consume
+                assert stream.peek() == value
+            elif choice == 1:
+                value = stream.pop()
+                if math.isfinite(value):
+                    collected.append(value)
+                else:
+                    break  # exhausted (scripted processes)
+            elif choice == 2:
+                head = stream.peek()
+                if math.isfinite(head):
+                    span = head + float(rng.exponential(200.0))
+                    collected.extend(stream.take_until(span))
+            else:
+                head = stream.peek()
+                if math.isfinite(head):
+                    taken, nxt = stream.drain_until(head)
+                    collected.extend(taken)
+                    assert nxt == stream.peek()
+        assert collected == legacy[: len(collected)]
+        # Either we hit the target or the process genuinely ran dry.
+        assert len(collected) >= target or len(collected) == len(legacy)
+
+    def test_chunk_one_equals_default_chunking(self, process, seed):
+        """The pre-draw size is invisible: chunk=1 (the legacy laziness)
+        and the growing default produce the same events."""
+        lazy = process.stream(np.random.default_rng(seed), chunk=1)
+        default = process.stream(np.random.default_rng(seed))
+        for _ in range(300):
+            a, b = lazy.pop(), default.pop()
+            assert a == b
+            if not math.isfinite(a):
+                break
+
+
+class TestStreamBasics:
+    def test_zero_rate_is_exhausted(self):
+        stream = PoissonFaults(0.0).stream(np.random.default_rng(0))
+        assert stream.peek() == math.inf
+        assert stream.pop() == math.inf
+        assert stream.take_until(1e12) == []
+
+    def test_scripted_exhaustion_reports_inf(self):
+        stream = ScriptedFaults([1.0, 2.0]).stream()
+        assert stream.take_until(5.0) == [1.0, 2.0]
+        assert stream.peek() == math.inf
+        assert stream.pop() == math.inf
+
+    def test_take_until_before_first_event_is_empty(self):
+        stream = ScriptedFaults([5.0]).stream()
+        assert stream.take_until(4.999) == []
+        assert stream.peek() == 5.0
+
+    def test_drain_until_returns_next_arrival(self):
+        stream = ScriptedFaults([1.0, 2.0, 7.0]).stream()
+        taken, nxt = stream.drain_until(3.0)
+        assert taken == [1.0, 2.0]
+        assert nxt == 7.0
+        taken, nxt = stream.drain_until(10.0)
+        assert taken == [7.0]
+        assert nxt == math.inf
+
+    def test_advance_past_counts(self):
+        stream = PoissonFaults(0.01).stream(np.random.default_rng(3))
+        reference = process_events = _legacy_events(PoissonFaults(0.01), 3, 500.0)
+        assert stream.advance_past(500.0) == len(process_events)
+        assert reference == process_events
+
+    def test_fixed_chunk_must_be_positive(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            FaultStream(lambda: 1.0, chunk=0)

@@ -250,3 +250,70 @@ class TestMomentNumerics:
     def test_variance_nan_below_two(self):
         assert math.isnan(MomentAccumulator().variance)
         assert math.isnan(MomentAccumulator([3.0]).variance)
+
+
+class TestVectorisedAddMany:
+    """The NumPy block path of add_many is bit-identical to scalar add."""
+
+    def _state(self, acc):
+        return (acc.count, acc._sum_hi, acc._sum_lo, acc._sq_hi, acc._sq_lo)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "offset,spread", [(0.0, 1.0), (40_000.0, 500.0), (1e12, 1.0)]
+    )
+    def test_array_path_matches_scalar_add(self, seed, offset, spread):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(offset, spread, size=513)
+        scalar = MomentAccumulator()
+        for value in values:
+            scalar.add(float(value))
+        vectorised = MomentAccumulator()
+        vectorised.add_many(values)  # ndarray: the NumPy block path
+        assert self._state(vectorised) == self._state(scalar)
+
+    def test_array_path_matches_generic_iterable_path(self):
+        values = np.random.default_rng(7).exponential(3.0, size=257)
+        from_list = MomentAccumulator().add_many(list(values))
+        from_array = MomentAccumulator().add_many(values)
+        assert self._state(from_array) == self._state(from_list)
+
+    def test_integer_arrays_accumulate_exactly(self):
+        values = np.arange(100, dtype=np.int64)
+        acc = MomentAccumulator().add_many(values)
+        assert acc.count == 100
+        assert acc.sum == float(values.sum())
+
+    def test_empty_array_is_a_noop(self):
+        acc = MomentAccumulator()
+        acc.add_many(np.empty(0))
+        assert acc.count == 0
+        assert math.isnan(acc.mean)
+
+    def test_chained_blocks_match_one_pass(self):
+        values = np.random.default_rng(3).normal(10.0, 2.0, size=400)
+        one_pass = MomentAccumulator().add_many(values)
+        blocked = MomentAccumulator()
+        blocked.add_many(values[:137])
+        blocked.add_many(values[137:])
+        assert self._state(blocked) == self._state(one_pass)
+
+
+class TestProportionAddMany:
+    def test_matches_scalar_add(self):
+        flags = np.random.default_rng(0).random(301) < 0.4
+        scalar = ProportionAccumulator()
+        for flag in flags:
+            scalar.add(bool(flag))
+        block = ProportionAccumulator().add_many(flags)
+        assert (block.successes, block.trials) == (scalar.successes, scalar.trials)
+
+    def test_accepts_plain_sequences(self):
+        acc = ProportionAccumulator().add_many([True, False, True, True])
+        assert (acc.successes, acc.trials) == (3, 4)
+
+    def test_merge_after_add_many_is_exact(self):
+        left = ProportionAccumulator().add_many(np.array([True, False]))
+        right = ProportionAccumulator().add_many(np.array([True, True, False]))
+        merged = left.merge(right)
+        assert (merged.successes, merged.trials) == (3, 5)
