@@ -1,0 +1,154 @@
+"""Façade overhead gate: Study/Session vs direct ``run_table``.
+
+The declarative façade (``repro.api``) wraps every experiment in cell
+planning, provenance stamping and ResultSet assembly.  All of that is
+O(cells) Python bookkeeping around the same Monte-Carlo work, so it
+must be invisible at experiment scale.  This benchmark is the contract:
+
+* run the same table once through ``run_table`` (direct) and once
+  through ``Study.run`` on a borrowed serial session (façade), timing
+  both (best of ``--repeats`` passes);
+* **assert bit-identity**: every façade cell estimate must equal the
+  direct call's (``CellEstimate.same_values``);
+* **gate the overhead**: the façade's reps/s must be within
+  ``--max-overhead`` (default 5%) of the direct path's.  The gate has
+  an absolute noise floor (``--min-gap``, default 50 ms): a run only
+  fails when the façade is slower by more than 5% *and* by more than
+  the floor, so scheduler jitter on a sub-second quick pass cannot
+  flake CI while a genuine O(work) regression still trips it.
+
+Run standalone (not under pytest)::
+
+    python benchmarks/bench_api.py              # full sizes
+    python benchmarks/bench_api.py --quick      # CI smoke run
+
+Results are written to ``BENCH_api.json`` (override with ``--json``).
+Exit status is non-zero when identity or the overhead gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api import Session, Study, StudySpec
+from repro.experiments.tables import run_table
+from repro.sim.parallel import BatchRunner
+
+TABLE = "1a"
+SEED = 2006
+
+
+def run_bench(reps: int, repeats: int, chunk_size: int) -> dict:
+    runner = BatchRunner.serial(chunk_size=chunk_size)
+    spec = StudySpec(
+        kind="table", table=TABLE, reps=reps, seed=SEED, fast_static=True
+    )
+    session = Session(runner=runner)
+
+    # The two paths are timed *interleaved* (direct, façade, direct,
+    # façade, ...; best pass kept for each): machine-load drift across
+    # the run then biases both sides equally instead of landing on
+    # whichever path happened to be measured second.  A fresh Study
+    # per façade pass keeps its cell-plan cache from eliding the
+    # O(cells) planning work the gate claims to cover.
+    direct_seconds = facade_seconds = float("inf")
+    direct = results = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        direct = run_table(
+            TABLE, reps=reps, seed=SEED, runner=runner, fast_static=True
+        )
+        direct_seconds = min(direct_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        results = Study(spec).run(session)
+        facade_seconds = min(facade_seconds, time.perf_counter() - started)
+    study = Study(spec)
+
+    identical = all(
+        results.estimate(plan.key).same_values(
+            direct.row(dict(plan.axes)["u"], dict(plan.axes)["lam"])
+            .cell(dict(plan.axes)["scheme"])
+            .measured
+        )
+        for plan in study.cells()
+    )
+    total_reps = reps * len(study.cells())
+    return {
+        "table": TABLE,
+        "reps_per_cell": reps,
+        "cells": len(study.cells()),
+        "direct_seconds": direct_seconds,
+        "facade_seconds": facade_seconds,
+        "direct_reps_per_s": total_reps / direct_seconds,
+        "facade_reps_per_s": total_reps / facade_seconds,
+        "overhead": facade_seconds / direct_seconds - 1.0,
+        "identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes (seconds, not minutes)",
+    )
+    parser.add_argument("--reps", type=int, default=None,
+                        help="override reps per cell")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing passes per path (best is kept)")
+    parser.add_argument("--chunk-size", type=int, default=64)
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="maximum tolerated façade overhead (fraction of direct time)",
+    )
+    parser.add_argument(
+        "--min-gap", type=float, default=0.05,
+        help=(
+            "absolute noise floor in seconds: the overhead gate only "
+            "fails when the façade is slower by more than this too"
+        ),
+    )
+    parser.add_argument("--json", default="BENCH_api.json",
+                        help="report path")
+    args = parser.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (96 if args.quick else 1000)
+    report = run_bench(reps, args.repeats, args.chunk_size)
+    report["max_overhead"] = args.max_overhead
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+
+    print(
+        f"direct:  {report['direct_reps_per_s']:12.0f} reps/s "
+        f"({report['direct_seconds']:.3f} s)"
+    )
+    print(
+        f"facade:  {report['facade_reps_per_s']:12.0f} reps/s "
+        f"({report['facade_seconds']:.3f} s)"
+    )
+    print(f"overhead: {report['overhead']:+.2%} (gate {args.max_overhead:.0%})")
+
+    ok = True
+    if not report["identical"]:
+        print("FAIL: façade estimates are not bit-identical to run_table",
+              file=sys.stderr)
+        ok = False
+    gap = report["facade_seconds"] - report["direct_seconds"]
+    if report["overhead"] > args.max_overhead and gap > args.min_gap:
+        print(
+            f"FAIL: façade overhead {report['overhead']:+.2%} "
+            f"({gap * 1000:.0f} ms) exceeds {args.max_overhead:.0%} "
+            f"and the {args.min_gap * 1000:.0f} ms noise floor",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print("façade overhead gate ok (bit-identical estimates)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,10 @@ from repro.sim.state import ExecutionState
 from repro.sim.task import TaskSpec
 from repro.sim.trace import Trace, TraceRecorder
 
+# The declarative study façade (imported last: it builds on the
+# experiment and simulation layers above).
+from repro.api import CellRecord, ResultSet, Session, Study, StudySpec
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -178,6 +182,12 @@ __all__ = [
     "StaticCellJob",
     "simulate_static_cell",
     "static_cell_for_scheme",
+    # declarative study façade
+    "Session",
+    "Study",
+    "StudySpec",
+    "ResultSet",
+    "CellRecord",
     # errors
     "ReproError",
     "ParameterError",

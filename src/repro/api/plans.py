@@ -1,0 +1,292 @@
+"""Canonical cell enumeration for every experiment the library runs.
+
+A *study* — a table regeneration, a fixed-m ablation, a utilisation
+sweep, an operating map — is ultimately a flat, ordered list of Monte-
+Carlo cells, each fully described by a picklable job.  This module is
+the single place that list is built: the declarative façade
+(:mod:`repro.api.spec`) and the legacy entrypoints (``run_table``,
+``fixed_m_study``, ``utilization_sweep``, ``operating_map``, …) both
+expand through these functions, so the two paths cannot drift — same
+cells, same seeds, same jobs, bit-identical estimates.
+
+Seeding is part of the contract and is therefore frozen here:
+
+* table/row cells fork the root :class:`~repro.sim.rng.RandomSource`
+  with a stable per-cell label (:func:`cell_label` — arithmetic, never
+  ``hash``), exactly as ``run_table`` always has;
+* fixed-m and rate-factor cells share the study seed verbatim;
+* utilisation-sweep cells use ``seed + int(u * 1000)``;
+* operating-map cells use ``seed + int(u * 997) + int(lam * 1e7)``.
+
+Because every derivation is a pure function of (root seed, cell
+identity), any *subset* of a study's cells can be recomputed in
+isolation and still land on the same realisations — the property that
+makes resume-from-partial :class:`~repro.api.results.ResultSet`\\ s
+exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Sequence, Tuple
+
+from repro.experiments.config import TableSpec
+from repro.sim.backends import CellJob
+from repro.sim.rng import RandomSource
+from repro.sim.task import TaskSpec
+
+__all__ = [
+    "CellPlan",
+    "cell_label",
+    "table_cell_job",
+    "table_cells",
+    "row_cells",
+    "fixed_m_cells",
+    "rate_factor_cells",
+    "utilization_cells",
+    "operating_map_cells",
+]
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One cell of a study: a stable key, its axis values, and its job.
+
+    ``key`` is unique within the study and stable across processes and
+    library versions (floats are embedded via ``repr``, which
+    round-trips exactly) — it is what :class:`~repro.api.results.
+    ResultSet` records are addressed by, and what resume uses to decide
+    which cells still need computing.  ``axes`` carries the same
+    coordinates as structured pairs for CSV export and filtering.
+    """
+
+    key: str
+    axes: Tuple[Tuple[str, object], ...]
+    job: object  # CellJob or repro.sim.fastpath.StaticCellJob
+
+
+def cell_label(table_id: str, u: float, lam: float, column: int) -> int:
+    """Deterministic integer label for a table cell's seed fork.
+
+    Built from stable arithmetic (never :func:`hash`, which is salted
+    per process for strings), so the same (table, row, scheme) always
+    maps to the same fault realisations for a given root seed.
+    """
+    table_part = sum(ord(ch) * (i + 1) for i, ch in enumerate(table_id))
+    u_part = int(round(u * 10_000))
+    lam_part = int(round(lam * 1e9))
+    return (
+        table_part * 1_000_003 + u_part * 7_919 + lam_part * 101 + column
+    ) & 0x7FFFFFFF
+
+
+def table_cell_job(
+    spec: TableSpec,
+    u: float,
+    lam: float,
+    column: int,
+    *,
+    reps: int,
+    source: RandomSource,
+    faults_during_overhead: bool = False,
+    fast_static: bool = False,
+):
+    """The fully-specified job of one (row, scheme) table cell.
+
+    Seeds come from a per-cell fork of ``source`` keyed by
+    :func:`cell_label`, so a cell built in isolation (resume) is
+    identical to the same cell built as part of the full grid.
+    """
+    cell_source = source.fork(cell_label(spec.table_id, u, lam, column))
+    return spec.cell_job(
+        u,
+        lam,
+        spec.schemes[column],
+        reps=reps,
+        seed=cell_source.seed,
+        fast_static=fast_static,
+        faults_during_overhead=faults_during_overhead,
+    )
+
+
+def row_cells(
+    spec: TableSpec,
+    u: float,
+    lam: float,
+    *,
+    reps: int,
+    seed: int,
+    faults_during_overhead: bool = False,
+    fast_static: bool = False,
+) -> List[CellPlan]:
+    """The scheme cells of one (U, λ) row, in column order."""
+    source = RandomSource(seed)
+    return [
+        CellPlan(
+            key=f"u={u!r}|lam={lam!r}|scheme={scheme}",
+            axes=(("u", u), ("lam", lam), ("scheme", scheme)),
+            job=table_cell_job(
+                spec,
+                u,
+                lam,
+                column,
+                reps=reps,
+                source=source,
+                faults_during_overhead=faults_during_overhead,
+                fast_static=fast_static,
+            ),
+        )
+        for column, scheme in enumerate(spec.schemes)
+    ]
+
+
+def table_cells(
+    spec: TableSpec,
+    *,
+    reps: int,
+    seed: int,
+    faults_during_overhead: bool = False,
+    fast_static: bool = False,
+) -> List[CellPlan]:
+    """Every (row × scheme) cell of a table, rows then columns."""
+    plans: List[CellPlan] = []
+    for u, lam in spec.rows:
+        plans.extend(
+            row_cells(
+                spec,
+                u,
+                lam,
+                reps=reps,
+                seed=seed,
+                faults_during_overhead=faults_during_overhead,
+                fast_static=fast_static,
+            )
+        )
+    return plans
+
+
+def fixed_m_cells(
+    task: TaskSpec,
+    ms: Sequence[int],
+    *,
+    reps: int,
+    seed: int,
+) -> List[CellPlan]:
+    """Fixed-subdivision cells plus the adaptive ``num_SCP`` control."""
+    # Imported here: sweeps re-exports these plans, so a module-level
+    # import would be circular.
+    from repro.core.schemes import AdaptiveSCPPolicy
+    from repro.experiments.sweeps import FixedSubdivisionSCPPolicy
+
+    plans = [
+        CellPlan(
+            key=f"m={m}",
+            axes=(("m", m),),
+            job=CellJob(
+                task=task,
+                policy_factory=partial(FixedSubdivisionSCPPolicy, m),
+                reps=reps,
+                seed=seed,
+            ),
+        )
+        for m in ms
+    ]
+    plans.append(
+        CellPlan(
+            key="adaptive",
+            axes=(("m", "adaptive"),),
+            job=CellJob(
+                task=task,
+                policy_factory=AdaptiveSCPPolicy,
+                reps=reps,
+                seed=seed,
+            ),
+        )
+    )
+    return plans
+
+
+def rate_factor_cells(
+    task: TaskSpec,
+    factors: Sequence[float],
+    *,
+    reps: int,
+    seed: int,
+) -> List[CellPlan]:
+    """``A_D_S`` cells under different analysis-rate factors."""
+    from repro.core.schemes import AdaptiveConfig, AdaptiveSCPPolicy
+
+    return [
+        CellPlan(
+            key=f"factor={factor!r}",
+            axes=(("factor", factor),),
+            job=CellJob(
+                task=task,
+                policy_factory=partial(
+                    AdaptiveSCPPolicy,
+                    AdaptiveConfig(analysis_rate_factor=factor),
+                ),
+                reps=reps,
+                seed=seed,
+            ),
+        )
+        for factor in factors
+    ]
+
+
+def utilization_cells(
+    spec: TableSpec,
+    u_grid: Sequence[float],
+    lam: float,
+    *,
+    reps: int,
+    seed: int,
+    fast_static: bool = False,
+) -> List[CellPlan]:
+    """The (U × scheme) grid behind a utilisation sweep."""
+    return [
+        CellPlan(
+            key=f"u={u!r}|scheme={scheme}",
+            axes=(("u", u), ("lam", lam), ("scheme", scheme)),
+            job=spec.cell_job(
+                u,
+                lam,
+                scheme,
+                reps=reps,
+                seed=seed + int(u * 1000),
+                fast_static=fast_static,
+            ),
+        )
+        for u in u_grid
+        for scheme in spec.schemes
+    ]
+
+
+def operating_map_cells(
+    spec: TableSpec,
+    u_grid: Sequence[float],
+    lam_grid: Sequence[float],
+    *,
+    reps: int,
+    seed: int,
+    fast_static: bool = False,
+) -> List[CellPlan]:
+    """The (λ × U × scheme) grid behind an operating map."""
+    return [
+        CellPlan(
+            key=f"u={u!r}|lam={lam!r}|scheme={scheme}",
+            axes=(("u", u), ("lam", lam), ("scheme", scheme)),
+            job=spec.cell_job(
+                u,
+                lam,
+                scheme,
+                reps=reps,
+                seed=seed + int(u * 997) + int(lam * 1e7),
+                fast_static=fast_static,
+            ),
+        )
+        for lam in lam_grid
+        for u in u_grid
+        for scheme in spec.schemes
+    ]

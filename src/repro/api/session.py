@@ -1,0 +1,234 @@
+"""The execution session: one owned backend/runner, reused everywhere.
+
+Before the façade, every call built (and tore down) its own execution
+resources: ``run_table(backend="process")`` spun a pool up and released
+it, the next call paid the startup again.  A :class:`Session` owns one
+:class:`~repro.sim.parallel.BatchRunner` for its whole lifetime — built
+from one validated :class:`~repro.experiments.config.ExecutionSettings`
+(the single source of truth for *where things run*) — and every study,
+table or ad-hoc estimate run through it reuses the same workers::
+
+    from repro.api import Session, StudySpec
+
+    with Session(backend="process", workers=8) as session:
+        a = session.run(StudySpec(kind="table", table="1a", reps=2000))
+        b = session.run(StudySpec(kind="operating_map", table="1a",
+                                  u_grid=[0.6, 0.8], lam_grid=[1e-4, 1e-3]))
+
+Results are bit-identical to the serial pass for a fixed block size —
+the session changes resource lifetimes, never estimates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExecutionSettings
+from repro.sim.montecarlo import CellEstimate
+from repro.sim.parallel import BatchRunner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.results import ResultSet
+    from repro.api.spec import StudySpec
+    from repro.api.study import Study
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Owns one backend/runner lifecycle; the façade's execution seam.
+
+    Parameters
+    ----------
+    settings:
+        An :class:`~repro.experiments.config.ExecutionSettings` — the
+        one validated where-does-it-run selector.  Mutually exclusive
+        with the keyword shorthand below.
+    runner:
+        Adopt an existing :class:`~repro.sim.parallel.BatchRunner`
+        instead of building one.  The session *borrows* it: ``close()``
+        leaves it running (whoever built it owns it).  This is how the
+        legacy entrypoints wrap their ``runner=`` argument.
+    backend / workers / chunk_size / cluster_workers / url /
+    adaptive_batching:
+        Shorthand forwarded into a fresh ``ExecutionSettings`` —
+        ``Session(backend="process", workers=8)`` reads like the CLI.
+
+    A session built from settings owns its runner and releases it on
+    :meth:`close` (or context-manager exit); a closed session rejects
+    further work instead of silently rebuilding resources.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[ExecutionSettings] = None,
+        *,
+        runner: Optional[BatchRunner] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        cluster_workers: int = 0,
+        url: Optional[str] = None,
+        adaptive_batching: bool = True,
+    ) -> None:
+        shorthand = (
+            backend is not None
+            or workers is not None
+            or chunk_size is not None
+            or cluster_workers
+            or url is not None
+            or not adaptive_batching
+        )
+        if runner is not None:
+            if settings is not None or shorthand:
+                raise ConfigurationError(
+                    "pass either runner= (adopt an existing runner) or "
+                    "settings/backend shorthand (build one), not both"
+                )
+            self.settings: Optional[ExecutionSettings] = None
+            self._runner = runner
+            self._owns_runner = False
+        else:
+            if settings is not None and shorthand:
+                raise ConfigurationError(
+                    "pass either settings= or the backend/workers/... "
+                    "shorthand, not both"
+                )
+            self.settings = settings or ExecutionSettings(
+                backend=backend,
+                workers=workers,
+                chunk_size=chunk_size,
+                cluster_workers=cluster_workers,
+                url=url,
+                adaptive_batching=adaptive_batching,
+            )
+            self._runner = self.settings.make_runner() or BatchRunner.serial()
+            self._owns_runner = True
+        self._closed = False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def runner(self) -> BatchRunner:
+        """The session's :class:`BatchRunner` (stable for its lifetime)."""
+        self._check_open()
+        return self._runner
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the execution backend (``serial``/``process``/…)."""
+        return self._runner.backend.name
+
+    @property
+    def block_size(self) -> int:
+        """The determinism-contract block size cells are cut into."""
+        return self._runner.block_size
+
+    def describe(self) -> str:
+        """Human-readable execution provenance, e.g. ``process[8]/256``."""
+        name = self.backend_name
+        workers = getattr(self._runner, "workers", 1)
+        detail = f"[{workers}]" if name == "process" else ""
+        return f"{name}{detail}/{self.block_size}"
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        study: Union["Study", "StudySpec"],
+        *,
+        resume: Optional["ResultSet"] = None,
+    ) -> "ResultSet":
+        """Run a study (or a bare spec) on this session's backend.
+
+        With ``resume``, only cells missing from the partial
+        :class:`~repro.api.results.ResultSet` are computed; the result
+        is the completed set (see :meth:`repro.api.study.Study.run`).
+        """
+        from repro.api.study import Study
+
+        if not isinstance(study, Study):
+            study = Study(study)
+        return study.run(self, resume=resume)
+
+    def run_cells(self, jobs: Sequence[object]) -> List[CellEstimate]:
+        """Estimate a grid of prepared cell jobs (façade internals)."""
+        self._check_open()
+        return self._runner.run_cells(jobs)
+
+    def estimate(
+        self,
+        task,
+        policy_factory,
+        *,
+        reps: int,
+        seed: int = 0,
+        **kwargs,
+    ) -> CellEstimate:
+        """One ad-hoc cell on this session's backend.
+
+        The session-owned twin of :func:`repro.sim.montecarlo.estimate`
+        — same arguments (minus ``runner``/``backend``, which the
+        session supplies), same blocked reduction, same estimates.
+        """
+        from repro.sim.montecarlo import estimate as estimate_cell
+
+        self._check_open()
+        return estimate_cell(
+            task,
+            policy_factory,
+            reps=reps,
+            seed=seed,
+            runner=self._runner,
+            **kwargs,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release owned execution resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_runner:
+            self._runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "session is closed; build a new Session for further runs"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"Session({self.describe()}, {state})"
+
+
+def timed_run_cells(session: Session, jobs: Sequence[object]):
+    """Run jobs through a session, returning (estimates, wall, cpu).
+
+    Shared by :class:`~repro.api.study.Study` so every record's
+    wall/compute provenance is measured the same way: wall clock around
+    the whole batch, plus this process's CPU seconds (for parallel
+    backends that is coordination cost, not worker compute).
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    estimates = session.run_cells(jobs)
+    return (
+        estimates,
+        time.perf_counter() - wall_start,
+        time.process_time() - cpu_start,
+    )

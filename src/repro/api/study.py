@@ -1,0 +1,173 @@
+"""Study: a spec bound to its cells, runnable and resumable.
+
+``Study.run(session)`` is the one pipeline every experiment flows
+through now: expand the spec to its canonical cell list
+(:mod:`repro.api.plans`), skip cells a partial
+:class:`~repro.api.results.ResultSet` already holds, dispatch the rest
+as one interleaved batch on the session's backend, and stamp each fresh
+record with full provenance.  Resume is exact, not approximate: cell
+seeds are pure functions of (root seed, cell identity), so a cell
+computed in a resumed run is bit-identical to the one a fresh full run
+would produce — ``tests/test_resultset.py`` pins that cell-for-cell.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.api.plans import CellPlan
+from repro.api.results import CellRecord, ResultSet, git_describe
+from repro.api.session import Session, timed_run_cells
+from repro.api.spec import StudySpec
+from repro.errors import ConfigurationError
+from repro.experiments.config import TableSpec
+
+__all__ = ["Study"]
+
+
+class Study:
+    """A runnable study: a :class:`StudySpec` plus its resolved table.
+
+    Parameters
+    ----------
+    spec:
+        The declarative study description.
+    table:
+        Optional custom :class:`TableSpec` overriding the registry
+        lookup of ``spec.table`` — the hook that lets legacy callers
+        holding a bespoke spec object (``run_table(TableSpec(...))``)
+        flow through the façade.  Custom-table studies run and resume
+        normally but have no JSON form, and their :attr:`spec_hash` is
+        salted with a fingerprint of the table object so a resume
+        against a *different* custom table is rejected.
+    """
+
+    def __init__(
+        self,
+        spec: Union[StudySpec, dict],
+        *,
+        table: Optional[TableSpec] = None,
+    ) -> None:
+        if isinstance(spec, dict):
+            spec = StudySpec.from_dict(spec)
+        if not isinstance(spec, StudySpec):
+            raise ConfigurationError(
+                f"spec must be a StudySpec or a spec dict, got "
+                f"{type(spec).__name__}"
+            )
+        self.spec = spec.resolved()
+        self.table = table
+        self._cells: Optional[List[CellPlan]] = None
+
+    @classmethod
+    def from_file(cls, path: str) -> "Study":
+        return cls(StudySpec.from_file(path))
+
+    @property
+    def spec_hash(self) -> str:
+        """Provenance hash; includes the custom table's fingerprint."""
+        base = self.spec.spec_hash
+        if self.table is None:
+            return base
+        import hashlib
+
+        salt = hashlib.sha256(repr(self.table).encode()).hexdigest()[:8]
+        return f"{base}+{salt}"
+
+    def cells(self) -> List[CellPlan]:
+        """The study's canonical, ordered cell list.
+
+        Computed once and cached (the spec is frozen and the table
+        fixed at construction): expansion forks a ``SeedSequence`` per
+        cell, which callers — ``run()``, CLI rendering, benchmarks —
+        should not pay repeatedly on grids of thousands.  Returns a
+        fresh list each call; the plans themselves are shared and
+        frozen.
+        """
+        if self._cells is None:
+            self._cells = self.spec.cells(self.table)
+        return list(self._cells)
+
+    def missing(self, partial: Optional[ResultSet]) -> List[CellPlan]:
+        """The cells a partial result set does not cover yet."""
+        return self._missing_from(self.cells(), partial)
+
+    def _missing_from(
+        self, plans: List[CellPlan], partial: Optional[ResultSet]
+    ) -> List[CellPlan]:
+        if partial is None:
+            return plans
+        if partial.spec_hash != self.spec_hash:
+            raise ConfigurationError(
+                f"result set belongs to a different study (spec hash "
+                f"{partial.spec_hash!r}, this study is {self.spec_hash!r}); "
+                f"refusing to resume across studies"
+            )
+        return [plan for plan in plans if plan.key not in partial]
+
+    def run(
+        self,
+        session: Optional[Session] = None,
+        *,
+        resume: Optional[ResultSet] = None,
+    ) -> ResultSet:
+        """Run the study; with ``resume``, compute only missing cells.
+
+        Returns the *complete* :class:`ResultSet` in canonical cell
+        order — resumed records keep their original provenance
+        verbatim (they were not recomputed), fresh ones are stamped
+        with this run's.  Without a session, an ephemeral serial one is
+        used (bit-identical to any other backend at the same block
+        size).
+        """
+        plans = self.cells()
+        todo = self._missing_from(plans, resume)
+        if session is None:
+            with Session() as ephemeral:
+                return self._run_missing(ephemeral, plans, todo, resume)
+        return self._run_missing(session, plans, todo, resume)
+
+    def _run_missing(
+        self,
+        session: Session,
+        plans: List[CellPlan],
+        todo: List[CellPlan],
+        resume: Optional[ResultSet],
+    ) -> ResultSet:
+        fresh: dict = {}
+        if todo:
+            estimates, wall, cpu = timed_run_cells(
+                session, [plan.job for plan in todo]
+            )
+            stamp = dict(
+                spec_hash=self.spec_hash,
+                block_size=session.block_size,
+                backend=session.backend_name,
+                git=git_describe(),
+                wall_seconds=wall,
+                compute_seconds=cpu,
+            )
+            for plan, estimate in zip(todo, estimates):
+                fresh[plan.key] = CellRecord(
+                    key=plan.key,
+                    axes=dict(plan.axes),
+                    estimate=estimate,
+                    seed=plan.job.seed,
+                    **stamp,
+                )
+        # Canonical order: the plan order, pulling each cell from the
+        # resumed set or this run — so a resumed-and-completed set is
+        # record-for-record aligned with a fresh full run.
+        records = []
+        for plan in plans:
+            if plan.key in fresh:
+                records.append(fresh[plan.key])
+            else:
+                assert resume is not None  # missing() guarantees coverage
+                records.append(resume.record(plan.key))
+        spec_payload = self.spec.to_dict() if self.table is None else None
+        return ResultSet(self.spec_hash, records, spec=spec_payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        custom = ", custom-table" if self.table is not None else ""
+        return f"Study({self.spec.kind!r}, table={self.spec.table!r}{custom})"

@@ -3,18 +3,26 @@
 Usage (installed as ``repro`` or via ``python -m repro``)::
 
     repro table 1a --reps 2000          # regenerate paper table 1(a)
+    repro run spec.json --out r.json    # run a declarative StudySpec
     repro validate --reps 500           # all 8 tables + shape criteria
     repro demo --scheme A_D_S           # trace one simulated run
     repro list                          # available tables
     repro worker tcp://host:8642        # serve blocks for a coordinator
 
-Where the Monte-Carlo cells run is one validated selector
-(``--backend {serial,process,distributed}``; see
-:class:`repro.experiments.config.ExecutionSettings`): ``--workers N``
-sizes the process pool (and, alone, still implies ``--backend
-process`` for compatibility), ``--cluster-workers N`` spawns loopback
-worker subprocesses for the distributed backend.  Results are
-bit-identical across backends for a fixed ``--chunk-size``.
+The Monte-Carlo commands are shims over the :mod:`repro.api` façade:
+each builds a declarative :class:`~repro.api.spec.StudySpec`, runs it
+in one :class:`~repro.api.session.Session`, and (with ``--out``) saves
+the provenance-stamped :class:`~repro.api.results.ResultSet`;
+``--resume`` reloads a partial ResultSet and computes only the missing
+cells.  ``repro run`` takes the spec as a JSON file directly.
+
+Where the cells run is one validated selector (``--backend {serial,
+process,distributed}``; see :class:`repro.experiments.config.
+ExecutionSettings`): ``--workers N`` sizes the process pool (and,
+alone, still implies ``--backend process`` for compatibility),
+``--cluster-workers N`` spawns loopback worker subprocesses for the
+distributed backend.  Results are bit-identical across backends for a
+fixed ``--chunk-size``.
 """
 
 from __future__ import annotations
@@ -83,6 +91,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument(
         "--no-paper", action="store_true", help="hide published values"
     )
+    _add_resultset_flags(p_table)
+
+    p_run = sub.add_parser(
+        "run",
+        help="run a declarative study spec (JSON) through the façade",
+    )
+    p_run.add_argument(
+        "spec",
+        help=(
+            "path to a StudySpec JSON file, e.g. "
+            "examples/table_a.spec.json"
+        ),
+    )
+    _add_workers_flag(p_run)
+    _add_resultset_flags(p_run)
+    p_run.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="also export the result set as CSV",
+    )
+    p_run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the rendered study output (summary line only)",
+    )
 
     p_val = sub.add_parser(
         "validate", help="run every table and check the reproduction shape"
@@ -113,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--table", default="1a", choices=list(TABLE_IDS))
     _add_workers_flag(p_sweep)
+    _add_resultset_flags(p_sweep)
 
     p_worker = sub.add_parser(
         "worker",
@@ -167,6 +202,30 @@ def _positive_float(text: str) -> float:
     if not math.isfinite(value) or value <= 0:
         raise argparse.ArgumentTypeError(f"must be a finite value > 0, got {value}")
     return value
+
+
+def _add_resultset_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ResultSet persistence flags (table / run / sweep)."""
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "save the provenance-stamped ResultSet as JSON (exact "
+            "round-trip; reload with --resume or ResultSet.load)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume from a partial ResultSet: cells it already holds "
+            "are reused verbatim, only missing cells are computed.  A "
+            "missing file starts fresh (so the same command line works "
+            "for the first run and every retry)."
+        ),
+    )
 
 
 def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
@@ -246,20 +305,75 @@ def _make_runner(args: argparse.Namespace) -> Optional["BatchRunner"]:
     :class:`~repro.errors.ConfigurationError`, which ``main`` reports
     as exit code 2 like every other configuration problem.
     """
-    settings = ExecutionSettings(
-        backend=getattr(args, "backend", None),
-        workers=getattr(args, "workers", None),
-        chunk_size=getattr(args, "chunk_size", None),
-        cluster_workers=getattr(args, "cluster_workers", 0),
-        url=getattr(args, "url", None),
-        adaptive_batching=not getattr(args, "no_adaptive_batch", False),
-    )
-    return settings.make_runner()
+    return ExecutionSettings.from_cli_args(args).make_runner()
 
 
 def _close_runner(runner: Optional["BatchRunner"]) -> None:
     if runner is not None:
         runner.close()
+
+
+def _load_resume(path: Optional[str]):
+    """The partial ResultSet behind ``--resume`` (None = fresh run).
+
+    A missing file is a fresh start, not an error, so the same command
+    line works for the first run and every retry after a crash.
+    """
+    if path is None:
+        return None
+    import os
+
+    from repro.api import ResultSet
+
+    if not os.path.exists(path):
+        print(
+            f"repro: note: resume file {path!r} not found; starting fresh",
+            file=sys.stderr,
+        )
+        return None
+    return ResultSet.load(path)
+
+
+def _run_study(args: argparse.Namespace, study):
+    """Run a study on one Session built from the execution flags.
+
+    Handles ``--resume`` (reuse cells, compute only missing) and
+    ``--out`` (save the completed ResultSet); returns the completed
+    set plus how many cells were reused.
+    """
+    import os
+
+    from repro.api import Session
+    from repro.errors import ConfigurationError
+
+    out = getattr(args, "out", None)
+    if out:
+        # Fail before computing, not after: an unwritable --out would
+        # otherwise discard a whole study's worth of work.
+        directory = os.path.dirname(os.path.abspath(out)) or "."
+        if not os.path.isdir(directory):
+            raise ConfigurationError(
+                f"--out directory does not exist: {directory!r}"
+            )
+    resume = _load_resume(getattr(args, "resume", None))
+    with Session(ExecutionSettings.from_cli_args(args)) as session:
+        results = study.run(session, resume=resume)
+    if out:
+        results.save(out)
+    return results, (len(resume) if resume is not None else 0)
+
+
+def _table_result_from(study, results):
+    """A rendered-table view of a table-kind study's ResultSet."""
+    from repro.experiments.tables import assemble_table_result
+
+    tspec = study.table if study.table is not None else table_spec(study.spec.table)
+    return assemble_table_result(
+        tspec,
+        reps=study.spec.reps,
+        seed=study.spec.seed,
+        estimates=[record.estimate for record in results],
+    )
 
 
 def _demo_policy(scheme: str):
@@ -275,17 +389,19 @@ def _demo_policy(scheme: str):
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    runner = _make_runner(args)
-    try:
-        result = run_table(
-            args.table_id,
+    from repro.api import Study, StudySpec
+
+    study = Study(
+        StudySpec(
+            kind="table",
+            table=args.table_id,
             reps=args.reps,
             seed=args.seed,
-            runner=runner,
             fast_static=args.fast_static,
         )
-    finally:
-        _close_runner(runner)
+    )
+    results, _reused = _run_study(args, study)
+    result = _table_result_from(study, results)
     if args.json:
         payload = {
             "table": args.table_id,
@@ -383,43 +499,62 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sensitivity import (
+        assemble_operating_points,
         cost_ratio_frontier,
-        operating_map,
         render_operating_map,
         subdivision_benefit,
     )
-    from repro.experiments.sweeps import fixed_m_study
 
     spec = table_spec(args.table)
-    runner = _make_runner(args)
-    try:
+    if args.study in ("operating-map", "fixed-m"):
+        from repro.api import Study, StudySpec
+
         if args.study == "operating-map":
-            points = operating_map(
+            study = Study(
+                StudySpec(
+                    kind="operating_map",
+                    table=args.table,
+                    reps=args.reps,
+                    seed=args.seed,
+                    u_grid=(0.55, 0.70, 0.80, 0.90),
+                    lam_grid=(1e-4, 6e-4, 1.4e-3),
+                )
+            )
+        else:
+            study = Study(
+                StudySpec(
+                    kind="fixed_m",
+                    table=args.table,
+                    reps=args.reps,
+                    seed=args.seed,
+                    ms=(1, 2, 4, 8, 16),
+                )
+            )
+        results, _reused = _run_study(args, study)
+        if args.study == "operating-map":
+            points = assemble_operating_points(
                 spec,
-                u_grid=[0.55, 0.70, 0.80, 0.90],
-                lam_grid=[1e-4, 6e-4, 1.4e-3],
-                reps=args.reps,
-                seed=args.seed,
-                runner=runner,
+                study.cells(),
+                [record.estimate for record in results],
             )
             print(render_operating_map(points, spec.schemes))
-            return 0
-        if args.study == "fixed-m":
-            task = spec.task(*spec.rows[0])
-            results = fixed_m_study(
-                task, ms=[1, 2, 4, 8, 16], reps=args.reps, seed=args.seed,
-                runner=runner,
-            )
+        else:
+            resolved = study.spec
             print(
-                f"fixed m vs num_SCP at U={spec.rows[0][0]}, "
-                f"λ={spec.rows[0][1]}:"
+                f"fixed m vs num_SCP at U={resolved.u}, "
+                f"λ={resolved.lam}:"
             )
-            for name in ["m=1", "m=2", "m=4", "m=8", "m=16", "adaptive"]:
-                cell = results[name]
-                print(f"  {name:>9}: P={cell.p:.4f} E={cell.e:9.0f}")
-            return 0
-    finally:
-        _close_runner(runner)
+            for record in results:
+                cell = record.estimate
+                print(f"  {record.key:>9}: P={cell.p:.4f} E={cell.e:9.0f}")
+        return 0
+    if args.out or args.resume:
+        print(
+            f"error: --out/--resume only apply to Monte-Carlo studies "
+            f"(operating-map, fixed-m), not {args.study!r}",
+            file=sys.stderr,
+        )
+        return 2
     if args.study == "cost-ratio":
         print("t_s/t_cp ratio vs optimal subdivision (span=200, λ=5e-4):")
         print(f"{'ratio':>8} {'m_SCP':>6} {'m_CCP':>6}")
@@ -437,6 +572,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         for pressure, scp, ccp in rows:
             print(f"{pressure:8.3f} {scp:11.1%} {ccp:11.1%}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import Study
+
+    study = Study.from_file(args.spec)
+    results, reused = _run_study(args, study)
+    computed = len(results) - reused
+    spec = study.spec
+    print(
+        f"study kind={spec.kind} table={spec.table} "
+        f"spec_hash={study.spec_hash}: {len(results)} cells "
+        f"({computed} computed, {reused} reused)"
+    )
+    if args.csv:
+        results.save_csv(args.csv)
+    if not args.quiet:
+        if spec.kind == "table":
+            print(format_table(_table_result_from(study, results)))
+        elif spec.kind == "operating_map":
+            from repro.experiments.sensitivity import (
+                assemble_operating_points,
+                render_operating_map,
+            )
+
+            tspec = study.table or table_spec(spec.table)
+            points = assemble_operating_points(
+                tspec,
+                study.cells(),
+                [record.estimate for record in results],
+            )
+            print(render_operating_map(points, tspec.schemes))
+        else:
+            for record in results:
+                cell = record.estimate
+                e_text = "NaN" if math.isnan(cell.e) else f"{cell.e:.0f}"
+                print(f"  {record.key}: P={cell.p:.4f} E={e_text}")
     return 0
 
 
@@ -473,6 +646,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "table": _cmd_table,
+        "run": _cmd_run,
         "validate": _cmd_validate,
         "demo": _cmd_demo,
         "sweep": _cmd_sweep,

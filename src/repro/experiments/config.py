@@ -133,6 +133,23 @@ class ExecutionSettings:
                     "a coordinator URL requires --backend distributed"
                 )
 
+    @classmethod
+    def from_cli_args(cls, args) -> "ExecutionSettings":
+        """Settings from a parsed CLI namespace (shared execution flags).
+
+        Tolerates namespaces that lack some flags (subcommands opt into
+        the shared flag group), so every command funnels through the
+        same validation instead of re-reading ``args`` by hand.
+        """
+        return cls(
+            backend=getattr(args, "backend", None),
+            workers=getattr(args, "workers", None),
+            chunk_size=getattr(args, "chunk_size", None),
+            cluster_workers=getattr(args, "cluster_workers", 0),
+            url=getattr(args, "url", None),
+            adaptive_batching=not getattr(args, "no_adaptive_batch", False),
+        )
+
     @property
     def resolved_backend(self) -> str:
         """The backend name after inference (never ``None``)."""

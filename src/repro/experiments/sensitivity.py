@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.plans import operating_map_cells
 from repro.core.optimizer import num_ccp, num_scp
 from repro.core.renewal import ccp_interval_time_for_m, scp_interval_time_for_m
 from repro.errors import ParameterError
@@ -29,6 +30,7 @@ from repro.sim.parallel import BatchRunner, runner_scope
 __all__ = [
     "OperatingPoint",
     "operating_map",
+    "assemble_operating_points",
     "render_operating_map",
     "cost_ratio_frontier",
     "subdivision_benefit",
@@ -89,29 +91,38 @@ def operating_map(
     """
     if not u_grid or not lam_grid:
         raise ParameterError("u_grid and lam_grid must be non-empty")
-    grid = [(lam, u) for lam in lam_grid for u in u_grid]
-    jobs = [
-        spec.cell_job(
-            u, lam, scheme,
-            reps=reps,
-            seed=seed + int(u * 997) + int(lam * 1e7),
-            fast_static=fast_static,
-        )
-        for lam, u in grid
-        for scheme in spec.schemes
-    ]
+    # Cell enumeration is shared with the façade's declarative path
+    # (repro.api.StudySpec kind "operating_map") — same grid order,
+    # same per-cell seeds, bit-identical estimates either way.
+    plans = operating_map_cells(
+        spec, u_grid, lam_grid, reps=reps, seed=seed, fast_static=fast_static
+    )
     with runner_scope(runner, backend=backend) as scoped:
-        estimates = scoped.run_cells(jobs)
+        estimates = scoped.run_cells([plan.job for plan in plans])
+    return assemble_operating_points(
+        spec, plans, estimates, p_slack=p_slack
+    )
+
+
+def assemble_operating_points(
+    spec: TableSpec,
+    plans,
+    estimates: List[CellEstimate],
+    *,
+    p_slack: float = 0.02,
+) -> List[OperatingPoint]:
+    """Group per-cell estimates (canonical plan order) into points."""
     points: List[OperatingPoint] = []
     columns = len(spec.schemes)
-    for index, (lam, u) in enumerate(grid):
+    for index in range(0, len(plans), columns):
+        axes = dict(plans[index].axes)
         cells = {
-            scheme: estimates[index * columns + column]
-            for column, scheme in enumerate(spec.schemes)
+            dict(plans[index + column].axes)["scheme"]: estimates[index + column]
+            for column in range(columns)
         }
         points.append(
             OperatingPoint(
-                u=u, lam=lam, cells=cells,
+                u=axes["u"], lam=axes["lam"], cells=cells,
                 winner=_pick_winner(cells, p_slack),
             )
         )

@@ -15,7 +15,6 @@ These back the ablation benches promised in DESIGN.md §4:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import renewal
@@ -27,8 +26,19 @@ from repro.core.schemes import (
 from repro.errors import ParameterError
 from repro.experiments.config import TableSpec
 from repro.sim.montecarlo import CellEstimate
-from repro.sim.parallel import BatchRunner, CellJob, runner_scope
+from repro.sim.parallel import BatchRunner, runner_scope
 from repro.sim.task import TaskSpec
+
+# The Monte-Carlo studies below are thin shims over the façade's
+# canonical cell expansion in repro.api.plans (shared with the
+# declarative repro.api.StudySpec path, so the two can never drift).
+# plans imports FixedSubdivisionSCPPolicy from here lazily, which is
+# what keeps this module-level import acyclic.
+from repro.api.plans import (
+    fixed_m_cells,
+    rate_factor_cells,
+    utilization_cells,
+)
 
 __all__ = [
     "FixedSubdivisionSCPPolicy",
@@ -76,25 +86,10 @@ def fixed_m_study(
     """
     if not ms:
         raise ParameterError("ms must be non-empty")
-    jobs = [
-        CellJob(
-            task=task,
-            policy_factory=partial(FixedSubdivisionSCPPolicy, m),
-            reps=reps,
-            seed=seed,
-        )
-        for m in ms
-    ]
-    jobs.append(
-        CellJob(task=task, policy_factory=AdaptiveSCPPolicy, reps=reps, seed=seed)
-    )
+    plans = fixed_m_cells(task, ms, reps=reps, seed=seed)
     with runner_scope(runner, backend=backend) as scoped:
-        estimates = scoped.run_cells(jobs)
-    results: Dict[str, CellEstimate] = {
-        f"m={m}": cell for m, cell in zip(ms, estimates)
-    }
-    results["adaptive"] = estimates[-1]
-    return results
+        estimates = scoped.run_cells([plan.job for plan in plans])
+    return dict(zip((plan.key for plan in plans), estimates))
 
 
 def rate_factor_study(
@@ -109,19 +104,9 @@ def rate_factor_study(
     """(P, E) of ``A_D_S`` under different analysis-rate factors."""
     if not factors:
         raise ParameterError("factors must be non-empty")
-    jobs = [
-        CellJob(
-            task=task,
-            policy_factory=partial(
-                AdaptiveSCPPolicy, AdaptiveConfig(analysis_rate_factor=factor)
-            ),
-            reps=reps,
-            seed=seed,
-        )
-        for factor in factors
-    ]
+    plans = rate_factor_cells(task, factors, reps=reps, seed=seed)
     with runner_scope(runner, backend=backend) as scoped:
-        estimates = scoped.run_cells(jobs)
+        estimates = scoped.run_cells([plan.job for plan in plans])
     return dict(zip(factors, estimates))
 
 
@@ -148,19 +133,17 @@ def utilization_sweep(
     """
     if not u_grid:
         raise ParameterError("u_grid must be non-empty")
-    grid = [(u, scheme) for u in u_grid for scheme in spec.schemes]
-    jobs = [
-        spec.cell_job(u, lam, scheme, reps=reps,
-                      seed=seed + int(u * 1000), fast_static=fast_static)
-        for u, scheme in grid
-    ]
+    plans = utilization_cells(
+        spec, u_grid, lam, reps=reps, seed=seed, fast_static=fast_static
+    )
     with runner_scope(runner, backend=backend) as scoped:
-        estimates = scoped.run_cells(jobs)
+        estimates = scoped.run_cells([plan.job for plan in plans])
     curves: Dict[str, List[Tuple[float, CellEstimate]]] = {
         scheme: [] for scheme in spec.schemes
     }
-    for (u, scheme), cell in zip(grid, estimates):
-        curves[scheme].append((u, cell))
+    for plan, cell in zip(plans, estimates):
+        axes = dict(plan.axes)
+        curves[axes["scheme"]].append((axes["u"], cell))
     return curves
 
 

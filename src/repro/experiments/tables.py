@@ -5,10 +5,13 @@
 with the published value, producing a :class:`TableResult` that the
 report module renders and the benchmark suite checks for shape.
 
-The whole cell grid is dispatched as one batch through a
-:class:`~repro.sim.parallel.BatchRunner`, so every execution backend
-(serial, process pool, a future distributed one) sees the same job
-stream.  With ``fast_static=True`` the static scheme columns become
+Both runners are thin shims over the :mod:`repro.api` façade: the cell
+grid comes from the canonical expansion in :mod:`repro.api.plans`
+(shared with the declarative :class:`~repro.api.spec.StudySpec` path,
+so the two can never drift) and is dispatched as one batch through the
+session's :class:`~repro.sim.parallel.BatchRunner` — every execution
+backend (serial, process pool, distributed) sees the same job stream.
+With ``fast_static=True`` the static scheme columns become
 :class:`~repro.sim.fastpath.StaticCellJob`\\ s — the vectorised sampler
 — mixed into the same batch as the adaptive (executor) cells.
 """
@@ -19,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.plans import cell_label as _plan_cell_label
+from repro.api.plans import row_cells, table_cell_job, table_cells
 from repro.errors import ConfigurationError
 from repro.experiments.config import TableSpec, table_spec
 from repro.experiments.paper_data import PaperCell, paper_cell
@@ -26,7 +31,14 @@ from repro.sim.montecarlo import CellEstimate
 from repro.sim.parallel import BatchRunner, runner_scope
 from repro.sim.rng import RandomSource
 
-__all__ = ["CellResult", "RowResult", "TableResult", "run_table", "run_row"]
+__all__ = [
+    "CellResult",
+    "RowResult",
+    "TableResult",
+    "assemble_table_result",
+    "run_table",
+    "run_row",
+]
 
 
 @dataclass(frozen=True)
@@ -107,23 +119,22 @@ def _cell_job(
     faults_during_overhead: bool,
     fast_static: bool = False,
 ):
-    """The fully-specified job of one (row, scheme) cell.
+    """Back-compat alias for :func:`repro.api.plans.table_cell_job`.
 
-    Seeds come from the same per-cell fork as the serial path, so a
-    table regenerated through a runner is identical to the serial one.
-    With ``fast_static`` the static scheme columns ship as
-    :class:`~repro.sim.fastpath.StaticCellJob` instead of running the
-    event executor (see :func:`run_table` for the caveats).
+    The canonical builder (and the per-cell seed fork it encodes) lives
+    in the façade's plan layer now, shared with the declarative
+    ``StudySpec`` path; this wrapper keeps the historical private name
+    working for callers that imported it.
     """
-    cell_source = source.fork(_cell_label(spec.table_id, u, lam, column))
-    return spec.cell_job(
+    return table_cell_job(
+        spec,
         u,
         lam,
-        spec.schemes[column],
+        column,
         reps=reps,
-        seed=cell_source.seed,
-        fast_static=fast_static,
+        source=source,
         faults_during_overhead=faults_during_overhead,
+        fast_static=fast_static,
     )
 
 
@@ -159,21 +170,18 @@ def run_row(
     ``backend`` names where cells run (``"serial"``, ``"process"``,
     ``"distributed"``) as an alternative to passing a ``runner``.
     """
-    jobs = [
-        _cell_job(
-            spec,
-            u,
-            lam,
-            column,
-            reps=reps,
-            source=source,
-            faults_during_overhead=faults_during_overhead,
-            fast_static=fast_static,
-        )
-        for column in range(len(spec.schemes))
-    ]
+    plans = row_cells(
+        spec,
+        u,
+        lam,
+        reps=reps,
+        seed=source.seed,
+        faults_during_overhead=faults_during_overhead,
+        fast_static=fast_static,
+    )
     with runner_scope(runner, backend=backend) as scoped:
-        return _assemble_row(spec, u, lam, scoped.run_cells(jobs))
+        estimates = scoped.run_cells([plan.job for plan in plans])
+    return _assemble_row(spec, u, lam, estimates)
 
 
 def run_table(
@@ -228,24 +236,40 @@ def run_table(
         if isinstance(table_id_or_spec, TableSpec)
         else table_spec(table_id_or_spec)
     )
-    source = RandomSource(seed)
-    jobs = [
-        _cell_job(
-            spec,
-            u,
-            lam,
-            column,
-            reps=reps,
-            source=source,
-            faults_during_overhead=faults_during_overhead,
-            fast_static=fast_static,
-        )
-        for (u, lam) in spec.rows
-        for column in range(len(spec.schemes))
-    ]
+    plans = table_cells(
+        spec,
+        reps=reps,
+        seed=seed,
+        faults_during_overhead=faults_during_overhead,
+        fast_static=fast_static,
+    )
     with runner_scope(runner, backend=backend) as scoped:
-        estimates = scoped.run_cells(jobs)
+        estimates = scoped.run_cells([plan.job for plan in plans])
+    return assemble_table_result(
+        spec, reps=reps, seed=seed, estimates=estimates
+    )
+
+
+def assemble_table_result(
+    spec: TableSpec,
+    *,
+    reps: int,
+    seed: int,
+    estimates: List[CellEstimate],
+) -> TableResult:
+    """Pair a table's estimates (canonical cell order) with paper data.
+
+    ``estimates`` must be in the order :func:`repro.api.plans.
+    table_cells` emits — rows in spec order, schemes in column order —
+    which is both what :func:`run_table` produces and what a
+    table-kind :class:`~repro.api.results.ResultSet` iterates in.
+    """
     columns = len(spec.schemes)
+    if len(estimates) != columns * len(spec.rows):
+        raise ConfigurationError(
+            f"expected {columns * len(spec.rows)} estimates for table "
+            f"{spec.table_id!r}, got {len(estimates)}"
+        )
     rows = [
         _assemble_row(
             spec, u, lam,
@@ -256,16 +280,6 @@ def run_table(
     return TableResult(spec=spec, reps=reps, seed=seed, rows=rows)
 
 
-def _cell_label(table_id: str, u: float, lam: float, column: int) -> int:
-    """Deterministic integer label for a cell's seed fork.
-
-    Built from stable arithmetic (never :func:`hash`, which is salted
-    per process for strings), so the same (table, row, scheme) always
-    maps to the same fault realisations for a given root seed.
-    """
-    table_part = sum(ord(ch) * (i + 1) for i, ch in enumerate(table_id))
-    u_part = int(round(u * 10_000))
-    lam_part = int(round(lam * 1e9))
-    return (
-        table_part * 1_000_003 + u_part * 7_919 + lam_part * 101 + column
-    ) & 0x7FFFFFFF
+# Back-compat alias: the canonical label function moved to the façade's
+# plan layer (repro.api.plans.cell_label).
+_cell_label = _plan_cell_label

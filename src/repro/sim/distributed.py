@@ -774,6 +774,20 @@ class LocalCluster:
     for all workers or one value per worker (``None`` = unlimited) —
     makes a worker crash after completing that many blocks; that is the
     fault-injection hook the test suite drives.
+
+    ``max_respawns`` enables crash recovery: a monitor thread watches
+    the worker processes and replaces any that *crashes* (non-zero
+    exit — SIGKILL, OOM, a failed connect) while the cluster is
+    running, same slot configuration, same coordinator URL, up to
+    ``max_respawns`` replacements across the cluster's lifetime.
+    Clean exits (code 0: idle timeout, coordinator shutdown, an
+    injected ``max_tasks`` crash — deliberately exit-0 so fault
+    scenarios that *want* a permanently dead worker stay undisturbed)
+    never consume the budget.  Respawn changes *availability only* —
+    the coordinator requeues a dead worker's in-flight blocks either
+    way, and every block re-derives its streams from the task payload,
+    so results are bit-identical with or without respawn
+    (``tests/test_distributed_faults.py``).
     """
 
     def __init__(
@@ -783,9 +797,19 @@ class LocalCluster:
         idle_timeout: float = 60.0,
         max_tasks: Union[None, int, Sequence[Optional[int]]] = None,
         python: Optional[str] = None,
+        max_respawns: int = 0,
+        respawn_poll: float = 0.2,
     ) -> None:
         if workers < 0:
             raise ParameterError(f"workers must be >= 0, got {workers}")
+        if max_respawns < 0:
+            raise ParameterError(
+                f"max_respawns must be >= 0, got {max_respawns}"
+            )
+        if respawn_poll <= 0:
+            raise ParameterError(
+                f"respawn_poll must be > 0, got {respawn_poll}"
+            )
         self.size = int(workers)
         self.idle_timeout = float(idle_timeout)
         if max_tasks is None or isinstance(max_tasks, int):
@@ -798,8 +822,25 @@ class LocalCluster:
                     f"({self.size}), got {len(self.max_tasks)}"
                 )
         self.python = python or sys.executable
+        self.max_respawns = int(max_respawns)
+        self.respawn_poll = float(respawn_poll)
+        #: Replacements actually performed (telemetry for tests/users).
+        self.respawns = 0
+        self._respawn_budget = self.max_respawns
         self._procs: List[subprocess.Popen] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
         self._finalizer: Optional[weakref.finalize] = None
+
+    def _spawn(self, url: str, cap: Optional[int], env) -> subprocess.Popen:
+        command = [
+            self.python, "-m", "repro", "worker", url,
+            "--idle-timeout", str(self.idle_timeout),
+        ]
+        if cap is not None:
+            command += ["--max-tasks", str(cap)]
+        return subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
 
     def start(self, url: str) -> None:
         """Spawn the workers against ``url`` (no-op while running)."""
@@ -814,50 +855,120 @@ class LocalCluster:
         env["PYTHONPATH"] = (
             src_root if not existing else src_root + os.pathsep + existing
         )
-        for cap in self.max_tasks:
-            command = [
-                self.python, "-m", "repro", "worker", url,
-                "--idle-timeout", str(self.idle_timeout),
+        with self._lock:
+            self._procs = [
+                self._spawn(url, cap, env) for cap in self.max_tasks
             ]
-            if cap is not None:
-                command += ["--max-tasks", str(cap)]
-            self._procs.append(
-                subprocess.Popen(
-                    command, env=env, stdout=subprocess.DEVNULL
-                )
-            )
         self._finalizer = weakref.finalize(
             self, _terminate_procs, list(self._procs)
         )
+        if self.max_respawns and self.size:
+            self._stopping.clear()
+            # The thread holds only a weak reference to the cluster:
+            # a strong one would keep a dropped cluster alive forever,
+            # defeating the weakref.finalize GC safety net that reaps
+            # the worker processes.
+            self._monitor = threading.Thread(
+                target=_cluster_respawn_loop,
+                args=(weakref.ref(self), self._stopping,
+                      self.respawn_poll, url, env),
+                name="repro-cluster-respawn",
+                daemon=True,
+            )
+            self._monitor.start()
+
+    def _respawn_scan(self, url: str, env) -> bool:
+        """One monitor pass; returns True when the loop should stop.
+
+        Only *crashed* workers (non-zero exit) are replaced — clean
+        exits are normal worker lifecycle (idle timeout, shutdown,
+        the deliberately exit-0 ``max_tasks`` crash hook) and must not
+        burn the crash-recovery budget.  The budget is cluster-wide,
+        so a crash-looping worker cannot respawn forever.
+        """
+        with self._lock:
+            if self._stopping.is_set():
+                return True
+            for index, proc in enumerate(self._procs):
+                if self._respawn_budget <= 0:
+                    return True
+                if proc.poll() is None or proc.returncode == 0:
+                    continue
+                self._procs[index] = self._spawn(
+                    url, self.max_tasks[index], env
+                )
+                self.respawns += 1
+                self._respawn_budget -= 1
+                # Keep the GC safety net current: the finalizer must
+                # terminate the *live* processes, not corpses.
+                if self._finalizer is not None:
+                    self._finalizer.detach()
+                self._finalizer = weakref.finalize(
+                    self, _terminate_procs, list(self._procs)
+                )
+            return self._respawn_budget <= 0
 
     @property
     def processes(self) -> List[subprocess.Popen]:
         """The live worker process handles (for fault injection)."""
-        return list(self._procs)
+        with self._lock:
+            return list(self._procs)
 
     def alive(self) -> int:
         """How many workers are still running."""
-        return sum(1 for proc in self._procs if proc.poll() is None)
+        with self._lock:
+            return sum(1 for proc in self._procs if proc.poll() is None)
 
     def kill_worker(self, index: int) -> None:
         """SIGKILL one worker (fault injection; waits for the corpse)."""
-        proc = self._procs[index]
+        with self._lock:
+            proc = self._procs[index]
         proc.kill()
         proc.wait()
 
     def close(self) -> None:
         """Terminate every worker and reap it (idempotent)."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
-        _terminate_procs(self._procs)
-        self._procs = []
+        with self._lock:
+            procs, self._procs = self._procs, []
+        _terminate_procs(procs)
 
     def __enter__(self) -> "LocalCluster":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _cluster_respawn_loop(
+    cluster_ref: "weakref.ref[LocalCluster]",
+    stopping: threading.Event,
+    poll: float,
+    url: str,
+    env,
+) -> None:
+    """Monitor-thread body (module level so it cannot pin the cluster).
+
+    Dereferences the cluster afresh each pass — and drops the strong
+    reference *before* sleeping, so the thread never pins the cluster
+    while idle — and exits as soon as it is gone (its finalizer has
+    already reaped the workers), stopped, or out of respawn budget.
+    """
+    if stopping.wait(poll):
+        return
+    while True:
+        cluster = cluster_ref()
+        if cluster is None or cluster._respawn_scan(url, env):
+            return
+        del cluster
+        if stopping.wait(poll):
+            return
 
 
 def _terminate_procs(procs: List[subprocess.Popen]) -> None:

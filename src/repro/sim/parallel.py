@@ -46,6 +46,7 @@ grid with one slow adaptive column still keeps every worker busy.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
@@ -248,7 +249,32 @@ def runner_scope(
       afterwards (``backend="process"`` with ``workers`` unspecified
       means one worker per CPU); a backend *instance* builds a runner
       but leaves closing the backend to whoever constructed it.
+
+    .. deprecated::
+        The scattered per-call execution kwargs (``workers``,
+        ``chunk_size``, ``cluster_workers``, ``url``,
+        ``adaptive_batching``) are deprecated: build one validated
+        :class:`~repro.experiments.config.ExecutionSettings` and hold
+        it in a :class:`~repro.api.Session` (or pass its
+        ``make_runner()`` result as ``runner=``) instead.  ``runner=``
+        and ``backend=`` stay.
     """
+    scattered = {
+        "workers": workers,
+        "chunk_size": chunk_size,
+        "cluster_workers": cluster_workers,
+        "url": url,
+        "adaptive_batching": adaptive_batching,
+    }
+    used = [name for name, value in scattered.items() if value is not None]
+    if used:
+        warnings.warn(
+            f"passing {', '.join(used)} to runner_scope() is deprecated; "
+            f"build an ExecutionSettings (experiments.config) and run "
+            f"through a repro.api.Session, or pass runner=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
     if runner is not None:
         if backend is not None:
             raise ParameterError("pass either runner= or backend=, not both")

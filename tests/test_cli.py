@@ -189,6 +189,123 @@ class TestFastStaticFlag:
         assert set(first) == {"p", "e", "paper_p", "paper_e"}
 
 
+class TestRunCommand:
+    """The declarative study runner and the --out/--resume flags."""
+
+    def _write_spec(self, tmp_path, payload):
+        path = tmp_path / "study.spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_run_table_spec_renders_and_saves(self, tmp_path, capsys):
+        spec = self._write_spec(
+            tmp_path,
+            {"kind": "table", "table": "2b", "reps": 16, "seed": 1,
+             "fast_static": True},
+        )
+        out = str(tmp_path / "results.json")
+        assert main(["run", spec, "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "16 cells (16 computed, 0 reused)" in text
+        assert "Table 2b" in text
+        from repro.api import ResultSet
+
+        saved = ResultSet.load(out)
+        assert len(saved) == 16
+
+    def test_run_resume_reuses_everything(self, tmp_path, capsys):
+        spec = self._write_spec(
+            tmp_path,
+            {"kind": "fixed_m", "table": "1a", "ms": [1, 2], "reps": 16,
+             "seed": 3},
+        )
+        out = str(tmp_path / "results.json")
+        assert main(["run", spec, "--out", out, "--quiet"]) == 0
+        assert main(["run", spec, "--out", out, "--resume", out,
+                     "--quiet"]) == 0
+        text = capsys.readouterr().out
+        assert "(0 computed, 3 reused)" in text
+
+    def test_run_resume_missing_file_starts_fresh(self, tmp_path, capsys):
+        spec = self._write_spec(
+            tmp_path,
+            {"kind": "rate_factor", "table": "1a", "factors": [1.0],
+             "reps": 16, "seed": 3},
+        )
+        missing = str(tmp_path / "nope.json")
+        assert main(["run", spec, "--resume", missing, "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "starting fresh" in captured.err
+        assert "(1 computed, 0 reused)" in captured.out
+
+    def test_run_csv_export(self, tmp_path):
+        spec = self._write_spec(
+            tmp_path,
+            {"kind": "rate_factor", "table": "1a", "factors": [1.0],
+             "reps": 16, "seed": 3},
+        )
+        csv_path = tmp_path / "results.csv"
+        assert main(["run", spec, "--csv", str(csv_path), "--quiet"]) == 0
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 2 and lines[0].startswith("factor,")
+
+    def test_run_bad_spec_exits_2(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, {"kind": "warp-drive"})
+        assert main(["run", spec]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"kind": "utilization", "table": "1a", "u_grid": 5,
+             "lam": 1e-4},
+            {"kind": "table", "table": "1a", "reps": "lots"},
+            {"kind": "table", "table": "1a", "seed": 1.5},
+        ],
+    )
+    def test_run_malformed_spec_types_exit_2(self, tmp_path, capsys,
+                                             payload):
+        spec = self._write_spec(tmp_path, payload)
+        assert main(["run", spec]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_missing_spec_file_exits_2(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_unwritable_out_fails_before_computing(self, tmp_path,
+                                                       capsys):
+        spec = self._write_spec(
+            tmp_path,
+            {"kind": "rate_factor", "table": "1a", "factors": [1.0],
+             "reps": 16, "seed": 3},
+        )
+        bad = str(tmp_path / "absent-dir" / "r.json")
+        assert main(["run", spec, "--out", bad, "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+
+    def test_table_out_and_resume_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "t.json")
+        assert main(["table", "2b", "--reps", "16", "--fast-static",
+                     "--out", out]) == 0
+        first = capsys.readouterr().out
+        assert main(["table", "2b", "--reps", "16", "--fast-static",
+                     "--resume", out]) == 0
+        second = capsys.readouterr().out
+        # Resume reused every cell; the rendered table is identical.
+        assert first == second
+
+    def test_resume_from_different_study_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "t.json")
+        assert main(["table", "2b", "--reps", "16", "--fast-static",
+                     "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["table", "2b", "--reps", "17", "--fast-static",
+                     "--resume", out]) == 2
+        assert "different study" in capsys.readouterr().err
+
+
 class TestSweepCommand:
     def test_cost_ratio(self, capsys):
         assert main(["sweep", "cost-ratio"]) == 0
@@ -210,6 +327,18 @@ class TestSweepCommand:
         assert main(["sweep", "operating-map", "--reps", "20"]) == 0
         out = capsys.readouterr().out
         assert "winner per" in out
+
+    def test_sweep_out_resume(self, tmp_path, capsys):
+        out = str(tmp_path / "fm.json")
+        assert main(["sweep", "fixed-m", "--reps", "20", "--out", out]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "fixed-m", "--reps", "20", "--resume", out]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_analytic_sweep_rejects_out(self, tmp_path, capsys):
+        assert main(["sweep", "cost-ratio", "--out",
+                     str(tmp_path / "x.json")]) == 2
+        assert "only apply to Monte-Carlo" in capsys.readouterr().err
 
     def test_unknown_study_rejected(self):
         import pytest

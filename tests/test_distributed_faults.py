@@ -94,6 +94,19 @@ def _run_distributed(backend: DistributedBackend):
         runner.close()
 
 
+def _merge_through(coordinator, tasks):
+    """Run block tasks on an existing coordinator, merged in block
+    order (the same fold BatchRunner.run_cells performs)."""
+    results = coordinator.run_tasks(tasks)
+    merged = {}
+    for block_task, shard in zip(tasks, results):
+        if block_task.job_index in merged:
+            merged[block_task.job_index].merge(shard)
+        else:
+            merged[block_task.job_index] = shard
+    return [merged[index].finalize() for index in range(len(merged))]
+
+
 class TestWorkerFailures:
     def test_worker_killed_mid_grid(self, serial_reference):
         """One of two workers crashes after three blocks; its in-flight
@@ -132,6 +145,98 @@ class TestWorkerFailures:
         backend = DistributedBackend()
         estimates = _run_distributed(backend)
         _assert_identical_to_serial(estimates, serial_reference)
+
+    def test_crashed_worker_respawns_and_grid_is_identical(
+        self, serial_reference
+    ):
+        """Auto-respawn: the cluster's only worker is SIGKILLed, the
+        monitor replaces it, the replacement connects to the same
+        coordinator, and a grid run afterwards is bit-identical to
+        serial (respawn is pure availability — seeding and merge order
+        never see it)."""
+        from repro.sim.distributed import Coordinator
+
+        coordinator = Coordinator()
+        cluster = LocalCluster(1, max_respawns=4, respawn_poll=0.05)
+        try:
+            cluster.start(coordinator.url)
+            assert coordinator.wait_for_workers(1, timeout=30.0) == 1
+            cluster.kill_worker(0)
+            deadline = time.monotonic() + 30.0
+            while cluster.respawns < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert cluster.respawns >= 1, "the dead worker was never replaced"
+            deadline = time.monotonic() + 30.0
+            while cluster.alive() < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert cluster.alive() == 1, "the replacement did not come up"
+            estimates = _merge_through(
+                coordinator, plan_blocks(_grid_jobs(), CHUNK)
+            )
+            _assert_identical_to_serial(estimates, serial_reference)
+        finally:
+            cluster.close()
+            coordinator.close()
+
+    def test_respawn_budget_is_bounded(self):
+        """A crash-looping worker stops being replaced once the
+        cluster-wide budget is spent."""
+        from repro.sim.distributed import Coordinator
+
+        coordinator = Coordinator()
+        cluster = LocalCluster(1, max_respawns=2, respawn_poll=0.05)
+        try:
+            cluster.start(coordinator.url)
+            assert coordinator.wait_for_workers(1, timeout=30.0) == 1
+            for expected in (1, 2):
+                cluster.kill_worker(0)
+                deadline = time.monotonic() + 30.0
+                while (cluster.respawns < expected
+                       and time.monotonic() < deadline):
+                    time.sleep(0.05)
+                assert cluster.respawns == expected
+            cluster.kill_worker(0)  # budget exhausted: stays dead
+            time.sleep(0.5)
+            assert cluster.respawns == 2
+            assert cluster.alive() == 0
+        finally:
+            cluster.close()
+            coordinator.close()
+
+    def test_clean_exits_do_not_burn_respawn_budget(self):
+        """Exit-0 workers (idle timeout, the max_tasks crash hook) are
+        normal lifecycle, not crashes: the monitor leaves them down
+        and keeps the budget for genuine failures."""
+        from repro.sim.distributed import Coordinator
+
+        coordinator = Coordinator()
+        cluster = LocalCluster(
+            1, max_tasks=1, max_respawns=4, respawn_poll=0.05
+        )
+        try:
+            cluster.start(coordinator.url)
+            assert coordinator.wait_for_workers(1, timeout=30.0) == 1
+            estimates = _merge_through(
+                coordinator, plan_blocks(_grid_jobs(), CHUNK)
+            )
+            assert [cell.reps for cell in estimates] == [
+                job.reps for job in _grid_jobs()
+            ]
+            # The worker completed one block and exited cleanly; give
+            # the monitor time to (wrongly) react, then check it kept
+            # its hands off.
+            deadline = time.monotonic() + 10.0
+            while cluster.alive() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            time.sleep(0.5)
+            assert cluster.respawns == 0
+        finally:
+            cluster.close()
+            coordinator.close()
+
+    def test_respawn_off_by_default(self):
+        cluster = LocalCluster(2)
+        assert cluster.max_respawns == 0 and cluster.respawns == 0
 
     def test_sigkill_mid_run(self, serial_reference):
         """A live worker is SIGKILLed while the grid is in flight.

@@ -54,3 +54,18 @@ def test_quickstart_output_shape():
 def test_explorer_is_deterministic():
     path = next(p for p in EXAMPLES if p.name == "checkpoint_interval_explorer.py")
     assert run_example(path) == run_example(path)
+
+
+def test_example_spec_file_is_a_valid_study():
+    """The shipped spec file loads into the façade (the CI smoke step
+    runs it end to end; this keeps the parse/validation check in
+    tier-1)."""
+    from repro.api import Study
+
+    spec_path = (
+        Path(__file__).resolve().parent.parent / "examples" / "table_a.spec.json"
+    )
+    study = Study.from_file(str(spec_path))
+    assert study.spec.kind == "table"
+    assert study.spec.table == "1a"
+    assert len(study.cells()) == 32  # 8 rows x 4 schemes

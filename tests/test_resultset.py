@@ -1,0 +1,257 @@
+"""ResultSet round-trips, merge, CSV — including the NaN corners.
+
+Two properties anchor the façade's persistence story:
+
+* ``from_json(to_json(rs))`` is *bit-identical* — every float (NaN
+  included, the paper's own convention for empty timely-energy cells)
+  survives via JSON's shortest-repr float encoding and the ``NaN``
+  literal;
+* resume-after-partial equals a fresh full run cell-for-cell, for any
+  subset of cells held back (cell seeds are pure functions of cell
+  identity, so recomputing a subset lands on the same realisations).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CellRecord, ResultSet, Study, StudySpec
+from repro.api.results import git_describe
+from repro.errors import ConfigurationError
+from repro.sim.metrics import MeanEstimate, ProportionEstimate
+from repro.sim.montecarlo import CellEstimate
+
+# Full-range doubles: NaN and the infinities are legal estimate values
+# (NaN is routine), and serialisation must not corrupt any of them.
+any_float = st.floats(allow_nan=True, allow_infinity=True)
+finite = st.floats(allow_nan=False, allow_infinity=False)
+counts = st.integers(min_value=0, max_value=10**9)
+
+
+@st.composite
+def mean_estimates(draw):
+    return MeanEstimate(
+        value=draw(any_float),
+        low=draw(any_float),
+        high=draw(any_float),
+        count=draw(counts),
+    )
+
+
+@st.composite
+def cell_estimates(draw):
+    trials = draw(st.integers(min_value=1, max_value=10**9))
+    return CellEstimate(
+        p_timely=ProportionEstimate(
+            value=draw(any_float),
+            low=draw(any_float),
+            high=draw(any_float),
+            trials=trials,
+        ),
+        energy_timely=draw(mean_estimates()),
+        energy_all=draw(mean_estimates()),
+        mean_finish_time_timely=draw(any_float),
+        mean_detected_faults=draw(finite),
+        mean_checkpoints=draw(finite),
+        mean_sub_checkpoints=draw(finite),
+        reps=trials,
+    )
+
+
+@st.composite
+def cell_records(draw, index):
+    return CellRecord(
+        key=f"cell-{index}",
+        axes={"u": draw(finite), "scheme": f"s{index}"},
+        estimate=draw(cell_estimates()),
+        spec_hash="abc123",
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        block_size=draw(st.integers(min_value=1, max_value=4096)),
+        backend=draw(st.sampled_from(["serial", "process", "distributed"])),
+        git=draw(st.one_of(st.none(), st.just("v1.0-3-gabc"))),
+        wall_seconds=draw(finite),
+        compute_seconds=draw(finite),
+    )
+
+
+@st.composite
+def result_sets(draw):
+    size = draw(st.integers(min_value=0, max_value=6))
+    records = [draw(cell_records(index)) for index in range(size)]
+    return ResultSet("abc123", records, spec={"kind": "table", "table": "1a"})
+
+
+class TestRoundTripProperties:
+    @given(result_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip_is_bit_identical(self, rs):
+        again = ResultSet.from_json(rs.to_json())
+        assert again.spec_hash == rs.spec_hash
+        assert again.spec == rs.spec
+        assert again.keys() == rs.keys()
+        for key in rs.keys():
+            ours, theirs = rs.record(key), again.record(key)
+            # repr round-trips floats exactly and spells every NaN
+            # "nan", so repr equality is bit-identity with NaN == NaN.
+            assert repr(theirs.estimate) == repr(ours.estimate)
+            assert theirs.axes == ours.axes or repr(theirs.axes) == repr(ours.axes)
+            assert (theirs.seed, theirs.block_size, theirs.backend,
+                    theirs.git) == (ours.seed, ours.block_size, ours.backend,
+                                    ours.git)
+            assert repr((theirs.wall_seconds, theirs.compute_seconds)) == repr(
+                (ours.wall_seconds, ours.compute_seconds)
+            )
+
+    @given(result_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_csv_has_one_line_per_record_plus_header(self, rs):
+        lines = rs.to_csv().splitlines()
+        assert len(lines) == len(rs) + 1
+
+    def test_nan_cell_round_trips_through_file(self, tmp_path):
+        nan_estimate = CellEstimate(
+            p_timely=ProportionEstimate(0.0, 0.0, 0.1, trials=8),
+            energy_timely=MeanEstimate(math.nan, math.nan, math.nan, 0),
+            energy_all=MeanEstimate(5.0, 4.0, 6.0, 8),
+            mean_finish_time_timely=math.nan,
+            mean_detected_faults=1.5,
+            mean_checkpoints=3.0,
+            mean_sub_checkpoints=0.0,
+            reps=8,
+        )
+        record = CellRecord(
+            key="k", axes={"scheme": "Poisson"}, estimate=nan_estimate,
+            spec_hash="h", seed=1, block_size=256, backend="serial",
+            git=None, wall_seconds=0.1, compute_seconds=0.1,
+        )
+        rs = ResultSet("h", [record])
+        path = tmp_path / "rs.json"
+        rs.save(str(path))
+        again = ResultSet.load(str(path))
+        assert again.estimate("k").same_values(nan_estimate)
+        # CSV renders NaN as empty fields, not the string "nan".
+        assert ",nan," not in rs.to_csv()
+
+
+class TestResumeEqualsFreshRun:
+    """Any held-back subset, resumed, reproduces the fresh full run."""
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        return Study(
+            StudySpec(kind="row", table="1a", u=0.76, lam=1.4e-3, reps=16,
+                      seed=21, fast_static=True)
+        )
+
+    @pytest.fixture(scope="class")
+    def fresh(self, study):
+        return study.run()
+
+    @given(mask=st.lists(st.booleans(), min_size=4, max_size=4))
+    @settings(max_examples=16, deadline=None)
+    def test_resume_after_partial_matches_fresh(self, study, fresh, mask):
+        kept = [r for r, keep in zip(fresh.records, mask) if keep]
+        partial = ResultSet(fresh.spec_hash, kept, spec=fresh.spec)
+        resumed = study.run(resume=partial)
+        assert resumed.keys() == fresh.keys()
+        assert resumed.same_values(fresh)
+
+
+class TestMergeAndValidation:
+    def _record(self, key, spec_hash="h"):
+        estimate = CellEstimate(
+            p_timely=ProportionEstimate(1.0, 0.9, 1.0, trials=4),
+            energy_timely=MeanEstimate(1.0, 0.5, 1.5, 4),
+            energy_all=MeanEstimate(1.0, 0.5, 1.5, 4),
+            mean_finish_time_timely=1.0,
+            mean_detected_faults=0.0,
+            mean_checkpoints=1.0,
+            mean_sub_checkpoints=0.0,
+            reps=4,
+        )
+        return CellRecord(
+            key=key, axes={"k": key}, estimate=estimate, spec_hash=spec_hash,
+            seed=0, block_size=256, backend="serial", git=None,
+            wall_seconds=0.0, compute_seconds=0.0,
+        )
+
+    def test_merge_disjoint_sets(self):
+        a = ResultSet("h", [self._record("a")])
+        b = ResultSet("h", [self._record("b")])
+        merged = a.merge(b)
+        assert merged.keys() == ["a", "b"]
+
+    def test_merge_rejects_overlap(self):
+        a = ResultSet("h", [self._record("a")])
+        with pytest.raises(ConfigurationError, match="overlap"):
+            a.merge(ResultSet("h", [self._record("a")]))
+
+    def test_merge_rejects_foreign_study(self):
+        a = ResultSet("h", [self._record("a")])
+        b = ResultSet("g", [self._record("b", spec_hash="g")])
+        with pytest.raises(ConfigurationError, match="different studies"):
+            a.merge(b)
+
+    def test_records_must_carry_set_hash(self):
+        with pytest.raises(ConfigurationError, match="spec hash"):
+            ResultSet("h", [self._record("a", spec_hash="other")])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ResultSet("h", [self._record("a"), self._record("a")])
+
+    def test_unknown_format_rejected(self):
+        rs = ResultSet("h", [self._record("a")])
+        payload = rs.to_json().replace("repro.resultset/1", "repro.resultset/99")
+        with pytest.raises(ConfigurationError, match="format"):
+            ResultSet.from_json(payload)
+
+    def test_missing_key_lookup_raises(self):
+        rs = ResultSet("h", [])
+        with pytest.raises(ConfigurationError, match="no cell"):
+            rs.estimate("nope")
+
+    def test_git_describe_is_cached_and_optional(self):
+        first = git_describe()
+        assert git_describe() is first or git_describe() == first
+
+    def test_save_is_atomic_over_existing_file(self, tmp_path):
+        """An unwritable save must not clobber the previous file —
+        the --out/--resume retry loop depends on it."""
+        rs = ResultSet("h", [self._record_for_io("a")])
+        path = tmp_path / "rs.json"
+        rs.save(str(path))
+        before = path.read_text()
+        bigger = ResultSet("h", [self._record_for_io("a"),
+                                 self._record_for_io("b")])
+        bigger.save(str(path))
+        assert len(ResultSet.load(str(path))) == 2
+        assert path.read_text() != before
+        # No temp droppings left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["rs.json"]
+
+    def test_save_to_missing_directory_is_a_clean_error(self, tmp_path):
+        rs = ResultSet("h", [self._record_for_io("a")])
+        with pytest.raises(ConfigurationError, match="cannot write"):
+            rs.save(str(tmp_path / "absent" / "rs.json"))
+        with pytest.raises(ConfigurationError, match="cannot write"):
+            rs.save_csv(str(tmp_path / "absent" / "rs.csv"))
+
+    def _record_for_io(self, key):
+        estimate = CellEstimate(
+            p_timely=ProportionEstimate(1.0, 0.9, 1.0, trials=4),
+            energy_timely=MeanEstimate(1.0, 0.5, 1.5, 4),
+            energy_all=MeanEstimate(1.0, 0.5, 1.5, 4),
+            mean_finish_time_timely=1.0,
+            mean_detected_faults=0.0,
+            mean_checkpoints=1.0,
+            mean_sub_checkpoints=0.0,
+            reps=4,
+        )
+        return CellRecord(
+            key=key, axes={"k": key}, estimate=estimate, spec_hash="h",
+            seed=0, block_size=256, backend="serial", git=None,
+            wall_seconds=0.0, compute_seconds=0.0,
+        )
