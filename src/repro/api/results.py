@@ -36,10 +36,41 @@ from repro.errors import ConfigurationError
 from repro.sim.metrics import MeanEstimate, ProportionEstimate
 from repro.sim.montecarlo import CellEstimate
 
-__all__ = ["CellRecord", "ResultSet", "git_describe"]
+__all__ = [
+    "CellRecord",
+    "ResultSet",
+    "git_describe",
+    "json_dumps_exact",
+    "json_loads_exact",
+]
 
 #: Serialisation format tag; bump on incompatible layout changes.
 FORMAT = "repro.resultset/1"
+
+
+def json_dumps_exact(payload: object, *, indent: Optional[int] = None) -> str:
+    """JSON text whose floats round-trip bit-exactly.
+
+    Python's shortest-repr float encoding is lossless for every finite
+    double, and ``allow_nan`` emits the ``NaN``/``Infinity`` literals
+    for the rest — the one float codec shared by :class:`ResultSet`
+    and the golden-trace JSONL files of :mod:`repro.goldens`, so a
+    value written by either serialiser reloads as the same double.
+    """
+    return json.dumps(payload, indent=indent, allow_nan=True)
+
+
+def json_loads_exact(text: str, *, what: str = "payload") -> object:
+    """Parse :func:`json_dumps_exact` output; clean error on bad input.
+
+    A :class:`~repro.errors.ConfigurationError` (not a raw
+    ``JSONDecodeError``) keeps malformed files an exit-2 configuration
+    problem at the CLI instead of a traceback.
+    """
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid {what} JSON: {exc}")
 
 _GIT_DESCRIBE: Optional[str] = None
 _GIT_DESCRIBE_RAN = False
@@ -85,6 +116,10 @@ class CellRecord:
     git: Optional[str]
     wall_seconds: float  #: wall clock of the run() batch this cell was in
     compute_seconds: float  #: coordinator CPU seconds of that batch
+    #: Opaque id of the ``run()`` batch that computed this cell; cells
+    #: of one batch share it.  ``None`` only for records loaded from
+    #: files written before the field existed.
+    batch: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -99,6 +134,7 @@ class CellRecord:
                 "git": self.git,
                 "wall_seconds": self.wall_seconds,
                 "compute_seconds": self.compute_seconds,
+                "batch": self.batch,
             },
         }
 
@@ -117,6 +153,7 @@ class CellRecord:
                 git=provenance.get("git"),
                 wall_seconds=provenance["wall_seconds"],
                 compute_seconds=provenance["compute_seconds"],
+                batch=provenance.get("batch"),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigurationError(f"malformed cell record: {exc!r}")
@@ -247,14 +284,29 @@ class ResultSet:
 
     @property
     def wall_seconds(self) -> float:
-        """Total distinct batch wall seconds across the set's records.
+        """Total batch wall seconds across the set's records.
 
         Records produced by one ``run()`` call share that batch's wall
-        clock, so summing per record would overcount; distinct batch
-        values are summed instead (resumed sets accumulate across
-        runs).
+        clock, so summing per record would overcount; each batch is
+        counted once instead (resumed sets accumulate across runs).
+        Batches are identified by the provenance ``batch`` id — two
+        distinct batches that happen to report equal wall clocks both
+        count.  Records from files written before the batch id existed
+        fall back to grouping on the ``(wall_seconds, compute_seconds)``
+        value pair.
         """
-        return sum({record.wall_seconds for record in self._records.values()})
+        seen = set()
+        total = 0.0
+        for record in self._records.values():
+            key = (
+                ("batch", record.batch)
+                if record.batch is not None
+                else ("values", record.wall_seconds, record.compute_seconds)
+            )
+            if key not in seen:
+                seen.add(key)
+                total += record.wall_seconds
+        return total
 
     # -- merge / resume ------------------------------------------------
 
@@ -289,7 +341,7 @@ class ResultSet:
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         """Exact JSON form (NaN emitted as the ``NaN`` literal)."""
-        return json.dumps(self.to_dict(), indent=indent, allow_nan=True)
+        return json_dumps_exact(self.to_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ResultSet":
@@ -309,11 +361,7 @@ class ResultSet:
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise ConfigurationError(f"invalid result set JSON: {exc}")
-        return cls.from_dict(payload)
+        return cls.from_dict(json_loads_exact(text, what="result set"))
 
     def save(self, path: str) -> None:
         """Write the JSON form atomically (temp file + rename).

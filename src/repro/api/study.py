@@ -139,6 +139,11 @@ class Study:
             estimates, wall, cpu = timed_run_cells(
                 session, [plan.job for plan in todo]
             )
+            # One opaque id per run() batch: cells computed together
+            # share it, so ResultSet.wall_seconds can count each batch
+            # once even when two batches report equal wall clocks.
+            import uuid
+
             stamp = dict(
                 spec_hash=self.spec_hash,
                 block_size=session.block_size,
@@ -146,6 +151,7 @@ class Study:
                 git=git_describe(),
                 wall_seconds=wall,
                 compute_seconds=cpu,
+                batch=uuid.uuid4().hex[:16],
             )
             for plan, estimate in zip(todo, estimates):
                 fresh[plan.key] = CellRecord(

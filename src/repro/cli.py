@@ -6,6 +6,9 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro run spec.json --out r.json    # run a declarative StudySpec
     repro validate --reps 500           # all 8 tables + shape criteria
     repro demo --scheme A_D_S           # trace one simulated run
+    repro record-golden                 # stamp reference traces
+    repro replay tests/goldens          # drift-check them (first
+                                        # diverging event, exit 1)
     repro list                          # available tables
     repro worker tcp://host:8642        # serve blocks for a coordinator
 
@@ -148,6 +151,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--table", default="1a", choices=list(TABLE_IDS))
     _add_workers_flag(p_sweep)
     _add_resultset_flags(p_sweep)
+
+    p_record = sub.add_parser(
+        "record-golden",
+        help="record reference execution traces for the golden matrix",
+    )
+    p_record.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "directory to write the golden JSONL files into (default: "
+            "the checkout's tests/goldens/)"
+        ),
+    )
+    p_record.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        default=None,
+        metavar="NAME",
+        help=(
+            "record only this curated scenario (repeatable; default: "
+            "the whole matrix)"
+        ),
+    )
+    p_record.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the curated scenario names and exit",
+    )
+
+    p_replay = sub.add_parser(
+        "replay",
+        help=(
+            "replay golden traces against the current tree; report the "
+            "first diverging event"
+        ),
+    )
+    p_replay.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="golden trace files (or directories of *.jsonl goldens)",
+    )
+    p_replay.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the full drift report to this file",
+    )
 
     p_worker = sub.add_parser(
         "worker",
@@ -613,6 +667,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record_golden(args: argparse.Namespace) -> int:
+    from repro.goldens import (
+        default_golden_dir,
+        read_golden,
+        record_matrix,
+        scenario_names,
+    )
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(name)
+        return 0
+    directory = args.dir if args.dir is not None else default_golden_dir()
+    paths = record_matrix(directory, names=args.scenarios)
+    for path in paths:
+        _header, events = read_golden(path)
+        print(f"recorded {path} ({len(events)} events)")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.goldens import replay_paths
+
+    reports = replay_paths(args.paths)
+    blocks = [report.render() for report in reports]
+    text = "\n\n".join(blocks) + "\n"
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    drifted = [report for report in reports if not report.ok]
+    for report in reports:
+        if report.ok:
+            print(
+                f"ok: {report.scenario_name} "
+                f"({report.events_matched}/{report.events_total} events)"
+            )
+    if drifted:
+        print()
+        for report in drifted:
+            print(report.render())
+            print()
+        print(
+            f"{len(drifted)} of {len(reports)} golden trace(s) drifted",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(reports)} golden trace(s) replay identically")
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.sim.distributed import serve_worker
 
@@ -650,6 +754,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "demo": _cmd_demo,
         "sweep": _cmd_sweep,
+        "record-golden": _cmd_record_golden,
+        "replay": _cmd_replay,
         "worker": _cmd_worker,
         "list": _cmd_list,
     }

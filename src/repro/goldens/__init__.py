@@ -1,0 +1,63 @@
+"""Golden-trace record/replay: regression infrastructure for the
+determinism contract.
+
+The executor's bit-identity promise was enforced only by end-of-run
+byte-diffs; this package turns :mod:`repro.sim.trace`'s bit-faithful
+recording into per-event regression checks.  ``repro record-golden``
+stamps reference JSONL traces for a curated scheme × fault-process
+matrix under ``tests/goldens/``; ``repro replay`` re-executes them
+against the current tree and reports the *first diverging event* —
+index, kind, expected-vs-actual payload, surrounding context and a
+rendered timeline — instead of a bare bit-identity failure.  It
+doubles as a user-facing audit tool for replaying production runs.
+"""
+
+from repro.goldens.events import RecordingRecorder, TraceEvent, payload_diff
+from repro.goldens.replay import (
+    Divergence,
+    DivergenceRecorder,
+    DriftReport,
+    default_golden_dir,
+    record_golden,
+    record_matrix,
+    replay,
+    replay_paths,
+    resolve_golden_paths,
+    run_result_payload,
+)
+from repro.goldens.scenarios import (
+    GOLDEN_SCENARIOS,
+    GoldenScenario,
+    scenario,
+    scenario_names,
+)
+from repro.goldens.trace_io import (
+    FORMAT,
+    JsonlTraceWriter,
+    TraceHeader,
+    read_golden,
+)
+
+__all__ = [
+    "FORMAT",
+    "GOLDEN_SCENARIOS",
+    "Divergence",
+    "DivergenceRecorder",
+    "DriftReport",
+    "GoldenScenario",
+    "JsonlTraceWriter",
+    "RecordingRecorder",
+    "TraceEvent",
+    "TraceHeader",
+    "default_golden_dir",
+    "payload_diff",
+    "read_golden",
+    "record_golden",
+    "record_matrix",
+    "replay",
+    "replay_paths",
+    "resolve_golden_paths",
+    "run_result_payload",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,187 @@
+"""Canonical trace events: one flat record per recorder callback.
+
+Every :class:`~repro.sim.trace.TraceRecorder` callback (plus the
+harness-level ``result`` record summarising the finished
+:class:`~repro.sim.executor.RunResult`) maps to one
+:class:`TraceEvent` — a kind tag and a flat payload of JSON-safe
+scalars.  Equality between events is *bit-exact* on floats (NaN equals
+NaN, ``-0.0`` differs from ``0.0``), which is what lets the replay
+engine in :mod:`repro.goldens.replay` call two runs identical with the
+same confidence as the end-of-run byte-diffs it replaces — but per
+event, so the first divergence is localised instead of reported as a
+bare bit-identity failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.checkpoints import CheckpointKind
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "RecordingRecorder",
+    "same_scalar",
+    "payload_diff",
+]
+
+#: Every kind a golden file may contain, in no particular order.
+#: ``result`` is written by the recording harness, not the executor.
+EVENT_KINDS = (
+    "segment",
+    "checkpoint",
+    "fault",
+    "rollback",
+    "speed",
+    "finish",
+    "result",
+)
+
+
+def same_scalar(a: object, b: object) -> bool:
+    """Bit-exact scalar equality: NaN == NaN, ``-0.0`` != ``0.0``.
+
+    Non-float values fall back to ``==`` with a type guard (so ``1``
+    and ``1.0`` — an int smuggled where a float belongs — do not
+    compare equal and mask a codec bug).
+    """
+    if isinstance(a, float) or isinstance(b, float):
+        if not (isinstance(a, float) and isinstance(b, float)):
+            return False
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            same_scalar(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+def payload_diff(
+    expected: Dict[str, object], actual: Dict[str, object]
+) -> List[Tuple[str, object, object]]:
+    """Fields whose values differ, as ``(field, expected, actual)``.
+
+    Fields present on only one side appear with the sentinel string
+    ``"<absent>"`` on the other.
+    """
+    diffs: List[Tuple[str, object, object]] = []
+    for field in list(expected) + [f for f in actual if f not in expected]:
+        if field not in expected:
+            diffs.append((field, "<absent>", actual[field]))
+        elif field not in actual:
+            diffs.append((field, expected[field], "<absent>"))
+        elif not same_scalar(expected[field], actual[field]):
+            diffs.append((field, expected[field], actual[field]))
+    return diffs
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorder callback (or the final result), flattened."""
+
+    kind: str
+    payload: Dict[str, object]
+
+    def same_values(self, other: "TraceEvent") -> bool:
+        """Kind and payload identity, bit-exact on floats."""
+        return (
+            self.kind == other.kind
+            and not payload_diff(self.payload, other.payload)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"kind": self.kind}
+        record.update(self.payload)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "TraceEvent":
+        payload = dict(record)
+        kind = payload.pop("kind")
+        return cls(kind=kind, payload=payload)
+
+    def describe(self) -> str:
+        """One-line human rendering, ``kind(field=value, ...)``."""
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.payload.items())
+        return f"{self.kind}({fields})"
+
+
+class RecordingRecorder(TraceRecorder):
+    """Turns recorder callbacks into :class:`TraceEvent`\\ s, in order.
+
+    The single normalisation point: the golden writer, the divergence
+    recorder and the round-trip tests all build their events through
+    this class, so "what exactly does a callback serialise as" is
+    defined once.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def segment(
+        self, label: str, frequency: float, start: float, end: float, cycles: float
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                "segment",
+                {
+                    "label": label,
+                    "frequency": float(frequency),
+                    "start": float(start),
+                    "end": float(end),
+                    "cycles": float(cycles),
+                },
+            )
+        )
+
+    def checkpoint(self, time: float, kind: CheckpointKind) -> None:
+        self.events.append(
+            TraceEvent(
+                "checkpoint", {"time": float(time), "checkpoint": kind.value}
+            )
+        )
+
+    def fault(self, time: float, *, corrupting: bool) -> None:
+        self.events.append(
+            TraceEvent(
+                "fault", {"time": float(time), "corrupting": bool(corrupting)}
+            )
+        )
+
+    def rollback(self, time: float, committed_cycles: float) -> None:
+        self.events.append(
+            TraceEvent(
+                "rollback",
+                {
+                    "time": float(time),
+                    "committed_cycles": float(committed_cycles),
+                },
+            )
+        )
+
+    def speed(self, time: float, frequency: float) -> None:
+        self.events.append(
+            TraceEvent(
+                "speed", {"time": float(time), "frequency": float(frequency)}
+            )
+        )
+
+    def finish(self, time: float, *, completed: bool, timely: bool) -> None:
+        self.events.append(
+            TraceEvent(
+                "finish",
+                {
+                    "time": float(time),
+                    "completed": bool(completed),
+                    "timely": bool(timely),
+                },
+            )
+        )

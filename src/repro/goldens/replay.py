@@ -1,0 +1,452 @@
+"""Record and replay golden traces; report the first diverging event.
+
+:func:`record_golden` runs a scenario through the *reference* executor
+loop and streams every trace callback (plus the final ``result``
+summary) to a JSONL golden file.  :func:`replay` re-executes the
+scenario against the current tree with a :class:`DivergenceRecorder`
+that compares events online: the moment a callback disagrees with the
+golden — in kind or in any bit of any float — the run halts and the
+:class:`DriftReport` names the inflection point (event index, kind,
+expected-vs-actual fields) with the surrounding events and a rendered
+timeline excerpt, instead of the bare "bit-identity failed" an
+end-of-run byte-diff gives.
+
+A replay that matches event-for-event additionally re-runs the fused
+Monte-Carlo fast loop (:func:`~repro.sim.executor.execute_once`) and
+checks its outcome against the golden's ``result`` record — the guard
+that keeps a future compiled kernel honest even where the traced
+reference loop did not change.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.results import git_describe
+from repro.core.checkpoints import CheckpointKind
+from repro.errors import ConfigurationError
+from repro.goldens.events import RecordingRecorder, TraceEvent, payload_diff
+from repro.goldens.scenarios import (
+    GOLDEN_SCENARIOS,
+    GoldenScenario,
+    scenario,
+)
+from repro.goldens.trace_io import JsonlTraceWriter, TraceHeader, read_golden
+from repro.sim.executor import RunOutcome, RunResult, execute_once, simulate_run
+from repro.sim.trace import TeeRecorder, Trace, TraceRecorder
+
+__all__ = [
+    "Divergence",
+    "DivergenceRecorder",
+    "DriftReport",
+    "default_golden_dir",
+    "record_golden",
+    "record_matrix",
+    "replay",
+    "replay_paths",
+    "resolve_golden_paths",
+    "run_result_payload",
+]
+
+
+def default_golden_dir() -> str:
+    """The committed golden directory of a source checkout."""
+    return str(Path(__file__).resolve().parents[3] / "tests" / "goldens")
+
+
+# ---------------------------------------------------------------------------
+# recording
+
+
+def run_result_payload(result: RunResult) -> Dict[str, object]:
+    """The ``result`` record: every :class:`RunResult` field, JSON-flat.
+
+    ``cycles_by_frequency`` becomes a frequency-sorted pair list (JSON
+    objects cannot key on floats without losing exactness).
+    """
+    return {
+        "completed": bool(result.completed),
+        "timely": bool(result.timely),
+        "finish_time": float(result.finish_time),
+        "energy": float(result.energy),
+        "cycles_executed": float(result.cycles_executed),
+        "cycles_by_frequency": [
+            [float(freq), float(cycles)]
+            for freq, cycles in sorted(result.cycles_by_frequency.items())
+        ],
+        "detected_faults": int(result.detected_faults),
+        "injected_faults": int(result.injected_faults),
+        "checkpoints": int(result.checkpoints),
+        "sub_checkpoints": int(result.sub_checkpoints),
+        "rollbacks": int(result.rollbacks),
+        "failure_reason": result.failure_reason,
+    }
+
+
+def _outcome_payload(outcome: RunOutcome) -> Dict[str, object]:
+    """The fast-loop subset of :func:`run_result_payload`."""
+    return {
+        "completed": bool(outcome.completed),
+        "timely": bool(outcome.timely),
+        "finish_time": float(outcome.finish_time),
+        "energy": float(outcome.energy),
+        "detected_faults": int(outcome.detected_faults),
+        "injected_faults": int(outcome.injected_faults),
+        "checkpoints": int(outcome.checkpoints),
+        "sub_checkpoints": int(outcome.sub_checkpoints),
+        "rollbacks": int(outcome.rollbacks),
+    }
+
+
+def record_golden(scen: GoldenScenario, directory: str) -> str:
+    """Run ``scen`` through the reference loop; write its golden file.
+
+    Returns the written path (``<directory>/<name>.jsonl``).  The run
+    and the recording happen in one pass — the writer *is* the trace
+    recorder — so the golden is the execution, not a re-serialisation.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{scen.name}.jsonl")
+    header = TraceHeader(scenario=scen.to_payload(), git=git_describe())
+    with JsonlTraceWriter(path, header) as writer:
+        result = simulate_run(
+            scen.task,
+            scen.build_policy(),
+            scen.faults,
+            rng=scen.generator(),
+            faults_during_overhead=scen.faults_during_overhead,
+            recorder=writer,
+        )
+        writer.result(run_result_payload(result))
+    return path
+
+
+def record_matrix(
+    directory: str, names: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Record the curated matrix (or a named subset); return the paths."""
+    chosen = (
+        list(GOLDEN_SCENARIOS)
+        if names is None
+        else [scenario(name) for name in names]
+    )
+    return [record_golden(scen, directory) for scen in chosen]
+
+
+# ---------------------------------------------------------------------------
+# replay
+
+
+class DivergenceHalt(Exception):
+    """Internal: aborts the replayed run at the first diverging event.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError` — it must
+    never be mistaken for a configuration problem by CLI error
+    handling; :func:`replay` catches it by type.
+    """
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The inflection point: where replay first left the golden trace.
+
+    ``reason`` is one of ``"mismatch"`` (event ``index`` differs),
+    ``"extra-event"`` (the replay produced an event past the golden's
+    end), ``"missing-event"`` (the replay finished before the golden
+    did) or ``"result"`` (every event matched but the final
+    :class:`RunResult` summary differs — e.g. a perturbed energy
+    coefficient, which no timeline event carries).
+    """
+
+    index: int
+    reason: str
+    expected: Optional[TraceEvent]
+    actual: Optional[TraceEvent]
+
+    @property
+    def kind(self) -> str:
+        """The event kind at the inflection point."""
+        event = self.expected or self.actual
+        return event.kind if event is not None else "?"
+
+    def field_diffs(self) -> List[Tuple[str, object, object]]:
+        """Differing payload fields as ``(field, expected, actual)``."""
+        if self.expected is None or self.actual is None:
+            return []
+        return payload_diff(self.expected.payload, self.actual.payload)
+
+
+class DivergenceRecorder(TraceRecorder):
+    """Compares the replayed run to the golden's events, online.
+
+    Each callback is normalised through the same
+    :class:`~repro.goldens.events.RecordingRecorder` the writer used,
+    compared bit-exactly against the next expected event, and — on the
+    first disagreement — stored as :attr:`divergence` before
+    :class:`DivergenceHalt` aborts the run (there is nothing left to
+    learn from the rest of a diverged execution).
+    """
+
+    def __init__(self, expected: Sequence[TraceEvent]) -> None:
+        self._expected = list(expected)
+        self._normaliser = RecordingRecorder()
+        self.matched = 0
+        self.divergence: Optional[Divergence] = None
+
+    def _check(self) -> None:
+        actual = self._normaliser.events.pop()
+        index = self.matched
+        if index >= len(self._expected):
+            self.divergence = Divergence(
+                index=index, reason="extra-event", expected=None, actual=actual
+            )
+            raise DivergenceHalt()
+        expected = self._expected[index]
+        if not expected.same_values(actual):
+            self.divergence = Divergence(
+                index=index, reason="mismatch", expected=expected, actual=actual
+            )
+            raise DivergenceHalt()
+        self.matched += 1
+
+    def segment(
+        self, label: str, frequency: float, start: float, end: float, cycles: float
+    ) -> None:
+        self._normaliser.segment(label, frequency, start, end, cycles)
+        self._check()
+
+    def checkpoint(self, time: float, kind: CheckpointKind) -> None:
+        self._normaliser.checkpoint(time, kind)
+        self._check()
+
+    def fault(self, time: float, *, corrupting: bool) -> None:
+        self._normaliser.fault(time, corrupting=corrupting)
+        self._check()
+
+    def rollback(self, time: float, committed_cycles: float) -> None:
+        self._normaliser.rollback(time, committed_cycles)
+        self._check()
+
+    def speed(self, time: float, frequency: float) -> None:
+        self._normaliser.speed(time, frequency)
+        self._check()
+
+    def finish(self, time: float, *, completed: bool, timely: bool) -> None:
+        self._normaliser.finish(time, completed=completed, timely=timely)
+        self._check()
+
+
+#: Events shown on each side of the inflection point in reports.
+_CONTEXT_EVENTS = 3
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The outcome of replaying one golden file."""
+
+    scenario_name: str
+    path: str
+    events_total: int  #: events in the golden (incl. the result record)
+    events_matched: int  #: events confirmed identical before the end/halt
+    divergence: Optional[Divergence]
+    #: Field diffs of the fused fast loop vs the golden result record
+    #: (None = identical or not checked because the traced replay
+    #: already diverged).
+    fast_diffs: Optional[List[Tuple[str, object, object]]]
+    recorded_git: Optional[str]
+    current_git: Optional[str]
+    context: Tuple[str, ...] = ()
+    timeline: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and not self.fast_diffs
+
+    def render(self) -> str:
+        """Human-readable drift report (one block per golden file)."""
+        lines = [
+            f"golden {self.scenario_name} ({self.path})",
+            f"  recorded by {self.recorded_git or '<unknown tree>'}, "
+            f"replayed on {self.current_git or '<unknown tree>'}",
+        ]
+        if self.ok:
+            lines.append(
+                f"  OK: {self.events_matched}/{self.events_total} events "
+                f"identical; fast loop matches the result record"
+            )
+            return "\n".join(lines)
+        d = self.divergence
+        if d is not None:
+            lines.append(
+                f"  DRIFT at event {d.index} ({d.kind}, {d.reason}) after "
+                f"{self.events_matched} identical events:"
+            )
+            lines.append(
+                f"    expected: "
+                f"{d.expected.describe() if d.expected else '<end of golden>'}"
+            )
+            lines.append(
+                f"    actual:   "
+                f"{d.actual.describe() if d.actual else '<run ended>'}"
+            )
+            for field, expected, actual in d.field_diffs():
+                lines.append(
+                    f"    field {field}: expected {expected!r}, "
+                    f"got {actual!r}"
+                )
+            if self.context:
+                lines.append("  golden events around the inflection point:")
+                lines.extend(f"    {line}" for line in self.context)
+            if self.timeline:
+                lines.append("  replayed timeline up to the divergence:")
+                lines.extend(
+                    f"    {line}" for line in self.timeline.splitlines()
+                )
+        if self.fast_diffs:
+            lines.append(
+                "  FAST-PATH DRIFT: traced reference loop matches the "
+                "golden, but the fused fast loop differs:"
+            )
+            for field, expected, actual in self.fast_diffs:
+                lines.append(
+                    f"    field {field}: expected {expected!r}, "
+                    f"got {actual!r}"
+                )
+        return "\n".join(lines)
+
+
+def _context_lines(
+    events: Sequence[TraceEvent], index: int
+) -> Tuple[str, ...]:
+    lo = max(0, index - _CONTEXT_EVENTS)
+    hi = min(len(events), index + _CONTEXT_EVENTS + 1)
+    return tuple(
+        f"[{i}]{' >>' if i == index else '   '} {events[i].describe()}"
+        for i in range(lo, hi)
+    )
+
+
+def replay(path: str) -> DriftReport:
+    """Re-execute a golden file against the current tree; diff online.
+
+    Malformed files (truncated, corrupted, wrong format version,
+    unknown scenario payload) raise
+    :class:`~repro.errors.ConfigurationError`; a well-formed golden
+    whose replay drifts returns a non-:attr:`~DriftReport.ok` report —
+    drift is a *finding*, not an error.
+    """
+    header, events = read_golden(path)
+    scen = GoldenScenario.from_payload(header.scenario)
+
+    expected_result: Optional[TraceEvent] = None
+    callback_events = events
+    if events and events[-1].kind == "result":
+        expected_result = events[-1]
+        callback_events = events[:-1]
+    if any(event.kind == "result" for event in callback_events):
+        raise ConfigurationError(
+            f"golden trace {path!r} is corrupt: a result record appears "
+            f"before the end of the trace"
+        )
+
+    recorder = DivergenceRecorder(callback_events)
+    trace = Trace()
+    divergence: Optional[Divergence] = None
+    result: Optional[RunResult] = None
+    try:
+        # The Trace runs *before* the comparer in the tee, so the
+        # rendered excerpt includes the diverging event itself.
+        result = simulate_run(
+            scen.task,
+            scen.build_policy(),
+            scen.faults,
+            rng=scen.generator(),
+            faults_during_overhead=scen.faults_during_overhead,
+            recorder=TeeRecorder(trace, recorder),
+        )
+    except DivergenceHalt:
+        divergence = recorder.divergence
+
+    if divergence is None:
+        if recorder.matched < len(callback_events):
+            divergence = Divergence(
+                index=recorder.matched,
+                reason="missing-event",
+                expected=callback_events[recorder.matched],
+                actual=None,
+            )
+        elif expected_result is not None:
+            assert result is not None
+            actual_result = TraceEvent("result", run_result_payload(result))
+            if not expected_result.same_values(actual_result):
+                divergence = Divergence(
+                    index=len(callback_events),
+                    reason="result",
+                    expected=expected_result,
+                    actual=actual_result,
+                )
+
+    fast_diffs: Optional[List[Tuple[str, object, object]]] = None
+    if divergence is None and expected_result is not None:
+        outcome = execute_once(
+            scen.task,
+            scen.build_policy(),
+            scen.faults,
+            rng=scen.generator(),
+            faults_during_overhead=scen.faults_during_overhead,
+        )
+        actual_fast = _outcome_payload(outcome)
+        golden_subset = {
+            field: expected_result.payload[field]
+            for field in actual_fast
+            if field in expected_result.payload
+        }
+        fast_diffs = payload_diff(golden_subset, actual_fast) or None
+
+    return DriftReport(
+        scenario_name=scen.name,
+        path=path,
+        events_total=len(events),
+        events_matched=recorder.matched
+        + (1 if divergence is None and expected_result is not None else 0),
+        divergence=divergence,
+        fast_diffs=fast_diffs,
+        recorded_git=header.git,
+        current_git=git_describe(),
+        context=(
+            _context_lines(events, divergence.index)
+            if divergence is not None
+            else ()
+        ),
+        timeline=trace.render() if divergence is not None else None,
+    )
+
+
+def resolve_golden_paths(paths: Iterable[str]) -> List[str]:
+    """Expand directories to their sorted ``*.jsonl`` golden files."""
+    resolved: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found = sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if name.endswith(".jsonl")
+            )
+            if not found:
+                raise ConfigurationError(
+                    f"no golden traces (*.jsonl) under {path!r}"
+                )
+            resolved.extend(found)
+        else:
+            resolved.append(path)
+    if not resolved:
+        raise ConfigurationError("no golden traces to replay")
+    return resolved
+
+
+def replay_paths(paths: Iterable[str]) -> List[DriftReport]:
+    """Replay files and/or directories of goldens, in order."""
+    return [replay(path) for path in resolve_golden_paths(paths)]

@@ -1,0 +1,216 @@
+"""JSONL golden-trace files: header, one event per line, end sentinel.
+
+Layout of a golden file::
+
+    {"format": "repro.golden-trace/1", "scenario": {...}, "git": "..."}
+    {"kind": "speed", "time": 0.0, "frequency": 2.0}
+    {"kind": "segment", "label": "exec", ...}
+    ...
+    {"kind": "result", "completed": true, "energy": ..., ...}
+    {"kind": "end", "events": 314}
+
+Floats are encoded with the shared exact codec of
+:mod:`repro.api.results` (shortest-repr doubles, ``NaN``/``Infinity``
+literals), so every event round-trips bit-exactly.  The trailing
+``end`` record carries the event count: a file cut short at a line
+boundary — which would otherwise read as a complete, shorter trace —
+is detected as truncation, and any malformed line surfaces as a
+:class:`~repro.errors.ConfigurationError` with its line number rather
+than a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.api.results import git_describe, json_dumps_exact, json_loads_exact
+from repro.core.checkpoints import CheckpointKind
+from repro.errors import ConfigurationError
+from repro.goldens.events import EVENT_KINDS, RecordingRecorder, TraceEvent
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["FORMAT", "TraceHeader", "JsonlTraceWriter", "read_golden"]
+
+#: Golden-trace format tag; bump on incompatible layout changes.
+FORMAT = "repro.golden-trace/1"
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """First line of a golden file: what was run, by which tree.
+
+    ``scenario`` is the full :class:`~repro.goldens.scenarios.
+    GoldenScenario` payload (scheme, fault process, seed, task, block
+    parameters) — everything the replay engine needs to re-execute the
+    run.  ``git`` is provenance only (the describe string of the tree
+    that *recorded* the file); replay never compares it.
+    """
+
+    scenario: Dict[str, object]
+    git: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"format": FORMAT, "scenario": dict(self.scenario), "git": self.git}
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "TraceHeader":
+        if not isinstance(payload, dict) or "format" not in payload:
+            raise ConfigurationError(
+                "golden trace has no header line (expected a "
+                f"{{'format': {FORMAT!r}, ...}} record first)"
+            )
+        declared = payload["format"]
+        if declared != FORMAT:
+            raise ConfigurationError(
+                f"unsupported golden-trace format {declared!r} "
+                f"(this build reads {FORMAT!r})"
+            )
+        scenario = payload.get("scenario")
+        if not isinstance(scenario, dict):
+            raise ConfigurationError(
+                "golden trace header carries no scenario payload"
+            )
+        return cls(scenario=scenario, git=payload.get("git"))
+
+
+class JsonlTraceWriter(TraceRecorder):
+    """Streams every recorder callback to a JSONL golden file.
+
+    A :class:`~repro.sim.trace.TraceRecorder`: pass it straight to
+    :func:`~repro.sim.executor.simulate_run` (alone or inside a
+    :class:`~repro.sim.trace.TeeRecorder`).  Call :meth:`result` with
+    the finished run's payload, then :meth:`close` — the end sentinel
+    is only written on close, so an interrupted recording is
+    detectably truncated rather than silently short.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, path: str, header: TraceHeader) -> None:
+        self.path = path
+        self._count = 0
+        self._recorder = RecordingRecorder()
+        self._handle: Optional[TextIO] = open(path, "w", encoding="utf-8")
+        self._write_line(header.to_dict())
+
+    # -- recorder callbacks: normalise via RecordingRecorder ----------
+
+    def _flush_events(self) -> None:
+        for event in self._recorder.events:
+            self._write_line(event.to_dict())
+            self._count += 1
+        self._recorder.events.clear()
+
+    def _write_line(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            raise ConfigurationError(
+                f"golden-trace writer for {self.path!r} is closed"
+            )
+        self._handle.write(json_dumps_exact(record) + "\n")
+
+    def segment(
+        self, label: str, frequency: float, start: float, end: float, cycles: float
+    ) -> None:
+        self._recorder.segment(label, frequency, start, end, cycles)
+        self._flush_events()
+
+    def checkpoint(self, time: float, kind: CheckpointKind) -> None:
+        self._recorder.checkpoint(time, kind)
+        self._flush_events()
+
+    def fault(self, time: float, *, corrupting: bool) -> None:
+        self._recorder.fault(time, corrupting=corrupting)
+        self._flush_events()
+
+    def rollback(self, time: float, committed_cycles: float) -> None:
+        self._recorder.rollback(time, committed_cycles)
+        self._flush_events()
+
+    def speed(self, time: float, frequency: float) -> None:
+        self._recorder.speed(time, frequency)
+        self._flush_events()
+
+    def finish(self, time: float, *, completed: bool, timely: bool) -> None:
+        self._recorder.finish(time, completed=completed, timely=timely)
+        self._flush_events()
+
+    # -- harness-level records ----------------------------------------
+
+    def result(self, payload: Dict[str, object]) -> None:
+        """Write the end-of-run ``result`` record (RunResult summary)."""
+        self._write_line(TraceEvent("result", dict(payload)).to_dict())
+        self._count += 1
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        self._write_line({"kind": "end", "events": self._count})
+        self._handle.close()
+        self._handle = None
+
+    @property
+    def events_written(self) -> int:
+        return self._count
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_golden(path: str) -> Tuple[TraceHeader, List[TraceEvent]]:
+    """Parse a golden file into its header and ordered event list.
+
+    Every malformed input — unreadable file, invalid JSON, missing or
+    wrong-format header, unknown event kind, missing end sentinel
+    (truncation), event-count mismatch — raises
+    :class:`~repro.errors.ConfigurationError` naming the file and,
+    where it applies, the line.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read golden trace {path!r}: {exc}")
+
+    records: List[Dict[str, object]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        record = json_loads_exact(
+            line, what=f"golden trace ({path}, line {number})"
+        )
+        if not isinstance(record, dict):
+            raise ConfigurationError(
+                f"golden trace {path!r} line {number}: expected a JSON "
+                f"object, got {type(record).__name__}"
+            )
+        records.append(record)
+    if not records:
+        raise ConfigurationError(f"golden trace {path!r} is empty")
+
+    header = TraceHeader.from_dict(records[0])
+    body = records[1:]
+    if not body or body[-1].get("kind") != "end":
+        raise ConfigurationError(
+            f"golden trace {path!r} is truncated: no end sentinel "
+            f"(recording was interrupted, or the file was cut short)"
+        )
+    sentinel = body.pop()
+    declared = sentinel.get("events")
+    if declared != len(body):
+        raise ConfigurationError(
+            f"golden trace {path!r} is corrupt: end sentinel declares "
+            f"{declared!r} events but {len(body)} are present"
+        )
+
+    events: List[TraceEvent] = []
+    for index, record in enumerate(body):
+        kind = record.get("kind")
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"golden trace {path!r} event {index}: unknown kind {kind!r}"
+            )
+        events.append(TraceEvent.from_dict(record))
+    return header, events

@@ -301,6 +301,7 @@ def simulate_run(
     faults_during_overhead: bool = False,
     limits: SimulationLimits = SimulationLimits(),
     recorder: TraceRecorder = NULL_RECORDER,
+    reference: bool = False,
 ) -> RunResult:
     """Simulate one execution of ``task`` under ``policy``.
 
@@ -326,6 +327,12 @@ def simulate_run(
         Safety bounds.
     recorder:
         Optional :class:`~repro.sim.trace.TraceRecorder`.
+    reference:
+        Force the traced *reference* loop even without a recorder.
+        Attaching any recorder already routes there; this knob lets
+        callers (the golden-trace replay engine, loop-equivalence
+        tests) pin the reference arithmetic path explicitly instead of
+        encoding "recorder implies reference" as an assumption.
     """
     if energy_model is None:
         energy_model = default_energy_model()
@@ -342,6 +349,7 @@ def simulate_run(
         limits,
         recorder,
         cycles_map,
+        reference=reference,
     )
     completed = state.remaining_cycles <= _CYCLE_EPS
     timely = completed and state.clock <= task.deadline + _CYCLE_EPS
@@ -417,6 +425,8 @@ def _execute(
     limits: SimulationLimits,
     recorder: TraceRecorder,
     cycles_map: Optional[Dict[float, float]],
+    *,
+    reference: bool = False,
 ) -> Tuple[ExecutionState, float, Optional[str]]:
     """Run the interval loop; returns ``(state, energy, failure)``.
 
@@ -424,9 +434,10 @@ def _execute(
     the traced path (per-segment recorder callbacks, object-based
     bookkeeping) and the fused Monte-Carlo hot path (everything in
     locals, no per-segment calls) taken whenever no recorder is
-    attached.  ``tests/test_executor_slab.py`` pins their bit-equality.
+    attached and ``reference`` is not forced.
+    ``tests/test_executor_slab.py`` pins their bit-equality.
     """
-    if recorder is NULL_RECORDER:
+    if recorder is NULL_RECORDER and not reference:
         return _execute_fast(
             task, policy, stream, energy_model, faults_during_overhead,
             limits, cycles_map,

@@ -18,6 +18,7 @@ __all__ = [
     "TraceRecorder",
     "NullRecorder",
     "NULL_RECORDER",
+    "TeeRecorder",
     "Trace",
     "SegmentRecord",
     "CheckpointRecord",
@@ -56,6 +57,50 @@ class NullRecorder(TraceRecorder):
 
 
 NULL_RECORDER = NullRecorder()
+
+
+class TeeRecorder(TraceRecorder):
+    """Fans every callback out to several recorders, in order.
+
+    Lets one run feed independent consumers — e.g. a golden-trace
+    writer plus a :class:`Trace` for rendering — without the executor
+    knowing about either.  A child that raises aborts the fan-out (the
+    divergence recorder of :mod:`repro.goldens` relies on this: earlier
+    children have already seen the event, later ones have not).
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, *children: TraceRecorder) -> None:
+        self._children = tuple(
+            child for child in children if child is not NULL_RECORDER
+        )
+
+    def segment(
+        self, label: str, frequency: float, start: float, end: float, cycles: float
+    ) -> None:
+        for child in self._children:
+            child.segment(label, frequency, start, end, cycles)
+
+    def checkpoint(self, time: float, kind: CheckpointKind) -> None:
+        for child in self._children:
+            child.checkpoint(time, kind)
+
+    def fault(self, time: float, *, corrupting: bool) -> None:
+        for child in self._children:
+            child.fault(time, corrupting=corrupting)
+
+    def rollback(self, time: float, committed_cycles: float) -> None:
+        for child in self._children:
+            child.rollback(time, committed_cycles)
+
+    def speed(self, time: float, frequency: float) -> None:
+        for child in self._children:
+            child.speed(time, frequency)
+
+    def finish(self, time: float, *, completed: bool, timely: bool) -> None:
+        for child in self._children:
+            child.finish(time, completed=completed, timely=timely)
 
 
 @dataclass(frozen=True)
@@ -163,18 +208,27 @@ class Trace(TraceRecorder):
                 current = chars[i]
                 if current == " " or order.get(seg.label, 0) > _glyph_order(current):
                     chars[i] = glyph.get(seg.label, "?")
+        fault_order = _glyph_order("!")
         for fault in self.faults:
             if fault.corrupting:
                 i = min(width - 1, int(fault.time * scale))
-                chars[i] = "!"
-        outcome = (
-            "timely"
-            if self.timely
-            else ("late" if self.completed else "failed")
-        )
-        header = (
-            f"[{outcome}] t={self.finish_time:.1f} "
-            f"faults={sum(1 for f in self.faults if f.corrupting)} "
+                # Same priority ordering as the segment pass, so the
+                # timeline is stable regardless of event insertion order.
+                if fault_order > _glyph_order(chars[i]):
+                    chars[i] = "!"
+        if self.finish_time is None:
+            # A run that never called finish() (aborted, still in
+            # flight, or cut short at a divergence) still renders.
+            header = "[unfinished] t=?"
+        else:
+            outcome = (
+                "timely"
+                if self.timely
+                else ("late" if self.completed else "failed")
+            )
+            header = f"[{outcome}] t={self.finish_time:.1f}"
+        header += (
+            f" faults={sum(1 for f in self.faults if f.corrupting)} "
             f"rollbacks={len(self.rollbacks)} cscp={sum(1 for c in self.checkpoints if c.kind is CheckpointKind.CSCP)}"
         )
         return header + "\n" + "".join(chars)

@@ -1,0 +1,584 @@
+"""Golden-trace record/replay: round-trip, drift localisation, CLI.
+
+The contract under test (ISSUE 6 / ROADMAP "Golden-trace replay and
+drift detection"):
+
+* ``write → read`` round-trips every event type bit-exactly, including
+  NaN/inf payload floats (property-tested);
+* replaying a freshly recorded golden on the same tree is clean for
+  every curated scenario;
+* a perturbed executor is caught with a report naming the *first*
+  diverging event's index, kind and expected/actual values — never a
+  bare pass/fail bit;
+* truncated / corrupted / wrong-format golden files raise
+  ``ConfigurationError`` (CLI exit 2), not tracebacks.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.checkpoints import CheckpointKind
+from repro.errors import ConfigurationError
+from repro.goldens import (
+    GOLDEN_SCENARIOS,
+    GoldenScenario,
+    JsonlTraceWriter,
+    RecordingRecorder,
+    TraceEvent,
+    TraceHeader,
+    read_golden,
+    record_golden,
+    record_matrix,
+    replay,
+    replay_paths,
+    scenario,
+    scenario_names,
+)
+from repro.goldens.events import payload_diff, same_scalar
+from repro.sim.energy import EnergyModel
+from repro.sim.trace import NULL_RECORDER, TeeRecorder, Trace
+
+import repro.sim.executor as executor_mod
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _record_one(tmp_path, name="adaptive-scp-poisson"):
+    return record_golden(scenario(name), str(tmp_path))
+
+
+def _rewrite(path, lines):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def _lines(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+# ---------------------------------------------------------------------------
+# event model
+
+
+class TestEventEquality:
+    def test_nan_equals_nan(self):
+        assert same_scalar(float("nan"), float("nan"))
+
+    def test_signed_zero_differs(self):
+        assert not same_scalar(0.0, -0.0)
+
+    def test_int_is_not_float(self):
+        # An int smuggled where a float belongs is a codec bug, not a
+        # match.
+        assert not same_scalar(1, 1.0)
+
+    def test_payload_diff_reports_absent_fields(self):
+        diffs = payload_diff({"a": 1.0}, {"b": 2.0})
+        assert ("a", 1.0, "<absent>") in diffs
+        assert ("b", "<absent>", 2.0) in diffs
+
+    def test_event_same_values(self):
+        a = TraceEvent("fault", {"time": 1.5, "corrupting": True})
+        b = TraceEvent("fault", {"time": 1.5, "corrupting": True})
+        c = TraceEvent("fault", {"time": 1.5, "corrupting": False})
+        assert a.same_values(b)
+        assert not a.same_values(c)
+        assert not a.same_values(TraceEvent("speed", dict(a.payload)))
+
+
+class TestTeeRecorder:
+    def test_fans_out_in_order(self):
+        first, second = RecordingRecorder(), RecordingRecorder()
+        tee = TeeRecorder(first, second)
+        tee.speed(0.0, 2.0)
+        tee.fault(1.0, corrupting=True)
+        assert [e.kind for e in first.events] == ["speed", "fault"]
+        assert [e.kind for e in second.events] == ["speed", "fault"]
+
+    def test_null_children_are_dropped(self):
+        tee = TeeRecorder(NULL_RECORDER, NULL_RECORDER)
+        assert tee._children == ()
+
+    def test_raising_child_aborts_fan_out(self):
+        class Boom(Exception):
+            pass
+
+        class Raiser(RecordingRecorder):
+            def speed(self, time, frequency):
+                raise Boom()
+
+        witness = RecordingRecorder()
+        late = RecordingRecorder()
+        tee = TeeRecorder(witness, Raiser(), late)
+        with pytest.raises(Boom):
+            tee.speed(0.0, 1.0)
+        # Earlier children saw the event; later ones did not.
+        assert [e.kind for e in witness.events] == ["speed"]
+        assert late.events == []
+
+
+# ---------------------------------------------------------------------------
+# write → read round-trip (property)
+
+
+_floats = st.floats(allow_nan=True, allow_infinity=True)
+
+_events = st.one_of(
+    st.builds(
+        lambda f, s, e, c, label: TraceEvent(
+            "segment",
+            {"label": label, "frequency": f, "start": s, "end": e, "cycles": c},
+        ),
+        _floats, _floats, _floats, _floats,
+        st.sampled_from(["exec", "scp", "ccp", "cscp", "rollback"]),
+    ),
+    st.builds(
+        lambda t, k: TraceEvent("checkpoint", {"time": t, "checkpoint": k}),
+        _floats, st.sampled_from(["scp", "ccp", "cscp"]),
+    ),
+    st.builds(
+        lambda t, c: TraceEvent("fault", {"time": t, "corrupting": c}),
+        _floats, st.booleans(),
+    ),
+    st.builds(
+        lambda t, c: TraceEvent("rollback", {"time": t, "committed_cycles": c}),
+        _floats, _floats,
+    ),
+    st.builds(
+        lambda t, f: TraceEvent("speed", {"time": t, "frequency": f}),
+        _floats, _floats,
+    ),
+    st.builds(
+        lambda t, c, y: TraceEvent(
+            "finish", {"time": t, "completed": c, "timely": y}
+        ),
+        _floats, st.booleans(), st.booleans(),
+    ),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(events=st.lists(_events, max_size=30), result_energy=_floats)
+    def test_every_event_type_round_trips_bit_exactly(
+        self, tmp_path_factory, events, result_energy
+    ):
+        path = str(tmp_path_factory.mktemp("golden") / "trace.jsonl")
+        header = TraceHeader(
+            scenario=GOLDEN_SCENARIOS[0].to_payload(), git="test-tree"
+        )
+        with JsonlTraceWriter(path, header) as writer:
+            for event in events:
+                _dispatch(writer, event)
+            writer.result({"energy": result_energy, "completed": True})
+        again_header, again_events = read_golden(path)
+        assert again_header.git == "test-tree"
+        assert len(again_events) == len(events) + 1
+        for original, reloaded in zip(events, again_events):
+            assert original.same_values(reloaded), (original, reloaded)
+        result = again_events[-1]
+        assert result.kind == "result"
+        assert same_scalar(result.payload["energy"], result_energy)
+
+    def test_writer_is_a_recorder(self, tmp_path):
+        # Events written through the TraceRecorder interface match the
+        # RecordingRecorder normalisation exactly.
+        path = str(tmp_path / "t.jsonl")
+        header = TraceHeader(scenario=GOLDEN_SCENARIOS[0].to_payload())
+        reference = RecordingRecorder()
+        with JsonlTraceWriter(path, header) as writer:
+            for recorder in (writer, reference):
+                recorder.speed(0.0, 2.0)
+                recorder.segment("exec", 2.0, 0.0, 1.25, 2.5)
+                recorder.checkpoint(1.25, CheckpointKind.CSCP)
+                recorder.fault(0.5, corrupting=True)
+                recorder.rollback(1.25, 0.0)
+                recorder.finish(1.25, completed=False, timely=False)
+        _header, events = read_golden(path)
+        assert len(events) == len(reference.events)
+        for written, normalised in zip(events, reference.events):
+            assert written.same_values(normalised)
+
+    def test_closed_writer_rejects_events(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = JsonlTraceWriter(
+            path, TraceHeader(scenario=GOLDEN_SCENARIOS[0].to_payload())
+        )
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            writer.speed(0.0, 1.0)
+
+
+def _dispatch(recorder, event):
+    """Feed one TraceEvent through the recorder callback interface."""
+    payload = event.payload
+    if event.kind == "segment":
+        recorder.segment(
+            payload["label"], payload["frequency"], payload["start"],
+            payload["end"], payload["cycles"],
+        )
+    elif event.kind == "checkpoint":
+        recorder.checkpoint(
+            payload["time"], CheckpointKind(payload["checkpoint"])
+        )
+    elif event.kind == "fault":
+        recorder.fault(payload["time"], corrupting=payload["corrupting"])
+    elif event.kind == "rollback":
+        recorder.rollback(payload["time"], payload["committed_cycles"])
+    elif event.kind == "speed":
+        recorder.speed(payload["time"], payload["frequency"])
+    elif event.kind == "finish":
+        recorder.finish(
+            payload["time"],
+            completed=payload["completed"],
+            timely=payload["timely"],
+        )
+    else:  # pragma: no cover - strategy bug
+        raise AssertionError(event.kind)
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+
+
+class TestScenarios:
+    def test_every_scenario_payload_round_trips(self):
+        for scen in GOLDEN_SCENARIOS:
+            again = GoldenScenario.from_payload(scen.to_payload())
+            assert again == scen
+
+    def test_payload_survives_json(self):
+        for scen in GOLDEN_SCENARIOS:
+            again = GoldenScenario.from_payload(
+                json.loads(json.dumps(scen.to_payload()))
+            )
+            assert again.task == scen.task
+            assert again.faults == scen.faults
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(ConfigurationError, match="unknown golden scenario"):
+            scenario("nope")
+
+    def test_unknown_scheme_rejected(self):
+        base = GOLDEN_SCENARIOS[0]
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            GoldenScenario(
+                name="x", scheme="B_A_D", task=base.task, faults=base.faults,
+                seed=1,
+            )
+
+    def test_names_are_unique(self):
+        names = scenario_names()
+        assert len(names) == len(set(names)) == len(GOLDEN_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# replay: clean path
+
+
+class TestReplayClean:
+    def test_fresh_recording_replays_identically(self, tmp_path):
+        paths = record_matrix(str(tmp_path))
+        reports = replay_paths([str(tmp_path)])
+        assert len(reports) == len(paths) == len(GOLDEN_SCENARIOS)
+        for report in reports:
+            assert report.ok, report.render()
+            assert report.divergence is None
+            assert report.fast_diffs is None
+            assert "OK" in report.render()
+
+    def test_committed_goldens_replay_identically(self):
+        # The same check CI runs: the committed matrix against the
+        # current tree.
+        from repro.goldens import default_golden_dir
+
+        reports = replay_paths([default_golden_dir()])
+        drifted = [r.scenario_name for r in reports if not r.ok]
+        assert not drifted, "\n\n".join(
+            r.render() for r in reports if not r.ok
+        )
+
+
+# ---------------------------------------------------------------------------
+# replay: drift localisation (the acceptance criterion)
+
+
+class TestDriftLocalisation:
+    def test_flipped_energy_coefficient_is_named(self, tmp_path, monkeypatch):
+        """A perturbed energy coefficient yields a report naming the
+        first diverging event's index, kind and expected/actual values."""
+        path = _record_one(tmp_path)
+        _header, events = read_golden(path)
+        perturbed = EnergyModel(
+            voltage_of=lambda f: ((2.0 * f) ** 0.5) * 1.0000001,
+            n_processors=2,
+        )
+        monkeypatch.setattr(
+            executor_mod, "default_energy_model", lambda: perturbed
+        )
+        report = replay(path)
+        assert not report.ok
+        d = report.divergence
+        # Energy appears in no timeline event, so the inflection point
+        # is the final result record — at a definite index.
+        assert d is not None
+        assert d.index == len(events) - 1
+        assert d.kind == "result"
+        diffs = dict(
+            (field, (expected, actual))
+            for field, expected, actual in d.field_diffs()
+        )
+        assert set(diffs) == {"energy"}
+        expected, actual = diffs["energy"]
+        assert expected != actual
+        text = report.render()
+        assert "DRIFT at event" in text
+        assert "field energy" in text
+
+    def test_timing_perturbation_pinpoints_first_segment(
+        self, tmp_path, monkeypatch
+    ):
+        path = _record_one(tmp_path)
+        original = executor_mod._effective_subdivisions
+        monkeypatch.setattr(
+            executor_mod,
+            "_effective_subdivisions",
+            lambda m, cycles: original(m + 1, cycles),
+        )
+        report = replay(path)
+        assert not report.ok
+        d = report.divergence
+        assert d is not None
+        assert d.reason == "mismatch"
+        assert d.kind == "segment"
+        # The very first execution segment already has the wrong span.
+        assert d.index <= 2
+        fields = {field for field, _e, _a in d.field_diffs()}
+        assert "end" in fields or "cycles" in fields
+        # The report carries context and a rendered timeline excerpt.
+        assert report.context
+        assert report.timeline is not None
+        assert "[unfinished]" in report.timeline
+
+    def test_fast_path_only_drift_is_reported(self, tmp_path, monkeypatch):
+        """Traced loop clean, fused loop perturbed → FAST-PATH DRIFT."""
+        path = _record_one(tmp_path)
+        original = executor_mod._execute_fast
+
+        def perturbed(*args, **kwargs):
+            state, energy, failure = original(*args, **kwargs)
+            return state, energy * 1.0000001, failure
+
+        monkeypatch.setattr(executor_mod, "_execute_fast", perturbed)
+        report = replay(path)
+        assert report.divergence is None  # traced replay matched
+        assert report.fast_diffs
+        assert not report.ok
+        assert [field for field, _e, _a in report.fast_diffs] == ["energy"]
+        assert "FAST-PATH DRIFT" in report.render()
+
+    def test_golden_with_extra_trailing_event(self, tmp_path):
+        # Golden claims one more event than the run produces → the
+        # report points at the first missing event, not a bare fail.
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        sentinel = json.loads(lines[-1])
+        # Duplicate the last checkpoint event before finish/result.
+        duplicated = lines[-4]
+        lines = lines[:-3] + [duplicated] + lines[-3:]
+        sentinel["events"] += 1
+        lines[-1] = json.dumps(sentinel)
+        _rewrite(path, lines)
+        report = replay(path)
+        assert not report.ok
+        assert report.divergence.reason in ("mismatch", "missing-event")
+
+    def test_run_longer_than_golden(self, tmp_path):
+        # Golden cut short (consistently: sentinel fixed up) → the
+        # replay's surplus event is the inflection point.
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        sentinel = json.loads(lines[-1])
+        removed = 4
+        lines = lines[: -(removed + 1)] + [lines[-1]]
+        sentinel["events"] -= removed
+        lines[-1] = json.dumps(sentinel)
+        _rewrite(path, lines)
+        report = replay(path)
+        assert not report.ok
+        assert report.divergence.reason == "extra-event"
+        assert report.divergence.actual is not None
+
+
+# ---------------------------------------------------------------------------
+# malformed files → ConfigurationError (CLI exit 2)
+
+
+class TestMalformedGoldens:
+    def test_truncated_file(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        _rewrite(path, lines[:-1])  # drop the end sentinel
+        with pytest.raises(ConfigurationError, match="truncated"):
+            replay(path)
+
+    def test_truncated_mid_line(self, tmp_path):
+        path = _record_one(tmp_path)
+        text = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(ConfigurationError):
+            replay(path)
+
+    def test_event_count_mismatch(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        del lines[5]  # remove an event, keep the sentinel count
+        _rewrite(path, lines)
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            replay(path)
+
+    def test_invalid_json_line(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        lines[3] = '{"kind": "segment", not json'
+        _rewrite(path, lines)
+        with pytest.raises(ConfigurationError, match="line 4"):
+            replay(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        header = json.loads(lines[0])
+        header["format"] = "repro.golden-trace/99"
+        lines[0] = json.dumps(header)
+        _rewrite(path, lines)
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            replay(path)
+
+    def test_missing_header(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        _rewrite(path, lines[1:])
+        with pytest.raises(ConfigurationError, match="header"):
+            replay(path)
+
+    def test_unknown_event_kind(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        lines[3] = json.dumps({"kind": "quantum-leap", "time": 1.0})
+        _rewrite(path, lines)
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            replay(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="empty"):
+            replay(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            replay(str(tmp_path / "nope.jsonl"))
+
+    def test_non_object_line(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        lines[3] = "[1, 2, 3]"
+        _rewrite(path, lines)
+        with pytest.raises(ConfigurationError, match="expected a JSON object"):
+            replay(path)
+
+    def test_result_mid_stream(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        result_line = lines[-2]
+        lines.insert(3, result_line)
+        sentinel = json.loads(lines[-1])
+        sentinel["events"] += 1
+        lines[-1] = json.dumps(sentinel)
+        _rewrite(path, lines)
+        with pytest.raises(ConfigurationError, match="result record"):
+            replay(path)
+
+    def test_malformed_scenario_payload(self, tmp_path):
+        path = _record_one(tmp_path)
+        lines = _lines(path)
+        header = json.loads(lines[0])
+        del header["scenario"]["task"]
+        lines[0] = json.dumps(header)
+        _rewrite(path, lines)
+        with pytest.raises(ConfigurationError, match="malformed golden scenario"):
+            replay(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs
+
+
+class TestCli:
+    def test_record_and_replay_round_trip(self, tmp_path, capsys):
+        directory = str(tmp_path / "goldens")
+        assert main(
+            ["record-golden", "--dir", directory,
+             "--scenario", "poisson-static-f1",
+             "--scenario", "adaptive-scp-poisson"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert main(["replay", directory]) == 0
+        out = capsys.readouterr().out
+        assert "replay identically" in out
+
+    def test_replay_report_file(self, tmp_path):
+        directory = str(tmp_path / "goldens")
+        main(["record-golden", "--dir", directory,
+              "--scenario", "kft-static-f2"])
+        report_path = tmp_path / "drift.txt"
+        assert main(
+            ["replay", directory, "--report", str(report_path)]
+        ) == 0
+        assert "OK" in report_path.read_text()
+
+    def test_replay_detects_drift_exit_1(self, tmp_path, monkeypatch, capsys):
+        directory = str(tmp_path / "goldens")
+        main(["record-golden", "--dir", directory,
+              "--scenario", "adaptive-scp-poisson"])
+        original = executor_mod._effective_subdivisions
+        monkeypatch.setattr(
+            executor_mod,
+            "_effective_subdivisions",
+            lambda m, cycles: original(m + 1, cycles),
+        )
+        report_path = tmp_path / "drift.txt"
+        assert main(
+            ["replay", directory, "--report", str(report_path)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "DRIFT at event" in captured.out
+        assert "drifted" in captured.err
+        assert "DRIFT at event" in report_path.read_text()
+
+    def test_replay_corrupt_file_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        assert main(["replay", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_empty_directory_exit_2(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path)]) == 2
+        assert "no golden traces" in capsys.readouterr().err
+
+    def test_list_scenarios(self, capsys):
+        assert main(["record-golden", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert list(scenario_names()) == out

@@ -255,3 +255,73 @@ class TestMergeAndValidation:
             seed=0, block_size=256, backend="serial", git=None,
             wall_seconds=0.0, compute_seconds=0.0,
         )
+
+
+class TestWallSecondsAccounting:
+    """Regression: wall_seconds used to sum a *set* of floats, so two
+    batches that happened to take exactly the same wall time collapsed
+    into one."""
+
+    def _record(self, key, *, wall, compute=0.5, batch=None):
+        estimate = CellEstimate(
+            p_timely=ProportionEstimate(1.0, 0.9, 1.0, trials=4),
+            energy_timely=MeanEstimate(1.0, 0.5, 1.5, 4),
+            energy_all=MeanEstimate(1.0, 0.5, 1.5, 4),
+            mean_finish_time_timely=1.0,
+            mean_detected_faults=0.0,
+            mean_checkpoints=1.0,
+            mean_sub_checkpoints=0.0,
+            reps=4,
+        )
+        return CellRecord(
+            key=key, axes={"k": key}, estimate=estimate, spec_hash="h",
+            seed=0, block_size=256, backend="serial", git=None,
+            wall_seconds=wall, compute_seconds=compute, batch=batch,
+        )
+
+    def test_equal_wall_clocks_in_distinct_batches_both_count(self):
+        rs = ResultSet("h", [
+            self._record("a", wall=2.0, batch="batch-one"),
+            self._record("b", wall=2.0, batch="batch-two"),
+        ])
+        assert rs.wall_seconds == pytest.approx(4.0)
+
+    def test_records_of_one_batch_count_once(self):
+        # All cells of a Study.run() batch share one wall clock; it
+        # must not be multiplied by the number of cells.
+        rs = ResultSet("h", [
+            self._record("a", wall=2.0, batch="batch-one"),
+            self._record("b", wall=2.0, batch="batch-one"),
+            self._record("c", wall=2.0, batch="batch-one"),
+        ])
+        assert rs.wall_seconds == pytest.approx(2.0)
+
+    def test_legacy_records_fall_back_to_value_identity(self):
+        # Files written before batch ids existed (batch=None): distinct
+        # (wall, compute) pairs are separate batches, equal pairs are
+        # conservatively deduped — the old behaviour, minus the set bug.
+        rs = ResultSet("h", [
+            self._record("a", wall=2.0, compute=0.1),
+            self._record("b", wall=2.0, compute=0.1),
+            self._record("c", wall=2.0, compute=0.9),
+        ])
+        assert rs.wall_seconds == pytest.approx(4.0)
+
+    def test_batch_survives_json_round_trip(self):
+        rs = ResultSet("h", [
+            self._record("a", wall=2.0, batch="batch-one"),
+            self._record("b", wall=2.0, batch="batch-two"),
+        ])
+        again = ResultSet.from_json(rs.to_json())
+        assert [r.batch for r in again.records] == ["batch-one", "batch-two"]
+        assert again.wall_seconds == pytest.approx(4.0)
+
+    def test_study_run_stamps_one_batch_per_call(self):
+        study = Study(
+            StudySpec(kind="row", table="1a", u=0.76, lam=1.4e-3, reps=8,
+                      seed=7, fast_static=True)
+        )
+        first = study.run()
+        batches = {record.batch for record in first.records}
+        assert len(batches) == 1
+        assert None not in batches

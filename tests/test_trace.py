@@ -103,3 +103,57 @@ class TestRender:
             recorder=trace,
         )
         assert "failed" in trace.render()
+
+
+class TestRenderUnfinished:
+    def test_unfinished_trace_renders_without_crashing(self):
+        # A trace cut short before finish() (aborted run, replay halted
+        # at a divergence) must still render, flagged as unfinished.
+        trace = Trace()
+        trace.speed(0.0, 1.0)
+        trace.segment("exec", 1.0, 0.0, 50.0, 50.0)
+        trace.checkpoint(50.0, CheckpointKind.CSCP)
+        text = trace.render(width=40)
+        assert text.startswith("[unfinished] t=?")
+        assert "=" in text
+
+    def test_unfinished_header_keeps_totals(self):
+        trace = Trace()
+        trace.segment("exec", 1.0, 0.0, 10.0, 10.0)
+        trace.fault(5.0, corrupting=True)
+        trace.rollback(10.0, 0.0)
+        text = trace.render(width=20)
+        assert "faults=1" in text
+        assert "rollbacks=1" in text
+
+
+class TestFaultGlyphPriority:
+    def _trace(self):
+        trace = Trace()
+        trace.segment("exec", 1.0, 0.0, 10.0, 10.0)
+        trace.segment("rollback", 1.0, 10.0, 20.0, 0.0)
+        trace.finish(20.0, completed=True, timely=True)
+        return trace
+
+    def test_fault_marker_outranks_every_glyph(self):
+        trace = self._trace()
+        trace.fault(15.0, corrupting=True)  # lands on the rollback span
+        timeline = trace.render(width=20).splitlines()[1]
+        assert "!" in timeline
+        assert timeline.count("!") == 1
+
+    def test_non_corrupting_faults_leave_timeline_alone(self):
+        trace = self._trace()
+        trace.fault(15.0, corrupting=False)
+        timeline = trace.render(width=20).splitlines()[1]
+        assert "!" not in timeline
+
+    def test_coincident_faults_are_stable(self):
+        # Two corrupting faults in one bucket: the second must not
+        # disturb the first's marker (equal priority does not rewrite).
+        trace = self._trace()
+        trace.fault(15.0, corrupting=True)
+        once = trace.render(width=20)
+        trace.fault(15.2, corrupting=True)
+        twice = trace.render(width=20).splitlines()[1]
+        assert once.splitlines()[1] == twice
