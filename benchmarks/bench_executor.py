@@ -25,22 +25,40 @@ benchmark is the performance contract that overhaul created:
   not flake on hardware difference), or below half the same-run
   runresult path.
 
+PR 7 added the **fast kernel** (``repro.sim.kernel``): a vectorised,
+block-deterministic peer of the exact engine.  The benchmark now
+measures both kernels — per-scheme reps/s and the whole-grid
+aggregate — and gates the contract both ways: the exact numbers keep
+their baseline gate (the kernel must cost the exact path nothing), and
+the fast kernel must clear a grid-throughput floor (full runs) or a
+speedup-over-exact floor (``--min-fast-speedup``, the machine-relative
+CI form).
+
 Run standalone (not under pytest)::
 
     python benchmarks/bench_executor.py              # full sizes
     python benchmarks/bench_executor.py --quick      # CI smoke run
     python benchmarks/bench_executor.py --baseline BENCH_executor.json
+    python benchmarks/bench_executor.py --fresh-process   # cold starts
 
 Results are written to ``BENCH_executor.json`` (override with
-``--json``).  Exit status is non-zero when the agreement check or the
-baseline gate fails.
+``--json``); the fast-kernel section is additionally written to a
+``*_fast.json`` sibling so CI can upload the two kernel variants as
+separate artifacts.  ``--fresh-process`` times each scheme once per
+*subprocess* — a cold interpreter with empty caches — so per-rep
+setup cost (the ~13 µs/rep ``SeedSequence`` construction the fast
+kernel's batched spawn removes) stays visible instead of being
+amortised away by warm in-process best-of rounds.  Exit status is
+non-zero when the agreement check or any gate fails.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import math
+import subprocess
 import sys
 import time
 from typing import Dict, List, Optional
@@ -53,6 +71,10 @@ from repro.sim.parallel import BatchRunner
 TABLE = "1a"
 ROW = (0.82, 0.0016)  # the grid's hardest (U, λ) row
 SEED = 2006
+
+#: Acceptance floor for the fast kernel's serial whole-grid throughput
+#: (full runs only; quick CI runs use the machine-relative speedup gate).
+FAST_GRID_FLOOR = 50_000.0
 
 
 def _grid_jobs(reps: int):
@@ -113,6 +135,93 @@ def bench_schemes(reps: int, rounds: int) -> Dict[str, Dict[str, float]]:
     return report
 
 
+def bench_kernels(reps: int, rounds: int) -> Dict[str, object]:
+    """Fast-kernel reps/s per scheme + whole-grid aggregate, both kernels.
+
+    Warm methodology: every job runs one full block before its timed
+    rounds (the fast kernel memoises replan tables per process — a
+    one-time cost that would otherwise dominate the first round), then
+    best-of-``rounds``.  The cold half of the story is
+    ``--fresh-process``.
+    """
+    schemes, jobs = _grid_jobs(reps)
+    fast_jobs = [dataclasses.replace(job, kernel="fast") for job in jobs]
+    per_scheme: Dict[str, Dict[str, float]] = {}
+    for scheme, job in zip(schemes, fast_jobs):
+        job.run_block(0, 0, reps)  # warm: replan tables, caches
+        rate = _best_rate(lambda: job.run_block(0, 0, reps), reps, rounds)
+        per_scheme[scheme] = {"fast_reps_per_sec": rate}
+        print(f"{scheme:>8}: fast {rate:>10,.0f} reps/s")
+
+    def run_grid(grid_jobs):
+        for job in grid_jobs:
+            job.run_block(0, 0, reps)
+
+    total = reps * len(jobs)
+    run_grid(jobs)  # warm the exact path too (standalone invocations)
+    exact_grid = _best_rate(lambda: run_grid(jobs), total, rounds)
+    fast_grid = _best_rate(lambda: run_grid(fast_jobs), total, rounds)
+    speedup = fast_grid / exact_grid if exact_grid else math.inf
+    print(
+        f"    grid: exact {exact_grid:>10,.0f} reps/s | "
+        f"fast {fast_grid:>10,.0f} reps/s (x{speedup:.1f})"
+    )
+    return {
+        "schemes": per_scheme,
+        "grid_reps_per_sec": fast_grid,
+        "exact_grid_reps_per_sec": exact_grid,
+        "speedup_over_exact": speedup,
+    }
+
+
+def _fresh_process_rate(scheme: str, reps: int, kernel: str) -> float:
+    """Time one block in a cold subprocess (caches empty, nothing warm).
+
+    This is the number a user's first block actually sees: per-rep
+    ``SeedSequence`` construction on the exact path, table building on
+    the fast path — costs the warm in-process rounds amortise away.
+    """
+    u, lam = ROW
+    code = (
+        f"import sys, time, dataclasses\n"
+        f"sys.path[:0] = {sys.path!r}\n"
+        f"from repro.experiments.config import table_spec\n"
+        f"job = table_spec({TABLE!r}).cell_job({u!r}, {lam!r}, {scheme!r}, "
+        f"reps={reps!r}, seed={SEED!r})\n"
+        f"job = dataclasses.replace(job, kernel={kernel!r})\n"
+        f"started = time.perf_counter()\n"
+        f"job.run_block(0, 0, {reps!r})\n"
+        f"print({reps!r} / (time.perf_counter() - started))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    if out.returncode != 0:
+        raise RuntimeError(
+            f"fresh-process measurement failed for {scheme}/{kernel}:\n"
+            f"{out.stderr}"
+        )
+    return float(out.stdout.strip())
+
+
+def bench_fresh_process(reps: int) -> Dict[str, Dict[str, float]]:
+    """Cold-start reps/s per scheme and kernel, one subprocess each."""
+    schemes, _jobs = _grid_jobs(reps)
+    report: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        exact = _fresh_process_rate(scheme, reps, "exact")
+        fast = _fresh_process_rate(scheme, reps, "fast")
+        report[scheme] = {
+            "exact_reps_per_sec": exact,
+            "fast_reps_per_sec": fast,
+        }
+        print(
+            f"{scheme:>8} (cold): exact {exact:>10,.0f} reps/s | "
+            f"fast {fast:>10,.0f} reps/s"
+        )
+    return report
+
+
 def bench_backends(
     reps: int, include_distributed: bool
 ) -> Dict[str, Dict[str, float]]:
@@ -153,7 +262,13 @@ def bench_backends(
     return report
 
 
-def check(report: Dict, baseline: Optional[Dict]) -> List[str]:
+def check(
+    report: Dict,
+    baseline: Optional[Dict],
+    *,
+    min_fast_speedup: Optional[float] = None,
+    fast_grid_floor: Optional[float] = None,
+) -> List[str]:
     """Guarded properties; returns human-readable failures.
 
     The baseline gate is **machine-relative**: the committed numbers
@@ -167,6 +282,23 @@ def check(report: Dict, baseline: Optional[Dict]) -> List[str]:
     regress together.
     """
     failures: List[str] = []
+    fast = report.get("fast")
+    if fast is not None:
+        speedup = fast["speedup_over_exact"]
+        if min_fast_speedup is not None and speedup < min_fast_speedup:
+            failures.append(
+                f"fast kernel grid speedup over exact is x{speedup:.2f}, "
+                f"below the x{min_fast_speedup:g} gate"
+            )
+        if (
+            fast_grid_floor is not None
+            and fast["grid_reps_per_sec"] < fast_grid_floor
+        ):
+            failures.append(
+                f"fast kernel grid throughput "
+                f"{fast['grid_reps_per_sec']:,.0f} reps/s is below the "
+                f"{fast_grid_floor:,.0f} reps/s acceptance floor"
+            )
     for name, entry in report["backends"].items():
         if not entry["agrees_with_serial"]:
             failures.append(
@@ -226,9 +358,28 @@ def main(argv=None) -> int:
         "--rounds", type=int, default=None,
         help="timing rounds per measurement (best-of; default 3, quick 2)",
     )
+    parser.add_argument(
+        "--min-fast-speedup", type=float, default=None, metavar="X",
+        help=(
+            "fail unless the fast kernel's grid throughput is at least "
+            "X times the exact kernel's in the same run (machine-"
+            "relative; the gate CI uses in quick mode)"
+        ),
+    )
+    parser.add_argument(
+        "--fresh-process", action="store_true",
+        help=(
+            "also time each scheme once per cold subprocess, so per-rep "
+            "setup cost (seed construction, table building) is visible "
+            "instead of amortised by warm rounds"
+        ),
+    )
     args = parser.parse_args(argv)
 
     reps = 256 if args.quick else 1024
+    # The fast kernel amortises per-block setup over the block; quick
+    # mode still needs blocks big enough to measure steady state.
+    fast_reps = 2048 if args.quick else 4096
     rounds = args.rounds or (2 if args.quick else 3)
 
     print(f"reference grid: table {TABLE} row {ROW}, {reps} reps per cell")
@@ -236,9 +387,13 @@ def main(argv=None) -> int:
         "table": TABLE,
         "row": list(ROW),
         "reps": reps,
+        "fast_reps": fast_reps,
         "schemes": bench_schemes(reps, rounds),
+        "fast": bench_kernels(fast_reps, rounds),
         "backends": bench_backends(reps, include_distributed=not args.quick),
     }
+    if args.fresh_process:
+        report["fresh_process"] = bench_fresh_process(reps)
 
     baseline = None
     if args.baseline:
@@ -247,12 +402,35 @@ def main(argv=None) -> int:
                 baseline = json.load(handle)
         except FileNotFoundError:
             print(f"note: no baseline at {args.baseline}; gate skipped")
-    failures = check(report, baseline)
+    failures = check(
+        report,
+        baseline,
+        min_fast_speedup=args.min_fast_speedup,
+        # The absolute floor is an acceptance number for full runs on a
+        # development machine; quick CI runs gate on relative speedup.
+        fast_grid_floor=None if args.quick else FAST_GRID_FLOOR,
+    )
     report["failures"] = failures
 
     with open(args.json, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
-    print(f"report: {args.json}")
+    fast_json = (
+        args.json[:-5] if args.json.endswith(".json") else args.json
+    ) + "_fast.json"
+    with open(fast_json, "w") as handle:
+        json.dump(
+            {
+                "table": TABLE,
+                "row": list(ROW),
+                "reps": fast_reps,
+                "kernel": "fast",
+                "fast": report["fast"],
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+    print(f"report: {args.json} (+ {fast_json})")
 
     if failures:
         for failure in failures:

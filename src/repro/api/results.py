@@ -120,6 +120,11 @@ class CellRecord:
     #: of one batch share it.  ``None`` only for records loaded from
     #: files written before the field existed.
     batch: Optional[str] = None
+    #: Executor kernel that produced the estimate: ``"exact"`` (the
+    #: bit-identical per-rep engine) or ``"fast"`` (the vectorised
+    #: block-deterministic engine).  Files written before the field
+    #: existed load as ``"exact"`` — the only kernel that existed then.
+    kernel: str = "exact"
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -135,6 +140,7 @@ class CellRecord:
                 "wall_seconds": self.wall_seconds,
                 "compute_seconds": self.compute_seconds,
                 "batch": self.batch,
+                "kernel": self.kernel,
             },
         }
 
@@ -154,6 +160,7 @@ class CellRecord:
                 wall_seconds=provenance["wall_seconds"],
                 compute_seconds=provenance["compute_seconds"],
                 batch=provenance.get("batch"),
+                kernel=provenance.get("kernel", "exact"),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigurationError(f"malformed cell record: {exc!r}")
@@ -233,6 +240,7 @@ class ResultSet:
         #: TableSpec objects, which have no declarative form).
         self.spec = spec
         self._records: Dict[str, CellRecord] = {}
+        kernel: Optional[str] = None
         for record in records:
             if record.spec_hash != spec_hash:
                 raise ConfigurationError(
@@ -241,6 +249,16 @@ class ResultSet:
                 )
             if record.key in self._records:
                 raise ConfigurationError(f"duplicate cell key {record.key!r}")
+            if kernel is None:
+                kernel = record.kernel
+            elif record.kernel != kernel:
+                raise ConfigurationError(
+                    f"record {record.key!r} was computed by the "
+                    f"{record.kernel!r} kernel but the set holds "
+                    f"{kernel!r} records; exact and fast estimates have "
+                    f"different determinism contracts and cannot share "
+                    f"a result set"
+                )
             self._records[record.key] = record
 
     # -- access --------------------------------------------------------
@@ -260,6 +278,17 @@ class ResultSet:
     @property
     def records(self) -> List[CellRecord]:
         return list(self._records.values())
+
+    @property
+    def kernel(self) -> Optional[str]:
+        """The kernel every record was computed by; None when empty.
+
+        Construction enforces homogeneity, so the first record speaks
+        for the set.
+        """
+        for record in self._records.values():
+            return record.kernel
+        return None
 
     def record(self, key: str) -> CellRecord:
         if key not in self._records:
@@ -322,6 +351,13 @@ class ResultSet:
             raise ConfigurationError(
                 f"cannot merge overlapping result sets; "
                 f"{len(overlap)} shared cell(s), first: {overlap[0]!r}"
+            )
+        mine, theirs = self.kernel, other.kernel
+        if mine is not None and theirs is not None and mine != theirs:
+            raise ConfigurationError(
+                f"cannot merge a {mine!r}-kernel result set with a "
+                f"{theirs!r}-kernel one; rerun one side so both partials "
+                f"use the same kernel"
             )
         return ResultSet(
             self.spec_hash,

@@ -52,7 +52,7 @@ class Session:
         leaves it running (whoever built it owns it).  This is how the
         legacy entrypoints wrap their ``runner=`` argument.
     backend / workers / chunk_size / cluster_workers / url /
-    adaptive_batching:
+    adaptive_batching / kernel:
         Shorthand forwarded into a fresh ``ExecutionSettings`` —
         ``Session(backend="process", workers=8)`` reads like the CLI.
 
@@ -72,6 +72,7 @@ class Session:
         cluster_workers: int = 0,
         url: Optional[str] = None,
         adaptive_batching: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
         shorthand = (
             backend is not None
@@ -80,6 +81,7 @@ class Session:
             or cluster_workers
             or url is not None
             or not adaptive_batching
+            or kernel is not None
         )
         if runner is not None:
             if settings is not None or shorthand:
@@ -103,6 +105,7 @@ class Session:
                 cluster_workers=cluster_workers,
                 url=url,
                 adaptive_batching=adaptive_batching,
+                kernel=kernel or "exact",
             )
             self._runner = self.settings.make_runner() or BatchRunner.serial()
             self._owns_runner = True
@@ -125,6 +128,18 @@ class Session:
     def block_size(self) -> int:
         """The determinism-contract block size cells are cut into."""
         return self._runner.block_size
+
+    @property
+    def kernel(self) -> str:
+        """The session's default executor kernel (``exact``/``fast``).
+
+        Sessions that adopt a foreign runner carry no settings and
+        default to ``exact`` — the kernel is a job property, not a
+        runner one, so adopted runners lose nothing.
+        """
+        if self.settings is None:
+            return "exact"
+        return self.settings.kernel
 
     def describe(self) -> str:
         """Human-readable execution provenance, e.g. ``process[8]/256``."""

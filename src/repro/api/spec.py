@@ -140,6 +140,14 @@ class StudySpec:
     faults_during_overhead:
         Inject faults during checkpoint overhead (``table``/``row``
         kinds; incompatible with ``fast_static``).
+    kernel:
+        Executor engine for the study's executor cells: ``"exact"``
+        (default, bit-identical, golden-pinned) or ``"fast"`` (the
+        vectorised kernel — statistically equivalent, block-
+        deterministic).  ``"exact"`` is elided from the canonical
+        payload, so pre-existing spec hashes are unchanged; ``"fast"``
+        changes :attr:`spec_hash`, which is what keeps exact and fast
+        partials from silently merging.
     """
 
     kind: str
@@ -154,6 +162,7 @@ class StudySpec:
     factors: Tuple[float, ...] = ()
     fast_static: bool = False
     faults_during_overhead: bool = False
+    kernel: str = "exact"
 
     def __post_init__(self) -> None:
         if self.kind not in STUDY_KINDS:
@@ -206,6 +215,10 @@ class StudySpec:
                 raise ConfigurationError(
                     f"{name} must be a boolean, got {getattr(self, name)!r}"
                 )
+        if self.kernel not in ("exact", "fast"):
+            raise ConfigurationError(
+                f"kernel must be 'exact' or 'fast', got {self.kernel!r}"
+            )
         if self.reps is not None and self.reps <= 0:
             raise ConfigurationError(f"reps must be > 0, got {self.reps}")
         allowed = _KIND_AXES[self.kind]
@@ -349,6 +362,9 @@ class StudySpec:
             if value is None or value == ():
                 continue
             if field.name in ("fast_static", "faults_during_overhead") and not value:
+                continue
+            if field.name == "kernel" and value == "exact":
+                # Elided so every pre-kernel spec hash is unchanged.
                 continue
             payload[field.name] = list(value) if isinstance(value, tuple) else value
         return payload

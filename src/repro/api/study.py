@@ -25,6 +25,21 @@ from repro.experiments.config import TableSpec
 __all__ = ["Study"]
 
 
+def _job_with_kernel(job: object, kernel: str) -> object:
+    """Stamp the effective kernel onto a cell job, where it applies.
+
+    Only :class:`~repro.sim.backends.CellJob` carries a ``kernel``
+    field; static fast-path jobs (``StaticCellJob``) are already a
+    closed-form vectorised sampler with one deterministic stream, so
+    the mode is a no-op for them and they ship unchanged.
+    """
+    if kernel == "exact" or not hasattr(job, "kernel"):
+        return job
+    import dataclasses
+
+    return dataclasses.replace(job, kernel=kernel)
+
+
 class Study:
     """A runnable study: a :class:`StudySpec` plus its resolved table.
 
@@ -127,6 +142,18 @@ class Study:
                 return self._run_missing(ephemeral, plans, todo, resume)
         return self._run_missing(session, plans, todo, resume)
 
+    def _effective_kernel(self, session: Session) -> str:
+        """The kernel this run uses: ``fast`` if spec *or* session asks.
+
+        The spec is the study's own declaration (hashed into its
+        provenance); the session default lets a caller opt a whole
+        batch of exact-spec studies into the fast kernel without
+        touching their spec hashes.  Either one saying ``fast`` wins.
+        """
+        if self.spec.kernel == "fast" or session.kernel == "fast":
+            return "fast"
+        return "exact"
+
     def _run_missing(
         self,
         session: Session,
@@ -134,10 +161,18 @@ class Study:
         todo: List[CellPlan],
         resume: Optional[ResultSet],
     ) -> ResultSet:
+        kernel = self._effective_kernel(session)
+        if resume is not None and resume.kernel not in (None, kernel):
+            raise ConfigurationError(
+                f"cannot resume a {resume.kernel!r}-kernel result set "
+                f"with the {kernel!r} kernel; exact and fast estimates "
+                f"must not mix in one set — rerun with the matching "
+                f"kernel or start a fresh result file"
+            )
         fresh: dict = {}
         if todo:
             estimates, wall, cpu = timed_run_cells(
-                session, [plan.job for plan in todo]
+                session, [_job_with_kernel(plan.job, kernel) for plan in todo]
             )
             # One opaque id per run() batch: cells computed together
             # share it, so ResultSet.wall_seconds can count each batch
@@ -152,6 +187,7 @@ class Study:
                 wall_seconds=wall,
                 compute_seconds=cpu,
                 batch=uuid.uuid4().hex[:16],
+                kernel=kernel,
             )
             for plan, estimate in zip(todo, estimates):
                 fresh[plan.key] = CellRecord(

@@ -192,15 +192,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_replay.add_argument(
         "paths",
-        nargs="+",
+        nargs="*",
         metavar="PATH",
-        help="golden trace files (or directories of *.jsonl goldens)",
+        help=(
+            "golden trace files (or directories of *.jsonl goldens); "
+            "defaults to the checkout's tests/goldens/ with "
+            "--update-goldens"
+        ),
     )
     p_replay.add_argument(
         "--report",
         default=None,
         metavar="PATH",
         help="also write the full drift report to this file",
+    )
+    p_replay.add_argument(
+        "--update-goldens",
+        action="store_true",
+        help=(
+            "re-record the golden matrix in place and print a per-file, "
+            "event-level diff of what changed (for review before "
+            "committing; see README 'Regenerating goldens')"
+        ),
     )
 
     p_worker = sub.add_parser(
@@ -347,6 +360,19 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
             "backends (worker batches sized from an EWMA of observed "
             "block latency).  Dispatch-only: results are bit-identical "
             "with batching on or off."
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["exact", "fast"],
+        default=None,
+        help=(
+            "executor kernel: 'exact' (default) is the per-rep engine, "
+            "bit-identical run to run; 'fast' is the vectorised "
+            "block-deterministic engine — statistically equivalent, "
+            "roughly an order of magnitude faster, reproducible for a "
+            "fixed seed and --chunk-size but not bit-comparable to "
+            "exact results"
         ),
     )
 
@@ -687,9 +713,49 @@ def _cmd_record_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update_goldens(args: argparse.Namespace) -> int:
+    """``repro replay --update-goldens``: re-record + reviewable diff."""
+    import os
+
+    from repro.goldens import default_golden_dir, update_goldens
+
+    directory = args.paths[0] if args.paths else default_golden_dir()
+    if len(args.paths) > 1 or (args.paths and not os.path.isdir(directory)):
+        print(
+            "error: --update-goldens takes at most one golden *directory*",
+            file=sys.stderr,
+        )
+        return 2
+    updates = update_goldens(directory)
+    blocks = [update.render() for update in updates]
+    text = "\n".join(blocks) + "\n"
+    print(text, end="")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    changed = [u for u in updates if not u.identical]
+    if changed:
+        print(
+            f"\n{len(changed)} of {len(updates)} golden(s) rewritten with "
+            f"changes — review the diffs above (and `git diff`) before "
+            f"committing"
+        )
+    else:
+        print(f"\nall {len(updates)} golden(s) re-recorded bit-identically")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.goldens import replay_paths
 
+    if args.update_goldens:
+        return _cmd_update_goldens(args)
+    if not args.paths:
+        print(
+            "error: replay needs golden paths (or --update-goldens)",
+            file=sys.stderr,
+        )
+        return 2
     reports = replay_paths(args.paths)
     blocks = [report.render() for report in reports]
     text = "\n\n".join(blocks) + "\n"

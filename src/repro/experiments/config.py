@@ -81,6 +81,11 @@ class ExecutionSettings:
         ``repro worker``).
     url:
         Coordinator bind address for the distributed backend.
+    kernel:
+        Executor engine: ``"exact"`` (default) is the bit-identical
+        per-rep path pinned by golden replay; ``"fast"`` opts into the
+        vectorised kernel (:mod:`repro.sim.kernel`) — statistically
+        equivalent, deterministic per block rather than per rep.
     """
 
     backend: Optional[str] = None
@@ -92,10 +97,17 @@ class ExecutionSettings:
     #: (dispatch-only; results are bit-identical either way).  Ignored
     #: for serial execution, where there is no dispatch to batch.
     adaptive_batching: bool = True
+    kernel: str = "exact"
 
     def __post_init__(self) -> None:
         from repro.sim.backends import BACKEND_NAMES
+        from repro.sim.kernel import KERNEL_NAMES
 
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; valid names: "
+                f"{', '.join(KERNEL_NAMES)}"
+            )
         if self.backend is not None and self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; valid names: "
@@ -148,6 +160,7 @@ class ExecutionSettings:
             cluster_workers=getattr(args, "cluster_workers", 0),
             url=getattr(args, "url", None),
             adaptive_batching=not getattr(args, "no_adaptive_batch", False),
+            kernel=getattr(args, "kernel", None) or "exact",
         )
 
     @property

@@ -17,6 +17,7 @@ from repro.goldens.replay import (
     Divergence,
     DivergenceRecorder,
     DriftReport,
+    GoldenUpdate,
     default_golden_dir,
     record_golden,
     record_matrix,
@@ -24,6 +25,7 @@ from repro.goldens.replay import (
     replay_paths,
     resolve_golden_paths,
     run_result_payload,
+    update_goldens,
 )
 from repro.goldens.scenarios import (
     GOLDEN_SCENARIOS,
@@ -45,6 +47,7 @@ __all__ = [
     "DivergenceRecorder",
     "DriftReport",
     "GoldenScenario",
+    "GoldenUpdate",
     "JsonlTraceWriter",
     "RecordingRecorder",
     "TraceEvent",
@@ -60,4 +63,5 @@ __all__ = [
     "run_result_payload",
     "scenario",
     "scenario_names",
+    "update_goldens",
 ]

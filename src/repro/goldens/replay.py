@@ -42,6 +42,7 @@ __all__ = [
     "Divergence",
     "DivergenceRecorder",
     "DriftReport",
+    "GoldenUpdate",
     "default_golden_dir",
     "record_golden",
     "record_matrix",
@@ -49,6 +50,7 @@ __all__ = [
     "replay_paths",
     "resolve_golden_paths",
     "run_result_payload",
+    "update_goldens",
 ]
 
 
@@ -450,3 +452,147 @@ def resolve_golden_paths(paths: Iterable[str]) -> List[str]:
 def replay_paths(paths: Iterable[str]) -> List[DriftReport]:
     """Replay files and/or directories of goldens, in order."""
     return [replay(path) for path in resolve_golden_paths(paths)]
+
+
+# ---------------------------------------------------------------------------
+# regeneration
+
+
+#: Per-file cap on rendered changed events (the full diff is in git).
+_MAX_DIFF_EVENTS = 5
+
+
+@dataclass(frozen=True)
+class GoldenUpdate:
+    """What re-recording one golden file changed, event by event.
+
+    ``changed`` holds ``(index, kind, field_diffs)`` for the first
+    :data:`_MAX_DIFF_EVENTS` events whose payload differs (field diffs
+    as ``(field, old, new)``); ``changed_total`` counts all of them so
+    the render can say how many were elided.
+    """
+
+    scenario_name: str
+    path: str
+    created: bool  #: no prior golden existed at the path
+    events_before: int
+    events_after: int
+    changed: Tuple[Tuple[int, str, Tuple[Tuple[str, object, object], ...]], ...]
+    changed_total: int
+
+    @property
+    def identical(self) -> bool:
+        return not self.created and self.changed_total == 0
+
+    def render(self) -> str:
+        if self.created:
+            return (
+                f"new     {self.scenario_name}: recorded "
+                f"{self.events_after} events (no prior golden)"
+            )
+        if self.identical:
+            return (
+                f"same    {self.scenario_name}: {self.events_after} events, "
+                f"bit-identical to the committed golden"
+            )
+        lines = [
+            f"CHANGED {self.scenario_name}: {self.changed_total} of "
+            f"{max(self.events_before, self.events_after)} events differ "
+            f"({self.events_before} -> {self.events_after} events)"
+        ]
+        for index, kind, diffs in self.changed:
+            if not diffs:
+                lines.append(f"  event {index} ({kind}): present on one side only")
+                continue
+            for field, old, new in diffs:
+                lines.append(
+                    f"  event {index} ({kind}) {field}: {old!r} -> {new!r}"
+                )
+        if self.changed_total > len(self.changed):
+            lines.append(
+                f"  ... {self.changed_total - len(self.changed)} more "
+                f"changed event(s); review the full diff with git"
+            )
+        return "\n".join(lines)
+
+
+def _diff_events(
+    old: Sequence[TraceEvent], new: Sequence[TraceEvent]
+) -> Tuple[
+    Tuple[Tuple[int, str, Tuple[Tuple[str, object, object], ...]], ...], int
+]:
+    """Positional event diff: (first few changed events, total changed)."""
+    shown: List[Tuple[int, str, Tuple[Tuple[str, object, object], ...]]] = []
+    total = 0
+    for index in range(max(len(old), len(new))):
+        if index >= len(old):
+            event, diffs = new[index], ()
+        elif index >= len(new):
+            event, diffs = old[index], ()
+        else:
+            if old[index].same_values(new[index]):
+                continue
+            event = new[index]
+            if old[index].kind == new[index].kind:
+                diffs = tuple(payload_diff(old[index].payload, new[index].payload))
+            else:
+                diffs = (("kind", old[index].kind, new[index].kind),)
+        total += 1
+        if len(shown) < _MAX_DIFF_EVENTS:
+            shown.append((index, event.kind, diffs))
+    return tuple(shown), total
+
+
+def update_goldens(
+    directory: Optional[str] = None, names: Optional[Sequence[str]] = None
+) -> List[GoldenUpdate]:
+    """Re-record the golden matrix in place; report what changed.
+
+    The reviewable half of an *intentional* contract change: where
+    :func:`replay` treats any divergence as drift, this regenerates
+    each committed golden (``directory`` defaults to the checkout's
+    ``tests/goldens/``) and returns a per-file, event-level
+    :class:`GoldenUpdate` — so the diff a maintainer commits is the
+    diff they reviewed.  Old events are read *before* the re-record
+    overwrites the file.
+    """
+    target = directory if directory is not None else default_golden_dir()
+    chosen = (
+        list(GOLDEN_SCENARIOS)
+        if names is None
+        else [scenario(name) for name in names]
+    )
+    updates: List[GoldenUpdate] = []
+    for scen in chosen:
+        path = os.path.join(target, f"{scen.name}.jsonl")
+        old_events: Optional[List[TraceEvent]] = None
+        if os.path.exists(path):
+            _old_header, old_events = read_golden(path)
+        record_golden(scen, target)
+        _new_header, new_events = read_golden(path)
+        if old_events is None:
+            updates.append(
+                GoldenUpdate(
+                    scenario_name=scen.name,
+                    path=path,
+                    created=True,
+                    events_before=0,
+                    events_after=len(new_events),
+                    changed=(),
+                    changed_total=0,
+                )
+            )
+            continue
+        shown, total = _diff_events(old_events, new_events)
+        updates.append(
+            GoldenUpdate(
+                scenario_name=scen.name,
+                path=path,
+                created=False,
+                events_before=len(old_events),
+                events_after=len(new_events),
+                changed=shown,
+                changed_total=total,
+            )
+        )
+    return updates

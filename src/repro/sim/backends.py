@@ -55,7 +55,7 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.errors import ParameterError, SimulationError
+from repro.errors import ConfigurationError, ParameterError, SimulationError
 from repro.sim.energy import EnergyModel
 from repro.sim.executor import SimulationLimits
 from repro.sim.faults import FaultProcess
@@ -115,21 +115,30 @@ class CellJob:
     energy_model: Optional[EnergyModel] = None
     faults_during_overhead: bool = False
     limits: SimulationLimits = field(default_factory=SimulationLimits)
+    kernel: str = "exact"
 
     def __post_init__(self) -> None:
         if self.reps <= 0:
             raise ParameterError(f"reps must be > 0, got {self.reps}")
+        if self.kernel not in ("exact", "fast"):
+            raise ParameterError(
+                f"kernel must be 'exact' or 'fast', got {self.kernel!r}"
+            )
 
     def run_block(self, block: int, start: int, stop: int) -> CellAccumulator:
         """Run reps ``[start, stop)`` of this cell into an accumulator.
 
-        Rep ``i`` draws from ``SeedSequence(seed, spawn_key=(i,))``
-        whatever the block bounds, so ``block`` is unused here — the
-        executor path is deterministic *per rep*, stronger than the
-        per-block contract the static fast path provides.  Runs flow
-        through the worker's reusable :class:`~repro.sim.montecarlo.
-        RunSlab` (bit-identical to per-rep accumulation, see
-        :func:`~repro.sim.montecarlo.accumulate_range`).
+        In exact mode rep ``i`` draws from ``SeedSequence(seed,
+        spawn_key=(i,))`` whatever the block bounds, so ``block`` is
+        unused here — the executor path is deterministic *per rep*,
+        stronger than the per-block contract the static fast path
+        provides.  Runs flow through the worker's reusable
+        :class:`~repro.sim.montecarlo.RunSlab` (bit-identical to
+        per-rep accumulation, see :func:`~repro.sim.montecarlo.
+        accumulate_range`).  In fast mode the block's draws are a pure
+        function of ``(seed, start)``, so results are deterministic
+        *per block* for a fixed chunk size — any backend and worker
+        count agree within fast mode.
         """
         return accumulate_range(
             self.task,
@@ -141,6 +150,7 @@ class CellJob:
             energy_model=self.energy_model,
             faults_during_overhead=self.faults_during_overhead,
             limits=self.limits,
+            kernel=self.kernel,
         )
 
 
@@ -651,6 +661,17 @@ def make_backend(
             )
         return SerialBackend()
     if backend == "process":
+        # ``workers=0`` is ExecutionSettings' "one per CPU" spelling —
+        # at this layer only ``None`` means that, so catch the off-by-
+        # one-layer value explicitly instead of letting ProcessBackend
+        # reject it with a bare range error (mirrors the distributed
+        # backend's explicit zero-cluster_workers handling).
+        if workers == 0:
+            raise ConfigurationError(
+                "workers must be >= 1 for the process backend, or None "
+                "for one per CPU; got 0 (ExecutionSettings maps its "
+                "workers=0 convention to None before reaching here)"
+            )
         return ProcessBackend(workers, adaptive_batching=adaptive_batching)
     if backend == "distributed":
         cluster = cluster_workers if cluster_workers else None

@@ -56,6 +56,13 @@ gets cheaper.  Concretely:
 
 ``benchmarks/bench_executor.py`` tracks the resulting reps/s and CI
 fails the perf-smoke job on a >2× regression.
+
+This module is the **exact** kernel: bit-identical run to run, across
+every backend and worker count, pinned by the golden-trace replay
+suite.  Its vectorised peer is :mod:`repro.sim.kernel` (the opt-in
+``kernel="fast"`` mode) — statistically equivalent and roughly an
+order of magnitude faster, but block- rather than rep-deterministic;
+scenarios it cannot vectorise fall back to this engine per block.
 """
 
 from __future__ import annotations

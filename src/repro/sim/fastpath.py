@@ -47,6 +47,14 @@ single-stream behaviour; that path cannot be distributed.)
 
 Speedup is one to two orders of magnitude at paper-scale reps, which is
 what makes 10,000-rep static cells interactive.
+
+Relation to the fast kernel (:mod:`repro.sim.kernel`): this module is
+a closed-form *sampler* for static schemes under Poisson faults,
+selected per scheme column with ``fast_static=True``; the kernel is a
+general vectorised *executor* covering adaptive schemes and every
+stochastic fault process, selected with ``kernel="fast"``.  They share
+the statistically-equivalent-but-not-bit-comparable contract, and both
+leave the exact engine's bit-identity untouched.
 """
 
 from __future__ import annotations

@@ -238,6 +238,22 @@ class FaultProcess:
     ) -> FaultStream:
         raise NotImplementedError
 
+    def block_gaps(
+        self, rng: np.random.Generator, rows: int, cols: int
+    ) -> Optional[np.ndarray]:
+        """A ``(rows, cols)`` matrix of inter-arrival gaps, or ``None``.
+
+        The fast kernel's bulk pre-draw (:mod:`repro.sim.kernel`): one
+        vectorised draw covers a whole rep block, one row per rep.
+        Processes whose gaps are i.i.d. override this; processes with
+        per-gap state machines (:class:`BurstyFaults`) return ``None``
+        and the kernel falls back to the exact per-rep path.  The draw
+        order (row-major from one generator) is part of fast mode's
+        block-determinism contract — it must not depend on which rep
+        triggered the draw.
+        """
+        return None
+
     @property
     def mean_rate(self) -> float:
         """Long-run average arrivals per time unit (for analysis)."""
@@ -265,6 +281,13 @@ class PoissonFaults(FaultProcess):
             draw_gaps=lambda n: rng.exponential(scale, size=n),
             chunk=chunk,
         )
+
+    def block_gaps(
+        self, rng: np.random.Generator, rows: int, cols: int
+    ) -> Optional[np.ndarray]:
+        if self.rate == 0:
+            return np.full((rows, cols), math.inf)
+        return rng.exponential(1.0 / self.rate, size=(rows, cols))
 
     @property
     def mean_rate(self) -> float:
@@ -300,6 +323,14 @@ class DualPoissonFaults(FaultProcess):
             chunk=chunk,
         )
 
+    def block_gaps(
+        self, rng: np.random.Generator, rows: int, cols: int
+    ) -> Optional[np.ndarray]:
+        merged = 2.0 * self.rate_per_processor
+        if merged == 0:
+            return np.full((rows, cols), math.inf)
+        return rng.exponential(1.0 / merged, size=(rows, cols))
+
     @property
     def mean_rate(self) -> float:
         return 2.0 * self.rate_per_processor
@@ -332,6 +363,11 @@ class WeibullFaults(FaultProcess):
             draw_gaps=lambda n: scale * rng.weibull(shape, size=n),
             chunk=chunk,
         )
+
+    def block_gaps(
+        self, rng: np.random.Generator, rows: int, cols: int
+    ) -> Optional[np.ndarray]:
+        return self.scale * rng.weibull(self.shape, size=(rows, cols))
 
     @property
     def mean_rate(self) -> float:

@@ -398,6 +398,7 @@ def accumulate_range(
     faults_during_overhead: bool = False,
     limits: SimulationLimits = SimulationLimits(),
     slab: Optional[RunSlab] = None,
+    kernel: str = "exact",
 ) -> CellAccumulator:
     """Reps ``[start, stop)`` of a cell, folded through a slab.
 
@@ -407,7 +408,32 @@ def accumulate_range(
     same streams, the same arithmetic), but each run lands in reusable
     NumPy scratch instead of a :class:`RunResult`, and the block folds
     into the accumulators via vectorised ``add_many``.
+
+    ``kernel`` selects the execution engine: ``"exact"`` (default) is
+    this bit-identical per-rep path; ``"fast"`` routes the block to the
+    vectorised, statistically-equivalent kernel
+    (:func:`repro.sim.kernel.accumulate_range_fast`), which falls back
+    here per block for unsupported cells.
     """
+    if kernel not in ("exact", "fast"):
+        raise ParameterError(
+            f"kernel must be 'exact' or 'fast', got {kernel!r}"
+        )
+    if kernel == "fast":
+        from repro.sim.kernel import accumulate_range_fast
+
+        return accumulate_range_fast(
+            task,
+            policy_factory,
+            start=start,
+            stop=stop,
+            seed=seed,
+            faults=faults,
+            energy_model=energy_model,
+            faults_during_overhead=faults_during_overhead,
+            limits=limits,
+            slab=slab,
+        )
     if start < 0 or stop < start:
         raise ParameterError(f"need 0 <= start <= stop, got [{start}, {stop})")
     count = stop - start
