@@ -1,0 +1,159 @@
+"""Service cache gate: warm submissions must be compute-free and fast.
+
+The study service's whole value is that overlapping studies stop
+paying for shared cells.  This benchmark is that claim's gate, run
+against an in-process service (HTTP server on a loopback port, real
+submissions through the real client):
+
+* **cold**: submit a study against an empty cache — every cell is
+  computed;
+* **warm**: submit the identical study again — every cell must be a
+  cache hit (``computed == 0``), the returned ResultSet payload must
+  be byte-identical to the cold run's, and the wall time must beat
+  the cold run by at least ``--min-speedup`` (default 3x; the warm
+  path is pure lookup + HTTP, no Monte-Carlo);
+* **overlap**: submit a superset study — exactly the shared cells may
+  be hits, the rest computed.
+
+Run standalone (not under pytest)::
+
+    python benchmarks/bench_service.py            # full sizes
+    python benchmarks/bench_service.py --quick    # CI smoke run
+
+Results are written to ``BENCH_service.json`` (override with
+``--json``).  Exit status is non-zero when any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+
+from repro.api.results import json_dumps_exact
+from repro.service import (
+    StudyService,
+    make_server,
+    submit_study,
+    wait_until_ready,
+)
+
+TABLE = "1a"
+SEED = 2006
+
+
+def run_bench(reps: int, min_speedup: float) -> dict:
+    row_spec = {
+        "kind": "row", "table": TABLE, "reps": reps, "seed": SEED,
+        "u": 0.8, "lam": 1.4e-3,
+    }
+    table_spec = {
+        "kind": "table", "table": TABLE, "reps": reps, "seed": SEED,
+    }
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        service = StudyService(cache_dir=tmp + "/cells")
+        server = make_server(service, "http://127.0.0.1:0")
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            wait_until_ready(url)
+
+            started = time.perf_counter()
+            cold = submit_study(url, row_spec)
+            cold_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            warm = submit_study(url, row_spec)
+            warm_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            overlap = submit_study(url, table_spec)
+            overlap_seconds = time.perf_counter() - started
+
+            if cold["computed"] != cold["cells"]:
+                failures.append(
+                    f"cold run computed {cold['computed']} of "
+                    f"{cold['cells']} cells (cache was not empty?)"
+                )
+            if warm["computed"] != 0:
+                failures.append(
+                    f"warm run recomputed {warm['computed']} cells; "
+                    f"every one must be a cache hit"
+                )
+            if json_dumps_exact(warm["result"]) != json_dumps_exact(
+                cold["result"]
+            ):
+                failures.append(
+                    "warm ResultSet payload is not byte-identical to cold"
+                )
+            if overlap["cached"] != cold["cells"]:
+                failures.append(
+                    f"overlapping study reused {overlap['cached']} cells, "
+                    f"expected exactly the {cold['cells']} shared ones"
+                )
+            speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+            if speedup < min_speedup:
+                failures.append(
+                    f"warm submission only {speedup:.1f}x faster than cold "
+                    f"({warm_seconds * 1e3:.1f} ms vs "
+                    f"{cold_seconds * 1e3:.1f} ms); gate is {min_speedup}x"
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    return {
+        "bench": "service",
+        "reps": reps,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "overlap_seconds": overlap_seconds,
+        "warm_speedup": cold_seconds / warm_seconds if warm_seconds else None,
+        "cold_cells": cold["cells"],
+        "overlap_cached": overlap["cached"],
+        "overlap_computed": overlap["computed"],
+        "failures": failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=2000)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for a CI smoke run")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="warm submission must beat cold by this factor")
+    parser.add_argument("--json", default="BENCH_service.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    reps = 200 if args.quick else args.reps
+
+    report = run_bench(reps, args.min_speedup)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+
+    print(
+        f"service bench (reps={reps}): cold "
+        f"{report['cold_seconds'] * 1e3:.1f} ms, warm "
+        f"{report['warm_seconds'] * 1e3:.1f} ms "
+        f"({report['warm_speedup']:.1f}x), overlap reused "
+        f"{report['overlap_cached']}/{report['cold_cells']} shared cells"
+    )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all service cache gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

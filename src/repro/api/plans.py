@@ -27,9 +27,12 @@ exact rather than approximate.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 from functools import partial
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.config import TableSpec
 from repro.sim.backends import CellJob
@@ -39,6 +42,9 @@ from repro.sim.task import TaskSpec
 __all__ = [
     "CellPlan",
     "cell_label",
+    "cell_identity",
+    "describe_cell_component",
+    "UncacheableCell",
     "table_cell_job",
     "table_cells",
     "row_cells",
@@ -64,6 +70,124 @@ class CellPlan:
     key: str
     axes: Tuple[Tuple[str, object], ...]
     job: object  # CellJob or repro.sim.fastpath.StaticCellJob
+
+
+class UncacheableCell(ValueError):
+    """A cell job contains a component with no stable content identity.
+
+    Raised by :func:`cell_identity` for payloads the canonicaliser
+    cannot describe as a pure function of their content — e.g. a
+    closure or lambda, whose behaviour is not recoverable from its
+    qualified name.  Callers that memoise (the study service's cell
+    cache) must treat such cells as compute-always, never guess a key:
+    a wrong key served verbatim would be silent data corruption.
+    """
+
+
+def describe_cell_component(obj: object) -> object:
+    """A canonical, JSON-able description of one cell-job component.
+
+    The recursive canonicaliser behind :func:`cell_identity`.  Two
+    objects describing the same computation — same dataclass fields,
+    same factory over the same module-level class, same exact float
+    values — produce equal descriptions; anything whose behaviour
+    cannot be recovered from content (closures, lambdas, instances of
+    unknown classes) raises :class:`UncacheableCell` instead of
+    producing a key that could alias distinct computations.
+
+    Floats are embedded via ``repr`` (shortest form, round-trips every
+    finite double exactly, distinguishes ``-0.0``/``nan``/``inf`` as
+    text), so the description — and therefore the cache key — is exact
+    in the same sense the rest of the serialisation stack is.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {"!float": repr(obj)}
+    if isinstance(obj, (tuple, list)):
+        return [describe_cell_component(item) for item in obj]
+    if isinstance(obj, dict):
+        if not all(isinstance(key, str) for key in obj):
+            raise UncacheableCell(f"non-string dict keys in {obj!r}")
+        return {
+            "!dict": {
+                key: describe_cell_component(obj[key]) for key in sorted(obj)
+            }
+        }
+    if isinstance(obj, type):
+        return {"!class": f"{obj.__module__}:{obj.__qualname__}"}
+    if isinstance(obj, partial):
+        return {
+            "!partial": describe_cell_component(obj.func),
+            "args": [describe_cell_component(item) for item in obj.args],
+            "kwargs": {
+                key: describe_cell_component(value)
+                for key, value in sorted(obj.keywords.items())
+            },
+        }
+    if dataclasses.is_dataclass(obj):
+        return {
+            "!type": f"{type(obj).__module__}:{type(obj).__qualname__}",
+            "fields": {
+                field.name: describe_cell_component(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+            },
+        }
+    if callable(obj):
+        qualname = getattr(obj, "__qualname__", "")
+        module = getattr(obj, "__module__", None)
+        if not qualname or module is None or "<locals>" in qualname:
+            # A closure/lambda's behaviour depends on captured state the
+            # name does not carry — no sound content key exists.
+            raise UncacheableCell(
+                f"cannot derive a content identity for {obj!r}"
+            )
+        return {"!function": f"{module}:{qualname}"}
+    raise UncacheableCell(
+        f"cannot derive a content identity for {type(obj).__name__} "
+        f"value {obj!r}"
+    )
+
+
+#: Cell-identity format tag, folded into every key.  Bump whenever the
+#: canonicalisation (or anything upstream that changes what a key must
+#: capture) changes incompatibly: old cache entries then miss cleanly
+#: instead of aliasing.
+CELL_IDENTITY_FORMAT = "repro.cell/1"
+
+
+def cell_identity(job: object, *, block_size: int) -> Optional[str]:
+    """Content-addressed identity of one Monte-Carlo cell, or ``None``.
+
+    The key the study service memoises completed cells under: a sha256
+    over the canonical description of *everything that determines the
+    cell's estimate* — the job type, the task spec, the policy factory
+    and its scheme config, reps, the derived cell seed, the fault
+    process and energy model, the executor ``kernel``, and the block
+    size (the unit of the blocked statistics reduction; fast-kernel and
+    static-fast-path draws are functions of it).  Axes labels and study
+    identity are deliberately *not* part of the key: two different
+    studies that expand to the same job share the cell — that is the
+    point of the cache — while ``exact`` and ``fast`` kernels are
+    different jobs and can never alias.
+
+    Returns ``None`` for jobs with no sound content identity (see
+    :class:`UncacheableCell`) — callers compute those without caching.
+    """
+    try:
+        described = describe_cell_component(job)
+    except UncacheableCell:
+        return None
+    payload = json.dumps(
+        {
+            "format": CELL_IDENTITY_FORMAT,
+            "job": described,
+            "block_size": block_size,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def cell_label(table_id: str, u: float, lam: float, column: int) -> int:

@@ -389,9 +389,19 @@ class ResultSet:
                 f"unsupported result set format {declared!r} "
                 f"(this build reads {FORMAT!r})"
             )
+        records = payload.get("records", [])
+        # A string would "work" here — iterating it per character into
+        # CellRecord.from_dict — and an int would die with an opaque
+        # TypeError deep in the loop; both must be one clean
+        # configuration error (the service's 400 for a mangled body).
+        if not isinstance(records, (list, tuple)):
+            raise ConfigurationError(
+                f"result set 'records' must be a list of cell records, "
+                f"got {type(records).__name__}"
+            )
         return cls(
             payload["spec_hash"],
-            [CellRecord.from_dict(item) for item in payload.get("records", ())],
+            [CellRecord.from_dict(item) for item in records],
             spec=payload.get("spec"),
         )
 
@@ -440,6 +450,7 @@ class ResultSet:
             "seed",
             "block_size",
             "backend",
+            "kernel",
             "spec_hash",
             "git",
         ]
@@ -463,6 +474,7 @@ class ResultSet:
                 record.seed,
                 record.block_size,
                 record.backend,
+                record.kernel,
                 record.spec_hash,
                 record.git or "",
             ]

@@ -3,12 +3,16 @@
 ``Study.run(session)`` is the one pipeline every experiment flows
 through now: expand the spec to its canonical cell list
 (:mod:`repro.api.plans`), skip cells a partial
-:class:`~repro.api.results.ResultSet` already holds, dispatch the rest
-as one interleaved batch on the session's backend, and stamp each fresh
-record with full provenance.  Resume is exact, not approximate: cell
-seeds are pure functions of (root seed, cell identity), so a cell
-computed in a resumed run is bit-identical to the one a fresh full run
-would produce — ``tests/test_resultset.py`` pins that cell-for-cell.
+:class:`~repro.api.results.ResultSet` already holds, and hand the rest
+to a :class:`~repro.api.scheduler.CellScheduler` — the shared compute
+loop that dispatches one interleaved batch on the session's backend
+and stamps each fresh record with full provenance.  The study service
+(:mod:`repro.service`) drives the *same* scheduler with a content-
+addressed cache behind it; ``Study.run`` is just its cache-less
+client.  Resume is exact, not approximate: cell seeds are pure
+functions of (root seed, cell identity), so a cell computed in a
+resumed run is bit-identical to the one a fresh full run would
+produce — ``tests/test_resultset.py`` pins that cell-for-cell.
 """
 
 from __future__ import annotations
@@ -16,28 +20,14 @@ from __future__ import annotations
 from typing import List, Optional, Union
 
 from repro.api.plans import CellPlan
-from repro.api.results import CellRecord, ResultSet, git_describe
-from repro.api.session import Session, timed_run_cells
+from repro.api.results import ResultSet
+from repro.api.scheduler import CellScheduler, ProgressCallback
+from repro.api.session import Session
 from repro.api.spec import StudySpec
 from repro.errors import ConfigurationError
 from repro.experiments.config import TableSpec
 
 __all__ = ["Study"]
-
-
-def _job_with_kernel(job: object, kernel: str) -> object:
-    """Stamp the effective kernel onto a cell job, where it applies.
-
-    Only :class:`~repro.sim.backends.CellJob` carries a ``kernel``
-    field; static fast-path jobs (``StaticCellJob``) are already a
-    closed-form vectorised sampler with one deterministic stream, so
-    the mode is a no-op for them and they ship unchanged.
-    """
-    if kernel == "exact" or not hasattr(job, "kernel"):
-        return job
-    import dataclasses
-
-    return dataclasses.replace(job, kernel=kernel)
 
 
 class Study:
@@ -125,6 +115,8 @@ class Study:
         session: Optional[Session] = None,
         *,
         resume: Optional[ResultSet] = None,
+        scheduler: Optional[CellScheduler] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> ResultSet:
         """Run the study; with ``resume``, compute only missing cells.
 
@@ -134,13 +126,34 @@ class Study:
         with this run's.  Without a session, an ephemeral serial one is
         used (bit-identical to any other backend at the same block
         size).
+
+        ``scheduler`` routes the compute through a shared
+        :class:`~repro.api.scheduler.CellScheduler` (the study
+        service's path — its cache and in-flight deduplication then
+        apply); it carries its own session, so it is mutually exclusive
+        with ``session``.  ``progress`` fires per resolved cell (see
+        :meth:`CellScheduler.run_plans`).
         """
+        if scheduler is not None and session is not None:
+            raise ConfigurationError(
+                "pass either session= or scheduler= (which owns its "
+                "session), not both"
+            )
         plans = self.cells()
         todo = self._missing_from(plans, resume)
+        if scheduler is not None:
+            return self._run_missing(
+                scheduler.session, plans, todo, resume,
+                scheduler=scheduler, progress=progress,
+            )
         if session is None:
             with Session() as ephemeral:
-                return self._run_missing(ephemeral, plans, todo, resume)
-        return self._run_missing(session, plans, todo, resume)
+                return self._run_missing(
+                    ephemeral, plans, todo, resume, progress=progress
+                )
+        return self._run_missing(
+            session, plans, todo, resume, progress=progress
+        )
 
     def _effective_kernel(self, session: Session) -> str:
         """The kernel this run uses: ``fast`` if spec *or* session asks.
@@ -160,6 +173,9 @@ class Study:
         plans: List[CellPlan],
         todo: List[CellPlan],
         resume: Optional[ResultSet],
+        *,
+        scheduler: Optional[CellScheduler] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> ResultSet:
         kernel = self._effective_kernel(session)
         if resume is not None and resume.kernel not in (None, kernel):
@@ -171,32 +187,15 @@ class Study:
             )
         fresh: dict = {}
         if todo:
-            estimates, wall, cpu = timed_run_cells(
-                session, [_job_with_kernel(plan.job, kernel) for plan in todo]
-            )
-            # One opaque id per run() batch: cells computed together
-            # share it, so ResultSet.wall_seconds can count each batch
-            # once even when two batches report equal wall clocks.
-            import uuid
-
-            stamp = dict(
+            if scheduler is None:
+                scheduler = CellScheduler(session)
+            for record in scheduler.run_plans(
+                todo,
                 spec_hash=self.spec_hash,
-                block_size=session.block_size,
-                backend=session.backend_name,
-                git=git_describe(),
-                wall_seconds=wall,
-                compute_seconds=cpu,
-                batch=uuid.uuid4().hex[:16],
                 kernel=kernel,
-            )
-            for plan, estimate in zip(todo, estimates):
-                fresh[plan.key] = CellRecord(
-                    key=plan.key,
-                    axes=dict(plan.axes),
-                    estimate=estimate,
-                    seed=plan.job.seed,
-                    **stamp,
-                )
+                progress=progress,
+            ):
+                fresh[record.key] = record
         # Canonical order: the plan order, pulling each cell from the
         # resumed set or this run — so a resumed-and-completed set is
         # record-for-record aligned with a fresh full run.

@@ -11,6 +11,8 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
                                         # diverging event, exit 1)
     repro list                          # available tables
     repro worker tcp://host:8642        # serve blocks for a coordinator
+    repro serve --cache ~/.repro-cells  # study service daemon (HTTP)
+    repro submit spec.json --url ...    # run a spec on a daemon
 
 The Monte-Carlo commands are shims over the :mod:`repro.api` façade:
 each builds a declarative :class:`~repro.api.spec.StudySpec`, runs it
@@ -243,6 +245,80 @@ def build_parser() -> argparse.ArgumentParser:
             "drop the connection after completing N blocks (fault-"
             "injection hook for the test suite; not for production)"
         ),
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the study service daemon: accept StudySpec submissions "
+            "over HTTP, memoise cells in a content-addressed cache"
+        ),
+    )
+    p_serve.add_argument(
+        "--cache",
+        required=True,
+        metavar="DIR",
+        help=(
+            "directory for the content-addressed cell cache (created if "
+            "missing); overlapping studies share its entries"
+        ),
+    )
+    p_serve.add_argument(
+        "--serve-url",
+        default=None,
+        metavar="URL",
+        help=(
+            "bind address, e.g. http://127.0.0.1:8750 (the default); "
+            "port 0 picks a free port and prints it"
+        ),
+    )
+    p_serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request to stderr",
+    )
+    _add_workers_flag(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="run a StudySpec JSON file on a running study service",
+    )
+    p_submit.add_argument(
+        "spec",
+        help="path to a StudySpec JSON file (same format as 'repro run')",
+    )
+    p_submit.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="service address (default http://127.0.0.1:8750)",
+    )
+    p_submit.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "save the returned ResultSet as JSON — byte-compatible with "
+            "a local 'repro run --out' of the same study"
+        ),
+    )
+    p_submit.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="also export the returned result set as CSV",
+    )
+    p_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream per-cell progress lines as the service resolves them",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="give up if the service has not answered within this long",
     )
 
     sub.add_parser("list", help="list the available tables")
@@ -799,6 +875,74 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve_forever
+    from repro.service.server import DEFAULT_URL
+
+    url = args.serve_url if args.serve_url is not None else DEFAULT_URL
+    return serve_forever(
+        ExecutionSettings.from_cli_args(args),
+        args.cache,
+        url,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.api import ResultSet
+    from repro.api.results import json_loads_exact
+    from repro.errors import ConfigurationError
+    from repro.service import submit_study
+    from repro.service.server import DEFAULT_URL
+
+    if args.out:
+        directory = os.path.dirname(os.path.abspath(args.out)) or "."
+        if not os.path.isdir(directory):
+            raise ConfigurationError(
+                f"--out directory does not exist: {directory!r}"
+            )
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {args.spec!r}: {exc}")
+    payload = json_loads_exact(text, what=f"spec file {args.spec!r}")
+    url = args.url if args.url is not None else DEFAULT_URL
+
+    def show_cell(event):
+        if event.get("event") == "cell":
+            verb = "cached" if event.get("cached") else "computed"
+            print(
+                f"  [{event.get('done')}/{event.get('total')}] "
+                f"{event.get('key')}: {verb}"
+            )
+
+    kwargs = {}
+    if args.timeout is not None:
+        kwargs["timeout"] = args.timeout
+    envelope = submit_study(
+        url,
+        payload,
+        stream=args.stream,
+        on_event=show_cell if args.stream else None,
+        **kwargs,
+    )
+    results = ResultSet.from_dict(envelope["result"])
+    print(
+        f"study kind={envelope.get('kind')} "
+        f"spec_hash={envelope.get('spec_hash')}: {len(results)} cells "
+        f"({envelope.get('computed')} computed, "
+        f"{envelope.get('cached')} cached by the service)"
+    )
+    if args.out:
+        results.save(args.out)
+    if args.csv:
+        results.save_csv(args.csv)
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for spec in all_table_specs():
         print(f"{spec.table_id}: {spec.title}")
@@ -823,6 +967,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "record-golden": _cmd_record_golden,
         "replay": _cmd_replay,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "list": _cmd_list,
     }
     try:

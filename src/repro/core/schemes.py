@@ -26,6 +26,7 @@ the recompute points of the paper's pseudocode (figs. 6/7 lines 2-4 and
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -369,6 +370,14 @@ class ReplanTable:
       bypass the memo and evaluate the policy at the exact query point
       — the exactness fallback the design calls for.
 
+    Thread-safe: a process-shared table (see :func:`replan_table_for`)
+    can be hit from concurrent scheduler/service threads, and
+    :meth:`_eval` works by mutating one reusable
+    :class:`ExecutionState` (and the wrapped policy's own caches) — so
+    evaluations are serialised under a per-table lock.  Memo reads stay
+    lock-free: a racing double-fill computes the same pure-function row
+    twice, which is wasted work, never a wrong answer.
+
     ``resolution=0`` disables quantisation entirely: every lookup is an
     exact evaluation (the conformance-test mode — the kernel then
     replans with arithmetic identical to the exact executor's).
@@ -388,6 +397,7 @@ class ReplanTable:
         "_deadline",
         "_cycles",
         "_memo",
+        "_eval_lock",
         "__weakref__",
     )
 
@@ -420,6 +430,7 @@ class ReplanTable:
             self._rc_step = 0.0
             self._dl_step = 0.0
         self._memo: dict = {}
+        self._eval_lock = threading.Lock()
 
     @property
     def resolution(self) -> int:
@@ -518,15 +529,16 @@ class ReplanTable:
 
     def _eval(self, remaining_cycles: float, deadline_left: float,
               faults_left: float):
-        state = self._state
-        state.remaining_cycles = remaining_cycles
-        state.clock = self._deadline - deadline_left
-        state.faults_left = faults_left
-        state.frequency = 1.0  # overwritten by _select_speed
-        policy = self._policy
-        policy.on_fault(state)
-        plan = policy.plan(state)
-        return (state.frequency, plan.interval_time, plan.m)
+        with self._eval_lock:
+            state = self._state
+            state.remaining_cycles = remaining_cycles
+            state.clock = self._deadline - deadline_left
+            state.faults_left = faults_left
+            state.frequency = 1.0  # overwritten by _select_speed
+            policy = self._policy
+            policy.on_fault(state)
+            plan = policy.plan(state)
+            return (state.frequency, plan.interval_time, plan.m)
 
 
 #: Process-level shared replan tables, keyed by
@@ -536,6 +548,11 @@ class ReplanTable:
 #: a subclass with extra constructor state is not a pure function of
 #: the key.
 _REPLAN_TABLES: dict = {}
+
+#: Guards the registry's get/clear/insert sequence — concurrent
+#: scheduler threads must converge on ONE table per key, or the
+#: cross-block sharing the registry exists for silently degrades.
+_REPLAN_TABLES_LOCK = threading.Lock()
 
 
 def replan_table_for(
@@ -556,22 +573,26 @@ def replan_table_for(
     if not isinstance(policy, _AdaptiveBase):
         return None
     if type(policy).__init__ is _AdaptiveBase.__init__:
+        key = (type(policy), policy.config, task, resolution)
         try:
-            key = (type(policy), policy.config, task, resolution)
-            table = _REPLAN_TABLES.get(key)
+            hash(key)
         except TypeError:  # unhashable custom config
             key = None
-            table = None
-        if table is not None:
-            return table
-        table = ReplanTable(
+        if key is not None:
+            with _REPLAN_TABLES_LOCK:
+                table = _REPLAN_TABLES.get(key)
+                if table is not None:
+                    return table
+                table = ReplanTable(
+                    type(policy)(policy.config), task, resolution=resolution
+                )
+                if len(_REPLAN_TABLES) > 64:
+                    _REPLAN_TABLES.clear()
+                _REPLAN_TABLES[key] = table
+                return table
+        return ReplanTable(
             type(policy)(policy.config), task, resolution=resolution
         )
-        if key is not None:
-            if len(_REPLAN_TABLES) > 64:
-                _REPLAN_TABLES.clear()
-            _REPLAN_TABLES[key] = table
-        return table
     return ReplanTable(policy, task, resolution=resolution)
 
 

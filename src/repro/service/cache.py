@@ -1,0 +1,194 @@
+"""The content-addressed cell store behind the study service.
+
+One file per unique cell, named by its
+:func:`~repro.api.plans.cell_identity` (a sha256 over the cell job's
+canonical content description, the block size, and the executor
+kernel), holding the full provenance-stamped
+:class:`~repro.api.results.CellRecord` of the computation that filled
+it.  Because the identity captures *everything that determines the
+estimate* — and ``exact``/``fast`` kernel cells therefore hash to
+different keys — a hit can be served verbatim: the estimate bytes are
+the ones recomputation would produce, pinned by
+``tests/test_service.py``.
+
+Writes are atomic (same-directory temp + rename, the
+:meth:`ResultSet.save` discipline), and the first writer wins: a
+concurrent duplicate computation of the same identity produced the
+same estimate, so keeping the incumbent's provenance is both safe and
+stable.  Corrupt or foreign files read as misses — a damaged cache
+degrades to recomputation, never to an error or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Optional
+
+from repro.api.results import (
+    CellRecord,
+    json_dumps_exact,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["CellCache"]
+
+#: On-disk entry format tag; bump on incompatible layout changes.
+FORMAT = "repro.cellcache/1"
+
+
+class CellCache:
+    """Content-addressed, on-disk (plus in-memory) store of cell records.
+
+    Parameters
+    ----------
+    directory:
+        Root of the store; created if missing.  Entries are sharded
+        into 256 two-hex-digit subdirectories so a long-lived service
+        never accumulates one enormous flat directory.
+    memory:
+        Keep an in-process read-through map of loaded/stored records
+        (default on) so repeat hits skip JSON parsing.  The disk store
+        is the source of truth either way.
+
+    Thread-safe: the memory map is lock-guarded, disk writes are
+    atomic, and concurrent puts of one identity converge on one entry.
+    """
+
+    def __init__(self, directory: str, *, memory: bool = True) -> None:
+        self.directory = os.path.abspath(directory)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot create cell cache directory "
+                f"{self.directory!r}: {exc}"
+            )
+        self._lock = threading.Lock()
+        self._memory: Optional[Dict[str, CellRecord]] = {} if memory else None
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, identity: str) -> str:
+        return os.path.join(self.directory, identity[:2], identity + ".json")
+
+    # -- access --------------------------------------------------------
+
+    def get(self, identity: str) -> Optional[CellRecord]:
+        """The stored record for ``identity``, or ``None`` on a miss.
+
+        Unreadable, torn, or format-foreign entries are misses: the
+        service recomputes (and rewrites) them rather than failing a
+        submission over a damaged cache file.
+        """
+        if self._memory is not None:
+            with self._lock:
+                record = self._memory.get(identity)
+            if record is not None:
+                return record
+        try:
+            with open(self.path_for(identity), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != FORMAT
+            or payload.get("identity") != identity
+        ):
+            return None
+        try:
+            record = CellRecord.from_dict(payload["record"])
+        except (ConfigurationError, KeyError, TypeError):
+            return None
+        if self._memory is not None:
+            with self._lock:
+                self._memory[identity] = record
+        return record
+
+    def put(self, identity: str, record: CellRecord) -> None:
+        """Store ``record`` under ``identity`` (first writer wins)."""
+        if self._memory is not None:
+            with self._lock:
+                self._memory.setdefault(identity, record)
+        path = self.path_for(identity)
+        if os.path.exists(path):
+            return
+        payload = {
+            "format": FORMAT,
+            "identity": identity,
+            "record": record.to_dict(),
+        }
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            _atomic_write_if_absent(path, json_dumps_exact(payload) + "\n")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write cell cache entry {path!r}: {exc}"
+            )
+
+    def __contains__(self, identity: str) -> bool:
+        return self.get(identity) is not None
+
+    def __len__(self) -> int:
+        """Entries on disk (authoritative, not the memory map)."""
+        count = 0
+        try:
+            shards = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for shard in shards:
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            try:
+                count += sum(
+                    1 for name in os.listdir(shard_dir)
+                    if name.endswith(".json")
+                )
+            except OSError:
+                continue
+        return count
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            in_memory = len(self._memory) if self._memory is not None else 0
+        return {
+            "directory": self.directory,
+            "entries": len(self),
+            "in_memory": in_memory,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellCache({self.directory!r})"
+
+
+def _atomic_write_if_absent(path: str, text: str) -> None:
+    """Atomically publish ``text`` at ``path`` unless someone else has.
+
+    Same temp+rename discipline as :meth:`ResultSet.save`, plus a
+    last-instant existence check: in a concurrent duplicate write both
+    payloads describe the same computation, so the incumbent stays.
+    """
+    import tempfile
+
+    fd, temp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path),
+        prefix=os.path.basename(path) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+        if os.path.exists(path):
+            os.unlink(temp_path)
+            return
+        os.replace(temp_path, path)
+    except OSError:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

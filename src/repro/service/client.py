@@ -1,0 +1,157 @@
+"""The client half of the study service: ``repro submit`` internals.
+
+Thin stdlib-``urllib`` wrappers over the daemon's HTTP API — no
+third-party HTTP dependency, matching the repo's no-new-deps rule.
+Service-side validation failures (HTTP 4xx) surface as
+:class:`~repro.errors.ConfigurationError` and execution failures (5xx)
+as :class:`~repro.errors.SimulationError`, so CLI error handling is
+the same for remote and local runs: one ``ReproError`` → exit 2 path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.api.results import json_dumps_exact, json_loads_exact
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["submit_study", "fetch_stats", "wait_until_ready"]
+
+#: Per-request ceiling; a submission holds the connection open while
+#: the service computes, so this bounds one whole study, not one RTT.
+DEFAULT_TIMEOUT = 600.0
+
+#: Stream event callback: the decoded NDJSON event dict.
+EventCallback = Callable[[Dict[str, object]], None]
+
+
+def _service_error(exc: HTTPError) -> Exception:
+    """Map an HTTP error response to the repo's error taxonomy."""
+    try:
+        detail = json.loads(exc.read().decode("utf-8", errors="replace"))
+        message = detail.get("error", "") if isinstance(detail, dict) else ""
+    except (ValueError, OSError):
+        message = ""
+    message = message or f"HTTP {exc.code} from the study service"
+    if 400 <= exc.code < 500:
+        return ConfigurationError(f"service rejected the submission: {message}")
+    return SimulationError(f"service failed running the study: {message}")
+
+
+def submit_study(
+    url: str,
+    spec_payload: object,
+    *,
+    stream: bool = False,
+    on_event: Optional[EventCallback] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Dict[str, object]:
+    """POST one StudySpec payload to a running service; return the envelope.
+
+    The envelope is the service's response dict: ``spec_hash``,
+    ``cells``, ``computed``, ``cached``, and ``result`` (a full
+    :meth:`~repro.api.results.ResultSet.to_dict` payload — feed it to
+    ``ResultSet.from_dict`` and the set is byte-compatible with a
+    local ``Study.run`` save of the same study).
+
+    With ``stream=True`` the submission uses the NDJSON endpoint;
+    ``on_event`` fires per decoded event (``accepted``, one ``cell``
+    per resolved cell, then ``result``) and the ``result`` event —
+    minus its ``event`` tag — is returned.
+    """
+    endpoint = url.rstrip("/") + "/studies" + ("?stream=1" if stream else "")
+    body = json_dumps_exact(spec_payload).encode("utf-8")
+    request = Request(
+        endpoint, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            if not stream:
+                text = response.read().decode("utf-8")
+                envelope = json_loads_exact(text, what="service response")
+                if not isinstance(envelope, dict):
+                    raise ConfigurationError(
+                        "service response is not a JSON object"
+                    )
+                return envelope
+            return _consume_stream(response, on_event)
+    except HTTPError as exc:
+        raise _service_error(exc) from exc
+    except URLError as exc:
+        raise ConfigurationError(
+            f"cannot reach the study service at {url!r}: {exc.reason}"
+        ) from exc
+
+
+def _consume_stream(response, on_event: Optional[EventCallback]) -> Dict[str, object]:
+    """Drain an NDJSON study stream; return the final result envelope."""
+    envelope: Optional[Dict[str, object]] = None
+    for raw_line in response:
+        line = raw_line.decode("utf-8").strip()
+        if not line:
+            continue
+        event = json_loads_exact(line, what="service stream event")
+        if not isinstance(event, dict):
+            raise ConfigurationError("service stream event is not an object")
+        if on_event is not None:
+            on_event(event)
+        tag = event.get("event")
+        if tag == "error":
+            raise SimulationError(
+                f"service failed mid-stream: {event.get('error', 'unknown')}"
+            )
+        if tag == "result":
+            envelope = {k: v for k, v in event.items() if k != "event"}
+    if envelope is None:
+        raise SimulationError(
+            "service stream ended without a result event"
+        )
+    return envelope
+
+
+def fetch_stats(url: str, *, timeout: float = 10.0) -> Dict[str, object]:
+    """The service's ``/stats`` payload (cache + scheduler counters)."""
+    endpoint = url.rstrip("/") + "/stats"
+    try:
+        with urlopen(endpoint, timeout=timeout) as response:
+            payload = json_loads_exact(
+                response.read().decode("utf-8"), what="service stats"
+            )
+    except HTTPError as exc:
+        raise _service_error(exc) from exc
+    except URLError as exc:
+        raise ConfigurationError(
+            f"cannot reach the study service at {url!r}: {exc.reason}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError("service stats response is not a JSON object")
+    return payload
+
+
+def wait_until_ready(
+    url: str, *, timeout: float = 10.0, interval: float = 0.05
+) -> None:
+    """Block until ``/healthz`` answers, or raise after ``timeout``.
+
+    The test/CI helper for "start the daemon, then submit": polls the
+    liveness endpoint so callers need no sleep guesswork.
+    """
+    endpoint = url.rstrip("/") + "/healthz"
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with urlopen(endpoint, timeout=interval + 1.0) as response:
+                if response.status == 200:
+                    return
+        except (URLError, OSError) as exc:
+            last_error = exc
+        time.sleep(interval)
+    raise ConfigurationError(
+        f"study service at {url!r} did not become ready within "
+        f"{timeout:g}s" + (f" (last error: {last_error})" if last_error else "")
+    )

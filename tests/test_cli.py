@@ -305,6 +305,31 @@ class TestRunCommand:
                      "--resume", out]) == 2
         assert "different study" in capsys.readouterr().err
 
+    def test_run_resume_hash_mismatch_names_both_hashes(self, tmp_path,
+                                                        capsys):
+        """``run --resume`` against a foreign result file: exit 2 and a
+        message naming the file's spec hash AND this study's, so the
+        user can see which side to fix."""
+        from repro.api import Study
+
+        payload_a = {"kind": "fixed_m", "table": "1a", "ms": [1, 2],
+                     "reps": 16, "seed": 3}
+        payload_b = dict(payload_a, seed=4)
+        spec_a = self._write_spec(tmp_path, payload_a)
+        out = str(tmp_path / "a.json")
+        assert main(["run", spec_a, "--out", out, "--quiet"]) == 0
+        capsys.readouterr()
+
+        path_b = tmp_path / "b.spec.json"
+        path_b.write_text(json.dumps(payload_b))
+        assert main(["run", str(path_b), "--resume", out, "--quiet"]) == 2
+        err = capsys.readouterr().err
+        hash_a = Study(payload_a).spec_hash
+        hash_b = Study(payload_b).spec_hash
+        assert hash_a != hash_b
+        assert hash_a in err and hash_b in err
+        assert "different study" in err
+
 
 class TestSweepCommand:
     def test_cost_ratio(self, capsys):

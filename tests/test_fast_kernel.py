@@ -330,6 +330,81 @@ def test_replan_table_for_static_policy_is_none():
     assert replan_table_for(AdaptiveSCPPolicy(), task) is not None
 
 
+def test_replan_table_for_returns_one_shared_table_across_threads():
+    """Concurrent registry lookups must converge on ONE table per key —
+    the cross-block sharing the registry exists for."""
+    import threading
+
+    from repro.core import schemes as schemes_mod
+
+    task = _fallback_task()
+    schemes_mod._REPLAN_TABLES.clear()
+    tables = [None] * 16
+    barrier = threading.Barrier(8)
+
+    def grab(i):
+        barrier.wait()
+        tables[i] = replan_table_for(AdaptiveSCPPolicy(), task)
+        barrier.wait()
+        tables[8 + i] = replan_table_for(AdaptiveSCPPolicy(), task)
+
+    threads = [threading.Thread(target=grab, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(t is tables[0] for t in tables)
+
+
+def test_replan_table_concurrent_lookups_are_fill_order_independent():
+    """Stress one shared table from many threads: every thread's rows
+    must equal a serially-filled table's, regardless of which thread
+    won each bucket's first evaluation.  Guards the ``_eval`` lock —
+    unlocked, concurrent evaluations corrupt the shared mutable
+    ExecutionState and produce rows from a *mixture* of queries."""
+    import threading
+
+    import numpy as np
+
+    table, task = _table(64)
+    reference, _ = _table(64)
+    rng = np.random.default_rng(17)
+    n = 300
+    rc = rng.uniform(1.0, task.cycles, size=n)
+    dl = rng.uniform(1.0, task.deadline, size=n)
+    fl = rng.integers(1, 6, size=n).astype(float)
+    queries = list(zip(rc.tolist(), dl.tolist(), fl.tolist()))
+    expected = [reference.lookup(*q) for q in queries]
+
+    n_threads = 8
+    results = [None] * n_threads
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(i):
+        # Each thread walks the queries from a different offset, so
+        # threads race to fill different buckets first.
+        order = queries[i * 37 % n:] + queries[: i * 37 % n]
+        index = {id(q): pos for pos, q in enumerate(queries)}
+        barrier.wait()
+        try:
+            rows = [None] * n
+            for q in order:
+                rows[index[id(q)]] = table.lookup(*q)
+            results[i] = rows
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for rows in results:
+        assert rows == expected
+
+
 # ---------------------------------------------------------------------------
 # the compiled static loop's pure-Python twin
 

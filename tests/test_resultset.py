@@ -325,3 +325,72 @@ class TestWallSecondsAccounting:
         batches = {record.batch for record in first.records}
         assert len(batches) == 1
         assert None not in batches
+
+
+class TestCsvProvenance:
+    """Regression: ``to_csv`` silently dropped the ``kernel`` column, so
+    CSV exports could not distinguish exact from fast estimates."""
+
+    def _record(self, key, *, kernel="exact"):
+        estimate = CellEstimate(
+            p_timely=ProportionEstimate(1.0, 0.9, 1.0, trials=4),
+            energy_timely=MeanEstimate(1.0, 0.5, 1.5, 4),
+            energy_all=MeanEstimate(1.0, 0.5, 1.5, 4),
+            mean_finish_time_timely=1.0,
+            mean_detected_faults=0.0,
+            mean_checkpoints=1.0,
+            mean_sub_checkpoints=0.0,
+            reps=4,
+        )
+        return CellRecord(
+            key=key, axes={"k": key}, estimate=estimate, spec_hash="h",
+            seed=0, block_size=256, backend="serial", git="v1",
+            wall_seconds=0.5, compute_seconds=0.5, batch="b1",
+            kernel=kernel,
+        )
+
+    def test_csv_columns_track_record_provenance_fields(self):
+        """Every provenance field of CellRecord except the per-run
+        timing/batch fields must appear as a CSV column — adding a new
+        provenance field without exporting it fails here."""
+        record = self._record("a")
+        header = ResultSet("h", [record]).to_csv().splitlines()[0].split(",")
+        per_run_only = {"wall_seconds", "compute_seconds", "batch"}
+        for field in record.to_dict()["provenance"]:
+            if field not in per_run_only:
+                assert field in header, f"CSV is missing provenance column {field!r}"
+
+    def test_csv_kernel_column_carries_the_kernel(self):
+        rs = ResultSet("h", [self._record("a", kernel="fast")])
+        lines = rs.to_csv().splitlines()
+        header = lines[0].split(",")
+        row = lines[1].split(",")
+        assert row[header.index("kernel")] == "fast"
+        assert row[header.index("backend")] == "serial"
+
+    def test_csv_kernel_defaults_to_exact(self):
+        rs = ResultSet("h", [self._record("a")])
+        lines = rs.to_csv().splitlines()
+        assert lines[1].split(",")[lines[0].split(",").index("kernel")] == "exact"
+
+
+class TestMalformedRecordsPayload:
+    """Regression: ``from_dict`` accepted any iterable for ``records`` —
+    a JSON *string* iterated per character, an int died with an opaque
+    TypeError.  Both must be one clean ConfigurationError (the study
+    service turns it into an HTTP 400)."""
+
+    @pytest.mark.parametrize("records", ["not-a-list", 7, {"a": 1}, True])
+    def test_non_list_records_is_a_clean_error(self, records):
+        payload = {
+            "format": "repro.resultset/1",
+            "spec_hash": "h",
+            "spec": None,
+            "records": records,
+        }
+        with pytest.raises(ConfigurationError, match="must be a list"):
+            ResultSet.from_dict(payload)
+
+    def test_list_records_still_load(self):
+        rs = ResultSet("h", [])
+        assert len(ResultSet.from_dict(rs.to_dict())) == 0
