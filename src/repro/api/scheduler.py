@@ -24,21 +24,32 @@ identities by construction and can never alias.
 Thread safety: the scheduler may be hammered by many request threads.
 Claims are arbitrated under one lock; the first thread to want a cell
 computes it, later threads block on its completion event; calls into
-the session's backend are serialised by a compute lock (the backend
+the session's backend are serialised by a FIFO turnstile (the backend
 parallelises internally — two interleaved ``run_cells`` batches on one
 pool would fight over the same workers anyway).
+
+Fairness: with ``fair_share`` set, a caller's cells run in chunks of
+that many per turnstile turn instead of one monolithic batch, and the
+turnstile hands turns out in arrival order — so concurrent submissions
+round-robin at chunk granularity and a 10,000-cell study delays a
+4-cell study by one chunk, not by its whole runtime.  ``None`` (the
+default, and what :meth:`Study.run`'s private scheduler uses) keeps the
+single-batch behaviour and its provenance stamps bit-identical to the
+pre-fairness scheduler.
 """
 
 from __future__ import annotations
 
 import threading
 import uuid
-from typing import Callable, Dict, List, Optional, Sequence
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.api.plans import CellPlan, cell_identity
 from repro.api.results import CellRecord, git_describe
 from repro.api.session import Session, timed_run_cells
-from repro.errors import SimulationError
+from repro.errors import ParameterError, SimulationError
 
 __all__ = ["CellScheduler", "job_with_kernel"]
 
@@ -72,6 +83,38 @@ class _Pending:
         self.error: Optional[BaseException] = None
 
 
+class _Turnstile:
+    """FIFO mutual exclusion: turns are granted in arrival order.
+
+    ``threading.Lock`` makes no fairness promise — a thread hammering
+    acquire/release in a loop can starve patient waiters indefinitely,
+    which is exactly the shape of a huge study computing chunk after
+    chunk while a small one waits.  Each waiter therefore queues an
+    event; releasing wakes the *head* of the queue, so interleaved
+    chunked submissions round-robin by construction.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._waiters: Deque[threading.Event] = deque()
+
+    @contextmanager
+    def turn(self):
+        ticket = threading.Event()
+        with self._lock:
+            self._waiters.append(ticket)
+            if len(self._waiters) == 1:
+                ticket.set()
+        ticket.wait()
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._waiters.popleft()
+                if self._waiters:
+                    self._waiters[0].set()
+
+
 class CellScheduler:
     """Runs cell plans through one session, deduplicating and memoising.
 
@@ -87,16 +130,35 @@ class CellScheduler:
         service's :class:`~repro.service.cache.CellCache`).  ``None``
         means no memoisation across calls — in-flight deduplication
         between concurrent callers still applies.
+    fair_share:
+        Cells per compute turn.  ``None`` (default) computes each
+        caller's misses as one batch — the historical behaviour, with
+        identical provenance stamps.  A positive value chunks the batch
+        and takes one FIFO turnstile turn per chunk, so concurrent
+        submissions interleave round-robin instead of queueing whole
+        studies (each chunk gets its own ``batch`` id and timings).
 
     Counters (``hits``/``misses``/``uncacheable``) accumulate across
     the scheduler's lifetime and feed the service's ``/stats``.
     """
 
-    def __init__(self, session: Session, *, cache: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        session: Session,
+        *,
+        cache: Optional[object] = None,
+        fair_share: Optional[int] = None,
+    ) -> None:
+        if fair_share is not None and fair_share < 1:
+            raise ParameterError(
+                f"fair_share must be >= 1 (or None for one batch per "
+                f"caller), got {fair_share}"
+            )
         self.session = session
         self.cache = cache
+        self.fair_share = fair_share
         self._lock = threading.Lock()
-        self._compute_lock = threading.Lock()
+        self._turnstile = _Turnstile()
         self._inflight: Dict[str, _Pending] = {}
         self.hits = 0
         self.misses = 0
@@ -111,6 +173,7 @@ class CellScheduler:
                 "misses": self.misses,
                 "uncacheable": self.uncacheable,
                 "in_flight": len(self._inflight),
+                "fair_share": self.fair_share,
             }
 
     # -- the loop ------------------------------------------------------
@@ -204,42 +267,52 @@ class CellScheduler:
         kernel: str,
         progress: Optional[ProgressCallback],
     ) -> None:
-        """Run the claimed cells as one batch; always release claims."""
+        """Run the claimed cells chunk by chunk; always release claims.
+
+        With ``fair_share=None`` the whole ``todo`` list is one chunk —
+        one ``timed_run_cells`` call, one batch stamp, exactly the
+        historical behaviour.  Otherwise each chunk takes its own
+        turnstile turn, so other callers' chunks interleave between
+        ours.
+        """
+        share = self.fair_share or len(todo)
         try:
-            with self._compute_lock:
-                estimates, wall, cpu = timed_run_cells(
-                    self.session, [jobs[position] for position in todo]
+            for start in range(0, len(todo), share):
+                chunk = todo[start : start + share]
+                with self._turnstile.turn():
+                    estimates, wall, cpu = timed_run_cells(
+                        self.session, [jobs[position] for position in chunk]
+                    )
+                # One opaque id per batch: cells computed together share
+                # it, so ResultSet.wall_seconds can count each batch once
+                # even when two batches report equal wall clocks.
+                stamp = dict(
+                    spec_hash=spec_hash,
+                    block_size=self.session.block_size,
+                    backend=self.session.backend_name,
+                    git=git_describe(),
+                    wall_seconds=wall,
+                    compute_seconds=cpu,
+                    batch=uuid.uuid4().hex[:16],
+                    kernel=kernel,
                 )
-            # One opaque id per batch: cells computed together share
-            # it, so ResultSet.wall_seconds can count each batch once
-            # even when two batches report equal wall clocks.
-            stamp = dict(
-                spec_hash=spec_hash,
-                block_size=self.session.block_size,
-                backend=self.session.backend_name,
-                git=git_describe(),
-                wall_seconds=wall,
-                compute_seconds=cpu,
-                batch=uuid.uuid4().hex[:16],
-                kernel=kernel,
-            )
-            for position, estimate in zip(todo, estimates):
-                plan = plans[position]
-                record = CellRecord(
-                    key=plan.key,
-                    axes=dict(plan.axes),
-                    estimate=estimate,
-                    seed=plan.job.seed,
-                    **stamp,
-                )
-                records[position] = record
-                identity = identities[position]
-                if identity is not None:
-                    if self.cache is not None:
-                        self.cache.put(identity, record)
-                    self._resolve(identity, record=record)
-                if progress is not None:
-                    progress(plan, record, False)
+                for position, estimate in zip(chunk, estimates):
+                    plan = plans[position]
+                    record = CellRecord(
+                        key=plan.key,
+                        axes=dict(plan.axes),
+                        estimate=estimate,
+                        seed=plan.job.seed,
+                        **stamp,
+                    )
+                    records[position] = record
+                    identity = identities[position]
+                    if identity is not None:
+                        if self.cache is not None:
+                            self.cache.put(identity, record)
+                        self._resolve(identity, record=record)
+                    if progress is not None:
+                        progress(plan, record, False)
         except BaseException as exc:
             # Waiters must never hang on a claim the computing thread
             # abandoned; hand them the failure instead.

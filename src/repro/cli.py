@@ -246,6 +246,41 @@ def build_parser() -> argparse.ArgumentParser:
             "injection hook for the test suite; not for production)"
         ),
     )
+    p_worker.add_argument(
+        "--delay",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "sleep this long before each block (slow-loris fault-"
+            "injection hook for the test suite; not for production)"
+        ),
+    )
+    p_worker.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help=(
+            "connect with TLS, verifying the coordinator against this "
+            "CA (or against the coordinator's own certificate for "
+            "self-signed clusters)"
+        ),
+    )
+    p_worker.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help=(
+            "client certificate to present to coordinators that demand "
+            "mutual TLS (requires --tls-key)"
+        ),
+    )
+    p_worker.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -276,6 +311,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="log each HTTP request to stderr",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission bound: reject submissions with 503 + Retry-After "
+            "once this many are in flight (default 32; 0 = unbounded)"
+        ),
+    )
+    p_serve.add_argument(
+        "--fair-cells",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help=(
+            "cells per compute turn: concurrent submissions round-robin "
+            "at this granularity instead of queueing whole studies "
+            "(default 8; 0 = one monolithic batch per submission)"
+        ),
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-connection socket timeout so stalled clients cannot pin "
+            "handler threads (default 60; 0 = never time out)"
+        ),
     )
     _add_workers_flag(p_serve)
 
@@ -320,6 +386,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="give up if the service has not answered within this long",
     )
+    p_submit.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry transient failures (connection refused, 503) this "
+            "many times with jittered backoff (default 3; 0 = fail fast)"
+        ),
+    )
 
     sub.add_parser("list", help="list the available tables")
     return parser
@@ -344,6 +420,30 @@ def _positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(f"not a number: {text!r}")
     if not math.isfinite(value) or value <= 0:
         raise argparse.ArgumentTypeError(f"must be a finite value > 0, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0, where 0 disables the knob."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    """argparse type: a finite float >= 0, where 0 disables the knob."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a finite value >= 0, got {value}"
+        )
     return value
 
 
@@ -449,6 +549,54 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
             "roughly an order of magnitude faster, reproducible for a "
             "fixed seed and --chunk-size but not bit-comparable to "
             "exact results"
+        ),
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help=(
+            "with --backend distributed: serve TLS on the coordinator "
+            "socket with this certificate (requires --tls-key; workers "
+            "verify it via their --tls-ca)"
+        ),
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert",
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help=(
+            "with --tls-cert: also require workers to present client "
+            "certificates signed by this CA (mutual TLS).  Spawned "
+            "--cluster-workers inherit the right flags automatically."
+        ),
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --backend distributed: how long to wait for workers "
+            "to join before starting (default 10; raise on slow hosts)"
+        ),
+    )
+    parser.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "with --backend distributed: speculatively re-dispatch a "
+            "task in flight longer than X times its kind's expected "
+            "block time (default 4; 0 disables speculation).  Duplicate "
+            "results deduplicate, so output is bit-identical either way."
         ),
     )
 
@@ -860,13 +1008,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.sim.distributed import serve_worker
+    from repro.sim.distributed import TLSConfig, serve_worker
 
     kwargs = {}
     if args.idle_timeout is not None:
         kwargs["idle_timeout"] = args.idle_timeout
     if args.max_tasks is not None:
         kwargs["max_tasks"] = args.max_tasks
+    if args.delay is not None:
+        kwargs["delay"] = args.delay
+    if args.tls_ca or args.tls_cert:
+        kwargs["tls"] = TLSConfig(
+            cert=args.tls_cert, key=args.tls_key, ca=args.tls_ca
+        )
     try:
         return serve_worker(args.url, **kwargs)
     except OSError as exc:
@@ -880,11 +1034,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import DEFAULT_URL
 
     url = args.serve_url if args.serve_url is not None else DEFAULT_URL
+    # The daemon has defensive defaults; an explicit 0 disables a knob
+    # (mapped to None), and None keeps serve_forever's default.
+    kwargs = {}
+    if args.max_pending is not None:
+        kwargs["max_pending"] = args.max_pending or None
+    if args.fair_cells is not None:
+        kwargs["fair_share"] = args.fair_cells or None
+    if args.request_timeout is not None:
+        kwargs["request_timeout"] = args.request_timeout or None
     return serve_forever(
         ExecutionSettings.from_cli_args(args),
         args.cache,
         url,
         verbose=args.verbose,
+        **kwargs,
     )
 
 
@@ -922,6 +1086,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.timeout is not None:
         kwargs["timeout"] = args.timeout
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
     envelope = submit_study(
         url,
         payload,

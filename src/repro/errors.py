@@ -37,3 +37,14 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment/table specification is malformed or unknown."""
+
+
+class ServiceUnavailableError(ReproError):
+    """The study service is saturated; retry after backing off.
+
+    Raised when a submission arrives while the service's bounded
+    admission queue is full.  The HTTP layer maps it to ``503`` with a
+    ``Retry-After`` header, and the client's retry loop honours it —
+    resubmitting is always safe because study submissions are
+    idempotent (content-addressed cell cache, deterministic results).
+    """

@@ -86,6 +86,27 @@ class ExecutionSettings:
         per-rep path pinned by golden replay; ``"fast"`` opts into the
         vectorised kernel (:mod:`repro.sim.kernel`) — statistically
         equivalent, deterministic per block rather than per rep.
+    tls_cert / tls_key / tls_ca:
+        Distributed-backend TLS: the coordinator serves TLS with
+        ``tls_cert``/``tls_key`` (always together) and — with
+        ``tls_ca`` — demands worker certificates signed by that CA
+        (mutual TLS).  Loopback cluster workers spawned from these
+        settings receive the matching flags automatically; external
+        workers pass ``--tls-ca`` (and ``--tls-cert/--tls-key`` for
+        mTLS) to ``repro worker``.
+    connect_timeout:
+        Seconds the distributed backend waits for workers to join
+        before starting (``None`` = the coordinator default,
+        :data:`~repro.sim.distributed.DEFAULT_WAIT_TIMEOUT`); raise it
+        on slow CI hosts.
+    straggler_factor:
+        Straggler-speculation multiplier for the distributed backend:
+        a task in flight longer than this × its kind's EWMA block
+        latency is speculatively re-dispatched (idle worker or the
+        coordinator's local lane), with the resolve-once collection
+        deduplicating whichever copy finishes first.  ``None`` = the
+        coordinator default; ``0`` disables speculation.  Dispatch
+        only — results are bit-identical regardless.
     """
 
     backend: Optional[str] = None
@@ -98,6 +119,11 @@ class ExecutionSettings:
     #: for serial execution, where there is no dispatch to batch.
     adaptive_batching: bool = True
     kernel: str = "exact"
+    tls_cert: Optional[str] = None
+    tls_key: Optional[str] = None
+    tls_ca: Optional[str] = None
+    connect_timeout: Optional[float] = None
+    straggler_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         from repro.sim.backends import BACKEND_NAMES
@@ -144,6 +170,38 @@ class ExecutionSettings:
                 raise ConfigurationError(
                     "a coordinator URL requires --backend distributed"
                 )
+            if self.tls_cert or self.tls_key or self.tls_ca:
+                raise ConfigurationError(
+                    "--tls-cert/--tls-key/--tls-ca require "
+                    "--backend distributed"
+                )
+            if self.connect_timeout is not None:
+                raise ConfigurationError(
+                    "--connect-timeout requires --backend distributed"
+                )
+            if self.straggler_factor is not None:
+                raise ConfigurationError(
+                    "--straggler-factor requires --backend distributed"
+                )
+        if bool(self.tls_cert) != bool(self.tls_key):
+            raise ConfigurationError(
+                "--tls-cert and --tls-key must be provided together"
+            )
+        if self.tls_ca and not self.tls_cert:
+            raise ConfigurationError(
+                "--tls-ca on the coordinator side requires --tls-cert/"
+                "--tls-key (serving TLS needs a certificate; the CA only "
+                "adds mutual-TLS client verification)"
+            )
+        if self.connect_timeout is not None and self.connect_timeout <= 0:
+            raise ConfigurationError(
+                f"connect_timeout must be > 0, got {self.connect_timeout}"
+            )
+        if self.straggler_factor is not None and self.straggler_factor < 0:
+            raise ConfigurationError(
+                f"straggler_factor must be >= 0 (0 disables speculation), "
+                f"got {self.straggler_factor}"
+            )
 
     @classmethod
     def from_cli_args(cls, args) -> "ExecutionSettings":
@@ -161,6 +219,11 @@ class ExecutionSettings:
             url=getattr(args, "url", None),
             adaptive_batching=not getattr(args, "no_adaptive_batch", False),
             kernel=getattr(args, "kernel", None) or "exact",
+            tls_cert=getattr(args, "tls_cert", None),
+            tls_key=getattr(args, "tls_key", None),
+            tls_ca=getattr(args, "tls_ca", None),
+            connect_timeout=getattr(args, "connect_timeout", None),
+            straggler_factor=getattr(args, "straggler_factor", None),
         )
 
     @property
@@ -203,12 +266,22 @@ class ExecutionSettings:
                 chunk_size=self.chunk_size,
                 adaptive_batching=adaptive,
             )
+        tls = None
+        if self.tls_cert or self.tls_ca:
+            from repro.sim.distributed import TLSConfig
+
+            tls = TLSConfig(
+                cert=self.tls_cert, key=self.tls_key, ca=self.tls_ca
+            )
         return BatchRunner(
             backend="distributed",
             chunk_size=self.chunk_size,
             cluster_workers=self.cluster_workers or None,
             url=self.url,
             adaptive_batching=None if self.adaptive_batching else False,
+            tls=tls,
+            connect_timeout=self.connect_timeout,
+            straggler_factor=self.straggler_factor,
         )
 
 

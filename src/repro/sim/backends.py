@@ -513,19 +513,34 @@ class DistributedBackend:
         cluster: Optional[object] = None,
         batch_size: Optional[int] = None,
         max_retries: Optional[int] = None,
-        connect_timeout: float = 10.0,
+        connect_timeout: Optional[float] = None,
         adaptive_batching: Optional[bool] = None,
+        tls: Optional[object] = None,
+        straggler_factor: Optional[float] = None,
+        straggler_grace: Optional[float] = None,
     ) -> None:
         if isinstance(cluster, int):
             from repro.sim.distributed import LocalCluster
 
-            cluster = LocalCluster(cluster)
+            cluster = LocalCluster(cluster, tls=tls)
         self.url = url
         self.cluster = cluster
         self.batch_size = batch_size
         self.max_retries = max_retries
+        # None = coordinator default, unless the cluster carries its
+        # own advisory timeout (slow CI hosts configure it there).
+        if connect_timeout is None and cluster is not None:
+            connect_timeout = getattr(cluster, "connect_timeout", None)
         self.connect_timeout = connect_timeout
         self.adaptive_batching = adaptive_batching
+        #: :class:`~repro.sim.distributed.TLSConfig` (or None): the
+        #: coordinator serves TLS and a :class:`LocalCluster` built
+        #: here spawns workers with the matching flags.
+        self.tls = tls
+        #: None = coordinator default; 0 disables speculation (the
+        #: same convention ``--straggler-factor 0`` uses on the CLI).
+        self.straggler_factor = straggler_factor
+        self.straggler_grace = straggler_grace
         self._coordinator = None
 
     @property
@@ -560,25 +575,37 @@ class DistributedBackend:
                 kwargs["max_retries"] = self.max_retries
             if self.adaptive_batching is not None:
                 kwargs["adaptive_batching"] = self.adaptive_batching
+            if self.connect_timeout is not None:
+                kwargs["wait_timeout"] = self.connect_timeout
+            if self.tls is not None:
+                kwargs["tls"] = self.tls
+            if self.straggler_factor is not None:
+                kwargs["straggler_factor"] = (
+                    None if self.straggler_factor == 0
+                    else self.straggler_factor
+                )
+            if self.straggler_grace is not None:
+                kwargs["straggler_grace"] = self.straggler_grace
             self._coordinator = Coordinator(
                 self.url or "tcp://127.0.0.1:0", **kwargs
             )
             if self.cluster is not None:
                 self.cluster.start(self._coordinator.url)
                 connected = self._coordinator.wait_for_workers(
-                    self.cluster.size, timeout=self.connect_timeout
+                    self.cluster.size
                 )
                 if connected == 0 and self.cluster.size > 0:
                     # An explicitly requested cluster where *nothing*
                     # connected is a broken deployment (bad worker
-                    # entry point, wrong secret), not a transient
-                    # fault: failing loudly beats silently computing
-                    # the whole grid in-process.  Workers dying later
-                    # still fall back gracefully.
+                    # entry point, wrong secret, rejected TLS), not a
+                    # transient fault: failing loudly beats silently
+                    # computing the whole grid in-process.  Workers
+                    # dying later still fall back gracefully.
+                    timeout = self._coordinator.wait_timeout
                     self.close()
                     raise SimulationError(
                         f"none of the {self.cluster.size} cluster workers "
-                        f"connected within {self.connect_timeout}s"
+                        f"connected within {timeout}s"
                     )
                 if connected < self.cluster.size:
                     print(
@@ -590,9 +617,7 @@ class DistributedBackend:
                 # An explicit URL means external workers are expected;
                 # give the first one a moment to join so small batches
                 # don't fall back in-process before anyone arrives.
-                self._coordinator.wait_for_workers(
-                    1, timeout=self.connect_timeout
-                )
+                self._coordinator.wait_for_workers(1)
         return self._coordinator
 
 
@@ -603,6 +628,9 @@ def make_backend(
     cluster_workers: Optional[int] = None,
     url: Optional[str] = None,
     adaptive_batching: Optional[bool] = None,
+    tls: Optional[object] = None,
+    connect_timeout: Optional[float] = None,
+    straggler_factor: Optional[float] = None,
 ):
     """Resolve a backend selector to an :class:`ExecutionBackend`.
 
@@ -621,6 +649,13 @@ def make_backend(
     controls latency-adaptive dispatch for the parallel backends; it is
     a pure dispatch knob with no effect on results, and meaningless
     (rejected) for ``"serial"``.
+
+    The remaining knobs are ``"distributed"``-only: ``tls`` (a
+    :class:`~repro.sim.distributed.TLSConfig`) wraps the coordinator
+    socket, ``connect_timeout`` bounds the wait for workers to join,
+    and ``straggler_factor`` tunes speculative re-execution (``0``
+    disables it, ``None`` keeps the coordinator default) — all
+    dispatch/transport knobs with no effect on results.
     """
     if not isinstance(backend, str):
         if isinstance(backend, ExecutionBackend):
@@ -629,9 +664,13 @@ def make_backend(
                 or cluster_workers
                 or url is not None
                 or adaptive_batching is not None
+                or tls is not None
+                or connect_timeout is not None
+                or straggler_factor is not None
             ):
                 raise ParameterError(
-                    "workers/cluster_workers/url/adaptive_batching cannot "
+                    "workers/cluster_workers/url/adaptive_batching/tls/"
+                    "connect_timeout/straggler_factor cannot "
                     "reconfigure an already-constructed backend instance; "
                     "pass them when building it, or use a backend name"
                 )
@@ -647,6 +686,15 @@ def make_backend(
         raise ParameterError(
             f"cluster_workers/url only apply to backend='distributed', "
             f"not {backend!r}"
+        )
+    if backend != "distributed" and (
+        tls is not None
+        or connect_timeout is not None
+        or straggler_factor is not None
+    ):
+        raise ParameterError(
+            f"tls/connect_timeout/straggler_factor only apply to "
+            f"backend='distributed', not {backend!r}"
         )
     if backend in ("serial", "distributed") and workers is not None:
         raise ParameterError(
@@ -676,7 +724,12 @@ def make_backend(
     if backend == "distributed":
         cluster = cluster_workers if cluster_workers else None
         return DistributedBackend(
-            url=url, cluster=cluster, adaptive_batching=adaptive_batching
+            url=url,
+            cluster=cluster,
+            adaptive_batching=adaptive_batching,
+            tls=tls,
+            connect_timeout=connect_timeout,
+            straggler_factor=straggler_factor,
         )
     raise ParameterError(
         f"unknown backend {backend!r}; valid names: {', '.join(BACKEND_NAMES)}"

@@ -5,7 +5,10 @@ The off-host contract documented on the backend (picklable
 :class:`~repro.sim.montecarlo.CellAccumulator`\\ s out, idempotent
 recompute) is narrow enough that the transport can stay small: frames
 are an 8-byte big-endian length prefix followed by a pickle, flowing
-over plain TCP.  Three pieces ship here:
+over plain TCP — or TLS when a :class:`TLSConfig` is given (layered
+*under* the mutual-HMAC handshake, so the channel is encrypted and the
+peer still proves knowledge of the cluster secret before any pickle is
+parsed).  Three pieces ship here:
 
 * :func:`serve_worker` — the worker process's serve loop: connect to a
   coordinator, receive task batches, :func:`~repro.sim.backends.
@@ -30,7 +33,12 @@ survivors; results that already streamed back are kept; a task is
 resolved exactly once, so nothing is lost or double-merged; and because
 every block re-derives its random streams from the task payload alone,
 a recomputed block is bit-identical to the one the dead worker would
-have sent — the merged estimates match the serial pass exactly.
+have sent — the merged estimates match the serial pass exactly.  The
+same resolve-once property powers *straggler speculation*: a task in
+flight far past its kind's expected block time (a SIGSTOPped or
+slow-loris worker that keepalive cannot see) is speculatively
+re-dispatched to an idle worker or the coordinator's own local lane,
+and whichever copy lands first wins.
 
 Wire protocol (every frame: ``>Q`` length prefix + pickle of a tuple):
 
@@ -59,6 +67,7 @@ import os
 import pickle
 import secrets as _secrets
 import socket
+import ssl
 import struct
 import subprocess
 import sys
@@ -70,7 +79,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import ParameterError, SimulationError
+from repro.errors import ConfigurationError, ParameterError, SimulationError
 from repro.sim.backends import (
     BlockTask,
     DispatchStats,
@@ -83,6 +92,7 @@ from repro.sim.montecarlo import CellAccumulator
 __all__ = [
     "Coordinator",
     "LocalCluster",
+    "TLSConfig",
     "serve_worker",
     "parse_url",
     "SECRET_ENV",
@@ -91,6 +101,9 @@ __all__ = [
     "DEFAULT_MAX_RETRIES",
     "DEFAULT_HEARTBEAT",
     "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_WAIT_TIMEOUT",
+    "DEFAULT_STRAGGLER_FACTOR",
+    "DEFAULT_STRAGGLER_GRACE",
 ]
 
 #: Default coordinator port when a URL omits one.
@@ -105,6 +118,15 @@ DEFAULT_MAX_RETRIES = 3
 DEFAULT_HEARTBEAT = 5.0
 #: Seconds of silence after which a worker exits its serve loop.
 DEFAULT_IDLE_TIMEOUT = 120.0
+#: Default :meth:`Coordinator.wait_for_workers` timeout (seconds).
+DEFAULT_WAIT_TIMEOUT = 10.0
+#: A task in flight longer than ``straggler_factor ×`` its kind's EWMA
+#: block latency is speculatively re-dispatched.
+DEFAULT_STRAGGLER_FACTOR = 4.0
+#: Minimum in-flight seconds before any task counts as straggling —
+#: also the absolute threshold while the EWMA has no sample yet (a
+#: fleet that is entirely stuck never reports a latency to learn from).
+DEFAULT_STRAGGLER_GRACE = 10.0
 
 _HEADER = struct.Struct(">Q")
 #: Refuse absurd frames (a corrupt prefix would otherwise try to
@@ -155,6 +177,90 @@ def _authenticate_as_worker(sock: socket.socket, secret: bytes) -> None:
         raise ConnectionError("coordinator failed mutual authentication")
 
 
+# -- transport security ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TLSConfig:
+    """Opt-in TLS for the coordinator socket, layered *under* HMAC.
+
+    One config describes both ends of a cluster so a single triple of
+    paths can be handed to the coordinator and every worker alike:
+
+    * coordinator (server side): ``cert`` + ``key`` are required; when
+      ``ca`` is also set, workers must present certificates signed by
+      it (mutual TLS).
+    * worker (client side): the server certificate is verified against
+      ``ca`` — or against ``cert`` itself for self-signed single-cert
+      clusters — and ``cert``/``key`` are presented to coordinators
+      that demand client certificates.
+
+    Hostname checking is off: clusters connect by address with private
+    CAs, so the trust anchor — not a public name — is the identity.
+    TLS protects the *channel* (confidentiality, integrity, server
+    identity); the HMAC handshake that still runs inside it proves
+    knowledge of the cluster secret before any pickle is parsed.
+    """
+
+    cert: Optional[str] = None
+    key: Optional[str] = None
+    ca: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not (self.cert or self.key or self.ca):
+            raise ConfigurationError(
+                "TLSConfig needs at least one of cert/key/ca"
+            )
+        if bool(self.cert) != bool(self.key):
+            raise ConfigurationError(
+                "TLS cert and key must be provided together "
+                f"(got cert={self.cert!r}, key={self.key!r})"
+            )
+        for label, path in (
+            ("cert", self.cert), ("key", self.key), ("ca", self.ca)
+        ):
+            if path is not None and not os.path.isfile(path):
+                raise ConfigurationError(
+                    f"TLS {label} file not found: {path!r}"
+                )
+
+    def server_context(self) -> ssl.SSLContext:
+        """Context for the coordinator's accepted sockets."""
+        if not self.cert:
+            raise ConfigurationError(
+                "serving TLS requires a certificate and key "
+                "(--tls-cert/--tls-key)"
+            )
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        try:
+            context.load_cert_chain(self.cert, self.key)
+            if self.ca:
+                context.load_verify_locations(cafile=self.ca)
+                context.verify_mode = ssl.CERT_REQUIRED
+        except (ssl.SSLError, OSError) as exc:
+            raise ConfigurationError(f"failed to load TLS material: {exc}")
+        return context
+
+    def client_context(self) -> ssl.SSLContext:
+        """Context for a worker's connection to the coordinator."""
+        anchor = self.ca or self.cert
+        if not anchor:
+            raise ConfigurationError(
+                "connecting with TLS requires a CA (or the server's own "
+                "certificate) to verify the coordinator against (--tls-ca)"
+            )
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_REQUIRED
+        try:
+            context.load_verify_locations(cafile=anchor)
+            if self.cert:
+                context.load_cert_chain(self.cert, self.key)
+        except (ssl.SSLError, OSError) as exc:
+            raise ConfigurationError(f"failed to load TLS material: {exc}")
+        return context
+
+
 # -- framing -----------------------------------------------------------
 
 
@@ -168,7 +274,8 @@ def _enable_keepalive(sock: socket.socket) -> None:
     (cable pull, dropped route).  Kernel keepalive probes turn that
     into ``ECONNRESET`` within ~75 s here, which the normal
     broken-link path handles (requeue + fallback).  A SIGSTOPped peer
-    still ACKs probes — that case remains out of scope.
+    still ACKs probes — that case is invisible here and is handled one
+    layer up by the coordinator's straggler speculation instead.
     """
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
     # Per-protocol knobs are Linux-specific; degrade to plain keepalive
@@ -257,6 +364,8 @@ def serve_worker(
     max_tasks: Optional[int] = None,
     connect_timeout: float = 10.0,
     secret: Optional[bytes] = None,
+    tls: Optional[TLSConfig] = None,
+    delay: float = 0.0,
 ) -> int:
     """Serve blocks for the coordinator at ``url`` until told to stop.
 
@@ -271,25 +380,60 @@ def serve_worker(
     That is deliberately crash-shaped: it exists so the fault-injection
     suite can kill workers at exact, reproducible points.
 
+    ``delay`` sleeps that many seconds before each block — the
+    slow-loris fault-injection hook: the link stays perfectly healthy
+    (pings answered, keepalive happy) while claimed work barely moves,
+    which is exactly the pathology straggler speculation exists to
+    absorb.
+
     ``secret`` is the cluster's shared secret for the mutual HMAC
     handshake (default: the ``REPRO_CLUSTER_SECRET`` environment
     variable; empty = unauthenticated, loopback-only coordinators).
+    ``tls`` wraps the connection before the handshake (the coordinator
+    must be serving TLS too).
 
     Returns the process exit code (0 — disconnects and idle timeouts,
     including a coordinator that vanishes mid-block, are normal worker
     lifecycle, not errors).  Only a failure to *establish* the
-    connection (unreachable host, failed handshake) raises.
+    connection (unreachable host, failed handshake, TLS rejection)
+    raises.
     """
     host, port = parse_url(url)
     if port == 0:
         raise ParameterError("worker needs an explicit coordinator port, got 0")
     if secret is None:
         secret = _default_secret()
+    if delay < 0:
+        raise ParameterError(f"delay must be >= 0, got {delay}")
     completed = 0
-    with socket.create_connection((host, port), timeout=connect_timeout) as sock:
-        sock.settimeout(idle_timeout)
+    with socket.create_connection((host, port), timeout=connect_timeout) as raw_sock:
+        if tls is not None:
+            context = tls.client_context()
+            try:
+                sock = context.wrap_socket(raw_sock, server_hostname=host)
+            except (ssl.SSLError, socket.timeout) as exc:
+                raise ConfigurationError(
+                    f"TLS handshake with coordinator {host}:{port} failed: "
+                    f"{exc} (is the coordinator serving TLS, and does its "
+                    f"certificate match the CA?)"
+                )
+        else:
+            sock = raw_sock
+        # The application handshake should be near-instant; keep it on
+        # the (short) connect timeout so a protocol-mismatched peer —
+        # e.g. a TLS coordinator we are speaking plaintext to, which
+        # will never send the HMAC nonce — fails fast instead of
+        # hanging a full idle_timeout.
+        sock.settimeout(connect_timeout)
         _enable_keepalive(sock)
-        _authenticate_as_worker(sock, secret)
+        try:
+            _authenticate_as_worker(sock, secret)
+        except socket.timeout:
+            raise ConnectionError(
+                f"coordinator {host}:{port} did not complete the handshake "
+                f"within {connect_timeout}s (TLS/plaintext mismatch?)"
+            )
+        sock.settimeout(idle_timeout)
         try:
             _send_msg(sock, ("hello", os.getpid()))
             while True:
@@ -309,6 +453,8 @@ def serve_worker(
                 for index, block_task in batch:
                     if max_tasks is not None and completed >= max_tasks:
                         return 0  # injected crash: abandon rest of batch
+                    if delay:
+                        time.sleep(delay)
                     started = time.perf_counter()
                     try:
                         accumulator = execute_block(block_task)
@@ -379,13 +525,49 @@ class Coordinator:
         poll_interval: float = 0.05,
         secret: Optional[bytes] = None,
         adaptive_batching: bool = True,
+        wait_timeout: float = DEFAULT_WAIT_TIMEOUT,
+        tls: Optional[TLSConfig] = None,
+        straggler_factor: Optional[float] = DEFAULT_STRAGGLER_FACTOR,
+        straggler_grace: float = DEFAULT_STRAGGLER_GRACE,
     ) -> None:
         if batch_size < 1:
             raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
         if max_retries < 1:
             raise ParameterError(f"max_retries must be >= 1, got {max_retries}")
+        if wait_timeout <= 0:
+            raise ParameterError(
+                f"wait_timeout must be > 0, got {wait_timeout}"
+            )
+        if straggler_factor is not None and straggler_factor <= 0:
+            raise ParameterError(
+                f"straggler_factor must be > 0 (or None to disable "
+                f"speculation), got {straggler_factor}"
+            )
+        if straggler_grace <= 0:
+            raise ParameterError(
+                f"straggler_grace must be > 0, got {straggler_grace}"
+            )
         self.batch_size = int(batch_size)
         self.max_retries = int(max_retries)
+        self.wait_timeout = float(wait_timeout)
+        #: Straggler speculation: a task in flight longer than
+        #: ``straggler_factor ×`` its kind's EWMA block latency (or
+        #: ``straggler_grace`` seconds absolute while no latency sample
+        #: exists) is re-queued for whichever idle worker — or the
+        #: coordinator's own local lane — gets there first; the
+        #: epoch-tagged resolve-once collection keeps whichever copy
+        #: lands first and drops the other.  Safe because a block is a
+        #: pure function of its task payload: the duplicate is
+        #: bit-identical.  ``None`` disables speculation.
+        self.straggler_factor = (
+            None if straggler_factor is None else float(straggler_factor)
+        )
+        self.straggler_grace = float(straggler_grace)
+        #: Speculative re-dispatches performed (telemetry for tests).
+        self.speculations = 0
+        # Built eagerly so a bad cert path fails at construction, not
+        # at first connect.
+        self._ssl_context = None if tls is None else tls.server_context()
         #: Latency-adaptive claim sizing (see :class:`~repro.sim.
         #: backends.DispatchStats`): workers report per-block compute
         #: seconds with each result, and a claim takes up to
@@ -424,6 +606,13 @@ class Coordinator:
         self._attempts: Dict[int, int] = {}
         self._results: Dict[int, CellAccumulator] = {}
         self._resolved: Set[int] = set()
+        # Straggler bookkeeping (per batch, guarded by _cond):
+        # dispatch timestamps per (epoch, index), indices already
+        # speculated once, and whether the last scan saw any overdue
+        # in-flight task (which opens the coordinator's local lane).
+        self._dispatched: Dict[Tuple[int, int], float] = {}
+        self._speculated: Set[int] = set()
+        self._stalled = False
         self._batch_lock = threading.Lock()
         self._finalizer = weakref.finalize(self, _close_socket, listener)
         self._accept_thread = threading.Thread(
@@ -444,13 +633,20 @@ class Coordinator:
         with self._cond:
             return len(self._links)
 
-    def wait_for_workers(self, count: int, timeout: float = 10.0) -> int:
+    def wait_for_workers(
+        self, count: int, timeout: Optional[float] = None
+    ) -> int:
         """Block until ``count`` workers are connected (or timeout).
 
-        Returns the number actually connected — never raises: running
-        short-handed (even zero-handed) is a supported degraded mode,
-        the batch just leans on the in-process fallback.
+        ``timeout`` defaults to the coordinator's ``wait_timeout``
+        (itself :data:`DEFAULT_WAIT_TIMEOUT` unless configured — slow
+        CI hosts raise it via ``--connect-timeout``).  Returns the
+        number actually connected — never raises: running short-handed
+        (even zero-handed) is a supported degraded mode, the batch just
+        leans on the in-process fallback.
         """
+        if timeout is None:
+            timeout = self.wait_timeout
         deadline = time.monotonic() + timeout
         with self._cond:
             while len(self._links) < count and not self._closed:
@@ -483,6 +679,9 @@ class Coordinator:
                 self._attempts = {}
                 self._results = {}
                 self._resolved = set()
+                self._dispatched = {}
+                self._speculated = set()
+                self._stalled = False
                 self._cond.notify_all()
             try:
                 while True:
@@ -493,9 +692,11 @@ class Coordinator:
                             raise SimulationError(
                                 "coordinator closed while a batch was running"
                             )
+                        self._scan_stragglers_locked()
                         local = self._take_local_locked()
                         if not local:
                             self._cond.wait(self.poll_interval)
+                            self._scan_stragglers_locked()
                             local = self._take_local_locked()
                     for index in local:
                         # Runs the genuine job code in this process: a
@@ -510,6 +711,9 @@ class Coordinator:
                     self._tasks = ()
                     self._queue.clear()
                     self._local_pending = []
+                    self._dispatched = {}
+                    self._speculated = set()
+                    self._stalled = False
                     self._cond.notify_all()
 
     def close(self) -> None:
@@ -558,6 +762,17 @@ class Coordinator:
         link: Optional[_Link] = None
         try:
             sock.settimeout(self.heartbeat * 4)
+            if self._ssl_context is not None:
+                # TLS first, HMAC inside it: a peer that cannot
+                # complete the TLS handshake (no cert, wrong CA,
+                # plaintext) is dropped before a single application
+                # byte — let alone a pickle — is read.
+                try:
+                    sock = self._ssl_context.wrap_socket(
+                        sock, server_side=True
+                    )
+                except (ssl.SSLError, socket.timeout, OSError):
+                    return
             _enable_keepalive(sock)
             if not _authenticate_as_server(sock, self._secret):
                 return  # failed the challenge: never unpickle its bytes
@@ -623,6 +838,12 @@ class Coordinator:
             while True:
                 if self._closed:
                     return None
+                if self._active:
+                    # Speculated entries whose original already
+                    # resolved are dead weight: drop them here so the
+                    # adaptive head-kind probe below sees a live task.
+                    while self._queue and self._queue[0] in self._resolved:
+                        self._queue.popleft()
                 if self._active and self._queue:
                     epoch = self._epoch
                     adaptive = self.adaptive_batching
@@ -651,6 +872,12 @@ class Coordinator:
                     batch: List[Tuple[int, BlockTask]] = []
                     while self._queue and len(batch) < size:
                         index = self._queue[0]
+                        if index in self._resolved:
+                            # A speculated task whose original copy won
+                            # the race while it sat queued: nothing to
+                            # dispatch.
+                            self._queue.popleft()
+                            continue
                         if (
                             adaptive
                             and batch
@@ -660,7 +887,10 @@ class Coordinator:
                         self._queue.popleft()
                         self._attempts[index] = self._attempts.get(index, 0) + 1
                         link.in_flight.add((epoch, index))
+                        self._dispatched[(epoch, index)] = time.monotonic()
                         batch.append((index, self._tasks[index]))
+                    if not batch:
+                        continue  # queue held only resolved leftovers
                     return epoch, batch
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -684,6 +914,7 @@ class Coordinator:
         with self._cond:
             if link is not None:
                 link.in_flight.discard((epoch, index))
+            self._dispatched.pop((epoch, index), None)
             if not self._active or epoch != self._epoch or index in self._resolved:
                 return
             if seconds is not None and isinstance(seconds, float):
@@ -730,6 +961,7 @@ class Coordinator:
         with self._cond:
             self._links.pop(link.wid, None)
             for epoch, index in link.in_flight:
+                self._dispatched.pop((epoch, index), None)
                 if (
                     not self._active
                     or epoch != self._epoch
@@ -744,21 +976,72 @@ class Coordinator:
             link.in_flight.clear()
             self._cond.notify_all()
 
+    def _scan_stragglers_locked(self) -> None:
+        """Flag overdue in-flight tasks and speculatively requeue them.
+
+        Called with ``_cond`` held from the :meth:`run_tasks` loop.  A
+        task is overdue when it has been in flight longer than
+        ``straggler_factor ×`` its kind's EWMA block latency — or
+        longer than ``straggler_grace`` seconds while the EWMA has no
+        sample (a wholly stuck fleet never reports one), with the grace
+        also acting as a floor so microsecond-block EWMAs cannot turn
+        scheduling jitter into speculation storms.  Each overdue task
+        is requeued at most once per batch; idle workers claim the
+        copy, and ``_stalled`` opens the coordinator's local execution
+        lane (see :meth:`_take_local_locked`) so the batch drains even
+        when *every* worker is stuck.  Whichever copy resolves first
+        wins; :meth:`_record` drops the loser.
+        """
+        if self.straggler_factor is None or not self._active:
+            return
+        self._stalled = False
+        if not self._dispatched:
+            return
+        now = time.monotonic()
+        for (epoch, index), started in list(self._dispatched.items()):
+            if epoch != self._epoch or index in self._resolved:
+                continue
+            kind = dispatch_kind(self._tasks[index])
+            ewma = self.dispatch_stats.block_latency(kind)
+            if ewma is None:
+                threshold = self.straggler_grace
+            else:
+                threshold = max(
+                    self.straggler_factor * ewma, self.straggler_grace
+                )
+            if now - started <= threshold:
+                continue
+            self._stalled = True
+            if index not in self._speculated:
+                self._speculated.add(index)
+                self.speculations += 1
+                self._queue.append(index)
+                self._cond.notify_all()
+
     def _take_local_locked(self) -> List[int]:
         """Indices the caller's thread should compute in-process now.
 
         Always the designated-local backlog (unpicklable jobs, retry
-        exhaustion, worker errors); plus — when no workers are
-        connected — *one* task off the queue.  One, not all: the
-        no-workers fallback keeps the batch progressing at serial
-        speed, but a worker that connects mid-batch (the external
-        ``repro worker`` path, where workers race the first batch)
-        still finds the rest of the queue waiting for it.
+        exhaustion, worker errors); plus *one* task off the queue when
+        either (a) no workers are connected, or (b) the last straggler
+        scan found an overdue in-flight task — a stalled fleet means
+        the queue is not draining, so the coordinator host's CPUs join
+        the pool instead of idling behind a SIGSTOPped worker that
+        still looks alive to keepalive.  One task, not all: the batch
+        progresses at least at serial speed while a worker that
+        connects (or recovers) mid-batch still finds the rest of the
+        queue waiting for it.
         """
         local = self._local_pending
         self._local_pending = []
-        if not self._links and self._queue:
-            local.append(self._queue.popleft())
+        take_from_queue = not self._links or self._stalled
+        if take_from_queue:
+            while self._queue:
+                index = self._queue.popleft()
+                if index in self._resolved:
+                    continue  # a speculated copy already resolved
+                local.append(index)
+                break
         return local
 
 
@@ -799,6 +1082,9 @@ class LocalCluster:
         python: Optional[str] = None,
         max_respawns: int = 0,
         respawn_poll: float = 0.2,
+        tls: Optional[TLSConfig] = None,
+        delay: Union[None, float, Sequence[Optional[float]]] = None,
+        connect_timeout: Optional[float] = None,
     ) -> None:
         if workers < 0:
             raise ParameterError(f"workers must be >= 0, got {workers}")
@@ -809,6 +1095,10 @@ class LocalCluster:
         if respawn_poll <= 0:
             raise ParameterError(
                 f"respawn_poll must be > 0, got {respawn_poll}"
+            )
+        if connect_timeout is not None and connect_timeout <= 0:
+            raise ParameterError(
+                f"connect_timeout must be > 0, got {connect_timeout}"
             )
         self.size = int(workers)
         self.idle_timeout = float(idle_timeout)
@@ -821,6 +1111,26 @@ class LocalCluster:
                     f"max_tasks needs one entry per worker "
                     f"({self.size}), got {len(self.max_tasks)}"
                 )
+        #: ``delay`` — seconds a worker sleeps before each block, one
+        #: value or one per worker — is the slow-loris injection hook:
+        #: the link stays healthy while claimed work crawls.
+        if delay is None or isinstance(delay, (int, float)):
+            self.delay: List[Optional[float]] = [delay] * self.size
+        else:
+            self.delay = list(delay)
+            if len(self.delay) != self.size:
+                raise ParameterError(
+                    f"delay needs one entry per worker "
+                    f"({self.size}), got {len(self.delay)}"
+                )
+        #: TLS material forwarded to each spawned worker (the
+        #: coordinator these workers connect to must serve TLS).
+        self.tls = tls
+        #: Advisory wait-for-workers timeout for whoever starts this
+        #: cluster (slow CI hosts set it higher than the default).
+        self.connect_timeout = (
+            None if connect_timeout is None else float(connect_timeout)
+        )
         self.python = python or sys.executable
         self.max_respawns = int(max_respawns)
         self.respawn_poll = float(respawn_poll)
@@ -833,13 +1143,28 @@ class LocalCluster:
         self._monitor: Optional[threading.Thread] = None
         self._finalizer: Optional[weakref.finalize] = None
 
-    def _spawn(self, url: str, cap: Optional[int], env) -> subprocess.Popen:
+    def _spawn(self, url: str, index: int, env) -> subprocess.Popen:
         command = [
             self.python, "-m", "repro", "worker", url,
             "--idle-timeout", str(self.idle_timeout),
         ]
+        cap = self.max_tasks[index]
         if cap is not None:
             command += ["--max-tasks", str(cap)]
+        delay = self.delay[index]
+        if delay:
+            command += ["--delay", str(delay)]
+        if self.tls is not None:
+            # Workers verify the coordinator against the CA — or the
+            # coordinator's own cert for self-signed clusters — and
+            # present the cert/key pair for mutual TLS when one is
+            # configured.
+            anchor = self.tls.ca or self.tls.cert
+            if anchor:
+                command += ["--tls-ca", anchor]
+            if self.tls.cert:
+                command += ["--tls-cert", self.tls.cert,
+                            "--tls-key", self.tls.key]
         return subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
 
     def start(self, url: str) -> None:
@@ -857,7 +1182,7 @@ class LocalCluster:
         )
         with self._lock:
             self._procs = [
-                self._spawn(url, cap, env) for cap in self.max_tasks
+                self._spawn(url, index, env) for index in range(self.size)
             ]
         self._finalizer = weakref.finalize(
             self, _terminate_procs, list(self._procs)
@@ -894,9 +1219,7 @@ class LocalCluster:
                     return True
                 if proc.poll() is None or proc.returncode == 0:
                     continue
-                self._procs[index] = self._spawn(
-                    url, self.max_tasks[index], env
-                )
+                self._procs[index] = self._spawn(url, index, env)
                 self.respawns += 1
                 self._respawn_budget -= 1
                 # Keep the GC safety net current: the finalizer must

@@ -128,6 +128,13 @@ class BatchRunner:
         on or off.  ``None`` = backend default (on).  Ignored for
         in-process execution (``workers=1``), which has no dispatch;
         the explicit ``backend="serial"`` name still rejects it.
+    tls / connect_timeout / straggler_factor:
+        ``backend="distributed"`` only (rejected elsewhere): a
+        :class:`~repro.sim.distributed.TLSConfig` wrapping the
+        coordinator socket, the wait-for-workers timeout, and the
+        straggler-speculation multiplier (``0`` disables speculation).
+        All transport/dispatch knobs — results are bit-identical
+        regardless.
     """
 
     def __init__(
@@ -139,6 +146,9 @@ class BatchRunner:
         cluster_workers: Optional[int] = None,
         url: Optional[str] = None,
         adaptive_batching: Optional[bool] = None,
+        tls: Optional[object] = None,
+        connect_timeout: Optional[float] = None,
+        straggler_factor: Optional[float] = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -150,12 +160,24 @@ class BatchRunner:
                 cluster_workers=cluster_workers,
                 url=url,
                 adaptive_batching=adaptive_batching,
+                tls=tls,
+                connect_timeout=connect_timeout,
+                straggler_factor=straggler_factor,
             )
             self.workers = getattr(self.backend, "workers", 1)
             return
         if cluster_workers or url:
             raise ParameterError(
                 "cluster_workers/url only apply to backend='distributed'"
+            )
+        if (
+            tls is not None
+            or connect_timeout is not None
+            or straggler_factor is not None
+        ):
+            raise ParameterError(
+                "tls/connect_timeout/straggler_factor only apply to "
+                "backend='distributed'"
             )
         if workers is _UNSET_WORKERS:
             workers = 1  # the historical serial default

@@ -18,15 +18,23 @@ original, so at-least-once delivery plus resolve-once collection
 cannot change the moments.
 """
 
+import os
 import random
+import shutil
+import signal
+import socket
+import subprocess
 import threading
 import time
 from functools import partial
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.checkpoints import CostModel
 from repro.core.schemes import KFaultTolerantPolicy, PoissonArrivalPolicy
+from repro.errors import ConfigurationError
 from repro.sim.backends import (
     CellJob,
     DistributedBackend,
@@ -34,7 +42,15 @@ from repro.sim.backends import (
     execute_block,
     plan_blocks,
 )
-from repro.sim.distributed import LocalCluster
+from repro.sim.distributed import (
+    Coordinator,
+    LocalCluster,
+    TLSConfig,
+    serve_worker,
+    _authenticate_as_worker,
+    _recv_msg,
+    _send_msg,
+)
 from repro.sim.fastpath import StaticCellJob, static_cell_for_scheme
 from repro.sim.montecarlo import CellAccumulator
 from repro.sim.parallel import BatchRunner
@@ -347,3 +363,318 @@ class TestMergeIdempotence:
         assert [repr(a.finalize()) for a in fallback] == [
             repr(a.finalize()) for a in local
         ]
+
+
+# ---------------------------------------------------------------------------
+# transport security: TLS under the HMAC handshake
+
+
+def _make_self_signed(directory, name):
+    """One self-signed cert+key pair via the openssl CLI."""
+    cert = str(directory / f"{name}-cert.pem")
+    key = str(directory / f"{name}-key.pem")
+    subprocess.run(
+        [
+            "openssl", "req", "-x509", "-newkey", "rsa:2048",
+            "-keyout", key, "-out", cert, "-days", "2", "-nodes",
+            "-subj", f"/CN=repro-test-{name}",
+        ],
+        check=True,
+        capture_output=True,
+    )
+    return cert, key
+
+
+@pytest.fixture(scope="module")
+def tls_material(tmp_path_factory):
+    """(cert, key) for the cluster plus an unrelated decoy cert."""
+    if shutil.which("openssl") is None:
+        pytest.skip("openssl CLI not available to mint test certificates")
+    directory = tmp_path_factory.mktemp("tls")
+    cert, key = _make_self_signed(directory, "cluster")
+    decoy_cert, _decoy_key = _make_self_signed(directory, "decoy")
+    return cert, key, decoy_cert
+
+
+class TestTLS:
+    def test_tls_cluster_grid_is_identical_to_serial(
+        self, tls_material, serial_reference
+    ):
+        """Full stack over TLS — LocalCluster workers verify the
+        coordinator against its own self-signed cert — and the merged
+        estimates are byte-equal to serial (encryption is pure
+        transport, invisible to seeding and merge order)."""
+        cert, key, _ = tls_material
+        config = TLSConfig(cert=cert, key=key)
+        backend = DistributedBackend(
+            cluster=LocalCluster(2, tls=config), tls=config
+        )
+        estimates = _run_distributed(backend)
+        _assert_identical_to_serial(estimates, serial_reference)
+
+    def test_worker_rejects_coordinator_with_untrusted_cert(
+        self, tls_material
+    ):
+        """A worker whose CA anchor does not sign the coordinator's
+        certificate refuses the connection — cleanly, as a
+        ConfigurationError, before any handshake bytes are trusted."""
+        cert, key, decoy_cert = tls_material
+        with Coordinator(tls=TLSConfig(cert=cert, key=key)) as coordinator:
+            with pytest.raises(ConfigurationError, match="TLS handshake"):
+                serve_worker(
+                    coordinator.url,
+                    tls=TLSConfig(ca=decoy_cert),
+                    secret=b"",
+                    connect_timeout=10.0,
+                )
+
+    def test_plaintext_worker_against_tls_coordinator_fails_fast(
+        self, tls_material
+    ):
+        """A plaintext worker dialing a TLS coordinator deadlocks at the
+        protocol level (both sides wait for the other's first byte);
+        the worker's bounded handshake phase turns that into a prompt
+        ConnectionError instead of an idle_timeout hang."""
+        cert, key, _ = tls_material
+        with Coordinator(tls=TLSConfig(cert=cert, key=key)) as coordinator:
+            started = time.monotonic()
+            with pytest.raises(
+                ConnectionError, match="did not complete the handshake"
+            ):
+                serve_worker(
+                    coordinator.url, secret=b"", connect_timeout=1.0
+                )
+            assert time.monotonic() - started < 10.0
+
+    def test_tls_worker_against_plaintext_coordinator_fails_cleanly(
+        self, tls_material
+    ):
+        """The reverse mismatch: the plaintext coordinator answers the
+        ClientHello with its HMAC nonce, which is not a TLS record —
+        the worker must surface a ConfigurationError, not garbage."""
+        cert, _, _ = tls_material
+        with Coordinator() as coordinator:
+            with pytest.raises(ConfigurationError, match="TLS handshake"):
+                serve_worker(
+                    coordinator.url,
+                    tls=TLSConfig(ca=cert),
+                    secret=b"",
+                    connect_timeout=5.0,
+                )
+
+    def test_tls_config_validation(self, tls_material, tmp_path):
+        cert, key, _ = tls_material
+        with pytest.raises(ConfigurationError, match="together"):
+            TLSConfig(cert=cert)  # cert without key
+        with pytest.raises(ConfigurationError, match="at least one"):
+            TLSConfig()
+        with pytest.raises(ConfigurationError, match="not found"):
+            TLSConfig(ca=str(tmp_path / "missing.pem"))
+        with pytest.raises(ConfigurationError, match="certificate and key"):
+            TLSConfig(ca=cert).server_context()  # serving needs a cert
+        # The happy paths build real ssl contexts.
+        assert TLSConfig(cert=cert, key=key).server_context() is not None
+        assert TLSConfig(ca=cert).client_context() is not None
+
+
+# ---------------------------------------------------------------------------
+# stragglers: detection, speculation, resolve-once
+
+
+class TestStragglers:
+    def test_sigstop_mid_batch_completes_via_speculation(
+        self, serial_reference
+    ):
+        """The hole keepalive cannot see: a SIGSTOPped worker's kernel
+        still ACKs probes while its claimed blocks sit frozen forever.
+        The straggler scan must flag them, speculate duplicates, and
+        finish the grid byte-identical to serial."""
+        coordinator = Coordinator(straggler_grace=1.0, straggler_factor=4.0)
+        # Worker 0 sleeps 5 s per block so it is guaranteed mid-block
+        # (tasks claimed, none returned) when the SIGSTOP lands.
+        cluster = LocalCluster(2, delay=(5.0, None))
+        stopped = None
+        try:
+            cluster.start(coordinator.url)
+            assert coordinator.wait_for_workers(2, timeout=30.0) == 2
+            outcome = {}
+
+            def run():
+                outcome["estimates"] = _merge_through(
+                    coordinator, plan_blocks(_grid_jobs(), CHUNK)
+                )
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(0.5)  # both workers have claimed their batches
+            stopped = cluster.processes[0].pid
+            os.kill(stopped, signal.SIGSTOP)
+            thread.join(timeout=120.0)
+            assert not thread.is_alive(), "grid never completed after SIGSTOP"
+            assert coordinator.speculations >= 1
+            _assert_identical_to_serial(
+                outcome["estimates"], serial_reference
+            )
+        finally:
+            if stopped is not None:
+                # A stopped process never sees SIGTERM; kill it outright
+                # so cluster.close() does not burn its terminate grace.
+                try:
+                    os.kill(stopped, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            cluster.close()
+            coordinator.close()
+
+    def test_slow_loris_worker_is_speculated_around(self, serial_reference):
+        """A worker whose link is perfectly healthy but whose compute
+        barely moves (the delay hook) must not gate the batch: after
+        the grace its blocks are speculated and the grid finishes at
+        local speed."""
+        coordinator = Coordinator(straggler_grace=0.5)
+        cluster = LocalCluster(1, delay=30.0)
+        try:
+            cluster.start(coordinator.url)
+            assert coordinator.wait_for_workers(1, timeout=30.0) == 1
+            started = time.monotonic()
+            estimates = _merge_through(
+                coordinator, plan_blocks(_grid_jobs(), CHUNK)
+            )
+            elapsed = time.monotonic() - started
+            assert coordinator.speculations >= 1
+            assert elapsed < 25.0  # nowhere near the 30 s/block worker
+            _assert_identical_to_serial(estimates, serial_reference)
+        finally:
+            cluster.close()
+            coordinator.close()
+
+    def test_speculation_disabled_runs_like_the_legacy_coordinator(
+        self, serial_reference
+    ):
+        """straggler_factor=0 at the backend maps to None at the
+        coordinator: no scans, no speculations, results unchanged."""
+        backend = DistributedBackend(
+            cluster=LocalCluster(1), straggler_factor=0
+        )
+        runner = BatchRunner(backend=backend, chunk_size=CHUNK)
+        try:
+            estimates = runner.run_cells(_grid_jobs())
+            coordinator = backend._coordinator
+            assert coordinator is not None
+            assert coordinator.straggler_factor is None
+            assert coordinator.speculations == 0
+        finally:
+            runner.close()
+        _assert_identical_to_serial(estimates, serial_reference)
+
+    def test_wait_for_workers_default_is_configurable(self):
+        """Satellite: the historical hard-coded 10 s default is now the
+        coordinator's wait_timeout, and LocalCluster carries the knob
+        as an advisory attribute the backend reads."""
+        with Coordinator(wait_timeout=0.3) as coordinator:
+            started = time.monotonic()
+            assert coordinator.wait_for_workers(1) == 0  # nobody connects
+            elapsed = time.monotonic() - started
+            assert 0.2 <= elapsed < 5.0
+        cluster = LocalCluster(1, connect_timeout=7.5)
+        assert cluster.connect_timeout == 7.5
+
+
+class TestSpeculativeDuplicates:
+    """Property: resolve-once collection absorbs any duplication.
+
+    A fake worker speaks the real wire protocol (TCP, HMAC handshake,
+    pickle frames) and delivers every block's result 1 + k times, k
+    drawn per block — exactly what a speculated task whose original
+    copy also finishes looks like.  Whatever the duplication pattern,
+    each cell resolves exactly once and the merged estimates are
+    byte-identical to serial.
+    """
+
+    JOBS_SEED = 11
+
+    @staticmethod
+    def _property_jobs():
+        task = _task()
+        return [
+            StaticCellJob(
+                spec=static_cell_for_scheme(task, "Poisson", 1.0),
+                reps=24,
+                seed=11,
+            ),
+            StaticCellJob(
+                spec=static_cell_for_scheme(task, "k-f-t", 1.0),
+                reps=24,
+                seed=12,
+            ),
+        ]
+
+    @classmethod
+    def _serial_baseline(cls):
+        if not hasattr(cls, "_baseline"):
+            cls._baseline = BatchRunner.serial(chunk_size=CHUNK).run_cells(
+                cls._property_jobs()
+            )
+        return cls._baseline
+
+    @staticmethod
+    def _fake_worker(url, copies_per_index):
+        """Serve one connection, sending duplicate results on purpose."""
+        from repro.sim.distributed import parse_url
+
+        host, port = parse_url(url)
+        with socket.create_connection((host, port), timeout=30.0) as sock:
+            sock.settimeout(30.0)
+            _authenticate_as_worker(sock, b"")
+            _send_msg(sock, ("hello", os.getpid()))
+            while True:
+                try:
+                    message = _recv_msg(sock)
+                except (ConnectionError, OSError):
+                    return
+                kind = message[0]
+                if kind == "shutdown":
+                    return
+                if kind == "ping":
+                    _send_msg(sock, ("pong",))
+                    continue
+                if kind != "tasks":
+                    continue
+                _, epoch, batch = message
+                for index, block_task in batch:
+                    accumulator = execute_block(block_task)
+                    copies = 1 + copies_per_index.get(index, 0)
+                    for _ in range(copies):
+                        _send_msg(
+                            sock,
+                            ("result", epoch, index, accumulator, 0.001),
+                        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(dups=st.lists(st.integers(0, 2), min_size=6, max_size=6))
+    def test_duplicate_deliveries_resolve_once_bit_identical(self, dups):
+        jobs = self._property_jobs()
+        tasks = plan_blocks(jobs, CHUNK)
+        assert len(tasks) == 6  # the strategy's min/max_size pin this
+        copies_per_index = {index: k for index, k in enumerate(dups)}
+        coordinator = Coordinator(secret=b"", straggler_factor=None)
+        worker = threading.Thread(
+            target=self._fake_worker,
+            args=(coordinator.url, copies_per_index),
+            daemon=True,
+        )
+        try:
+            worker.start()
+            assert coordinator.wait_for_workers(1, timeout=30.0) == 1
+            estimates = _merge_through(coordinator, tasks)
+        finally:
+            coordinator.close()
+            worker.join(timeout=10.0)
+        baseline = self._serial_baseline()
+        assert [cell.reps for cell in estimates] == [
+            job.reps for job in jobs
+        ]
+        assert all(
+            ours.same_values(ref)
+            for ours, ref in zip(estimates, baseline)
+        )

@@ -16,6 +16,7 @@ The correctness wall this suite pins, layer by layer:
 import json
 import os
 import threading
+import time
 
 import pytest
 
@@ -461,3 +462,352 @@ class TestServeEntrypoint:
         submit_study(url, ROW_SPEC)
         # serve_forever only exits on KeyboardInterrupt; the daemon
         # thread is reaped with the test process.
+
+
+# ---------------------------------------------------------------------------
+# hostile clients: malformed framing, saturation, stalled connections
+
+
+def _raw_http(url, request_bytes, *, timeout=10.0):
+    """One raw-socket HTTP exchange (for requests urllib refuses to send)."""
+    import socket
+
+    host, port = url.replace("http://", "").split(":")
+    with socket.create_connection((host, int(port)), timeout=timeout) as sock:
+        sock.sendall(request_bytes)
+        sock.settimeout(timeout)
+        data = b""
+        while True:
+            try:
+                chunk = sock.recv(4096)
+            except TimeoutError:
+                break
+            if not chunk:
+                break
+            data += chunk
+        return data
+
+
+class TestHostileClients:
+    def test_negative_content_length_is_a_clean_400(self, service_url):
+        """``Content-Length: -1`` must be rejected before any body read
+        — a negative length reaching ``rfile.read`` means read-to-EOF,
+        i.e. a connection the sender controls forever."""
+        response = _raw_http(
+            service_url,
+            b"POST /studies HTTP/1.1\r\n"
+            b"Host: test\r\nConnection: close\r\n"
+            b"Content-Length: -1\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"Content-Length" in response
+        # The service survived the malformed request.
+        assert fetch_stats(service_url)["submissions"] == 0
+
+    def test_non_integer_content_length_is_a_clean_400(self, service_url):
+        for value in (b"banana", b"12.5", b"1e3", b"+7"):
+            response = _raw_http(
+                service_url,
+                b"POST /studies HTTP/1.1\r\n"
+                b"Host: test\r\nConnection: close\r\n"
+                b"Content-Length: " + value + b"\r\n\r\n",
+            )
+            assert response.startswith(b"HTTP/1.1 400"), value
+        assert fetch_stats(service_url)["submissions"] == 0
+
+    def test_admission_bound_rejects_with_503_and_retry_after(
+        self, tmp_path, monkeypatch
+    ):
+        """With max_pending=1 and one submission parked in compute, the
+        next POST gets an immediate 503 carrying Retry-After, the
+        rejected counter ticks, and the parked submission still
+        completes normally."""
+        from urllib.error import HTTPError
+        from urllib.request import Request, urlopen
+
+        from repro.api import scheduler as scheduler_mod
+        from repro.errors import ServiceUnavailableError
+
+        entered = threading.Event()
+        release = threading.Event()
+        real = scheduler_mod.timed_run_cells
+
+        def blocking(session, jobs):
+            entered.set()
+            assert release.wait(30.0)
+            return real(session, jobs)
+
+        monkeypatch.setattr(scheduler_mod, "timed_run_cells", blocking)
+        service = StudyService(
+            cache_dir=str(tmp_path / "cells"), max_pending=1
+        )
+        server = make_server(service, "http://127.0.0.1:0")
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        first = {}
+
+        def submit_first():
+            first["envelope"] = submit_study(url, ROW_SPEC, retries=0)
+
+        first_thread = threading.Thread(target=submit_first)
+        try:
+            wait_until_ready(url, timeout=10.0)
+            first_thread.start()
+            assert entered.wait(10.0)
+            body = json_dumps_exact(ROW_SPEC).encode()
+            with pytest.raises(HTTPError) as excinfo:
+                urlopen(
+                    Request(url + "/studies", data=body), timeout=10.0
+                ).read()
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers.get("Retry-After") == "2"
+            # The client maps exhausted 503s to ServiceUnavailableError.
+            with pytest.raises(ServiceUnavailableError, match="saturated"):
+                submit_study(url, ROW_SPEC, retries=0)
+            stats = fetch_stats(url)
+            assert stats["max_pending"] == 1
+            assert stats["active"] == 1
+            assert stats["rejected"] >= 2
+        finally:
+            release.set()
+            first_thread.join(timeout=30.0)
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5.0)
+        assert first["envelope"]["cells"] == len(_plans())
+
+    def test_client_retries_through_503_until_capacity_frees(
+        self, tmp_path, monkeypatch
+    ):
+        """The retry loop turns a transient 503 into success once the
+        parked submission releases its admission slot."""
+        from repro.api import scheduler as scheduler_mod
+
+        entered = threading.Event()
+        release = threading.Event()
+        real = scheduler_mod.timed_run_cells
+
+        def blocking(session, jobs):
+            entered.set()
+            assert release.wait(30.0)
+            return real(session, jobs)
+
+        monkeypatch.setattr(scheduler_mod, "timed_run_cells", blocking)
+        service = StudyService(
+            cache_dir=str(tmp_path / "cells"), max_pending=1
+        )
+        server = make_server(service, "http://127.0.0.1:0")
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        outcomes = {}
+
+        def submit_named(name):
+            outcomes[name] = submit_study(url, ROW_SPEC, retries=8)
+
+        try:
+            wait_until_ready(url, timeout=10.0)
+            holder = threading.Thread(target=submit_named, args=("holder",))
+            holder.start()
+            assert entered.wait(10.0)
+            retrier = threading.Thread(
+                target=submit_named, args=("retrier",)
+            )
+            retrier.start()
+            time.sleep(0.5)  # let the retrier eat at least one 503
+            release.set()
+            holder.join(timeout=30.0)
+            retrier.join(timeout=30.0)
+            stats = fetch_stats(url)
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5.0)
+        assert not holder.is_alive() and not retrier.is_alive()
+        assert outcomes["holder"]["cells"] == len(_plans())
+        assert outcomes["retrier"]["cells"] == len(_plans())
+        assert stats["rejected"] >= 1  # the retrier really was bounced
+        baseline = Study(ROW_SPEC).run()
+        for envelope in outcomes.values():
+            assert ResultSet.from_dict(envelope["result"]).same_values(
+                baseline
+            )
+
+    def test_client_retries_through_a_service_restart(self, tmp_path):
+        """Connection-refused is transient during a daemon restart; the
+        retry loop rides it out once the service comes back."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        url = f"http://127.0.0.1:{port}"
+        holder = {}
+
+        def start_late():
+            time.sleep(0.6)
+            service = StudyService(cache_dir=str(tmp_path / "cells"))
+            server = make_server(service, url)
+            holder["server"] = server
+            holder["service"] = service
+            holder["up"] = True
+            server.serve_forever()
+
+        thread = threading.Thread(target=start_late, daemon=True)
+        thread.start()
+        try:
+            envelope = submit_study(url, ROW_SPEC, retries=8)
+            assert envelope["cells"] == len(_plans())
+        finally:
+            if holder.get("up"):
+                holder["server"].shutdown()
+                holder["server"].server_close()
+                holder["service"].close()
+            thread.join(timeout=5.0)
+
+    def test_stalled_request_body_is_reaped_by_the_timeout(self, tmp_path):
+        """A client that promises a body and never sends it must not pin
+        a handler thread: the per-connection timeout closes it, and the
+        server keeps serving."""
+        import socket
+
+        service = StudyService(cache_dir=str(tmp_path / "cells"))
+        server = make_server(
+            service, "http://127.0.0.1:0", request_timeout=0.5
+        )
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            wait_until_ready(url, timeout=10.0)
+            started = time.monotonic()
+            with socket.create_connection((host, port), timeout=10.0) as sock:
+                sock.sendall(
+                    b"POST /studies HTTP/1.1\r\n"
+                    b"Host: test\r\nContent-Length: 100\r\n\r\nstall"
+                )
+                sock.settimeout(10.0)
+                # The server's read times out and it closes the
+                # connection without a response.
+                assert sock.recv(4096) == b""
+            assert time.monotonic() - started < 8.0
+            # The service is still healthy for well-behaved clients.
+            assert fetch_stats(url)["submissions"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5.0)
+
+    def test_stats_expose_the_admission_counters(self, tmp_path):
+        service = StudyService(
+            cache_dir=str(tmp_path / "cells"), max_pending=5, fair_share=3
+        )
+        try:
+            stats = service.stats()
+            assert stats["max_pending"] == 5
+            assert stats["active"] == 0
+            assert stats["rejected"] == 0
+            assert stats["scheduler"]["fair_share"] == 3
+        finally:
+            service.close()
+        unbounded = StudyService(cache_dir=str(tmp_path / "cells2"))
+        try:
+            assert unbounded.stats()["max_pending"] is None
+        finally:
+            unbounded.close()
+
+
+# ---------------------------------------------------------------------------
+# fair-share scheduling
+
+
+class TestFairShare:
+    def test_fair_share_chunks_the_compute_batches(self, monkeypatch):
+        """fair_share=2 turns one N-cell batch into ceil(N/2) chunks —
+        same cells, same results, chunked turnstile turns."""
+        from repro.api import scheduler as scheduler_mod
+
+        sizes = []
+        real = scheduler_mod.timed_run_cells
+
+        def recording(session, jobs):
+            sizes.append(len(jobs))
+            return real(session, jobs)
+
+        monkeypatch.setattr(scheduler_mod, "timed_run_cells", recording)
+        with Session() as session:
+            scheduler = CellScheduler(session, fair_share=2)
+            result = Study(ROW_SPEC).run(scheduler=scheduler)
+        n = len(_plans())
+        expected = [2] * (n // 2) + ([n % 2] if n % 2 else [])
+        assert sizes == expected
+        assert result.same_values(Study(ROW_SPEC).run())
+
+    def test_fair_share_must_be_positive(self):
+        from repro.errors import ParameterError
+
+        with Session() as session:
+            with pytest.raises(ParameterError, match="fair_share"):
+                CellScheduler(session, fair_share=0)
+
+    def test_small_study_is_not_starved_behind_a_big_one(self, monkeypatch):
+        """The FIFO turnstile interleaves chunked submissions: a small
+        study arriving mid-way through a big one finishes before the
+        big one's tail instead of queueing behind the whole thing."""
+        from repro.api import scheduler as scheduler_mod
+
+        # Disjoint seeds so the two studies share no cell identities
+        # (shared cells would dedupe instead of compete for turns).
+        big_spec = {"kind": "table", "table": "1a", "reps": 16, "seed": 21}
+        small_spec = {"kind": "row", "table": "1a", "reps": 16, "seed": 22,
+                      "u": 0.8, "lam": 1.4e-3}
+        order = []
+        order_lock = threading.Lock()
+        real = scheduler_mod.timed_run_cells
+
+        def recording(session, jobs):
+            with order_lock:
+                order.append(threading.current_thread().name)
+            time.sleep(0.05)  # widen the interleaving window
+            return real(session, jobs)
+
+        monkeypatch.setattr(scheduler_mod, "timed_run_cells", recording)
+        errors = []
+        with Session() as session:
+            scheduler = CellScheduler(session, fair_share=1)
+
+            def run(name, spec):
+                try:
+                    Study(spec).run(scheduler=scheduler)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            big = threading.Thread(
+                target=run, args=("big", big_spec), name="big"
+            )
+            big.start()
+            while not order:  # the big study is mid-chunk
+                time.sleep(0.005)
+            small = threading.Thread(
+                target=run, args=("small", small_spec), name="small"
+            )
+            small.start()
+            small.join(timeout=60.0)
+            big.join(timeout=60.0)
+        assert not errors
+        assert not big.is_alive() and not small.is_alive()
+        # The small study's chunks ran before the big study finished.
+        last_small = max(
+            i for i, name in enumerate(order) if name == "small"
+        )
+        last_big = max(i for i, name in enumerate(order) if name == "big")
+        assert last_small < last_big
