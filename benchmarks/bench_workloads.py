@@ -1,0 +1,302 @@
+"""Workload engine throughput: EDF scenario reps/s and frontier sweeps.
+
+The workload subsystem (``repro.workloads``) runs whole multi-task EDF
+scenarios per rep — generator, operating-point selection, then a
+checkpointed schedule simulation — so its unit of work is orders of
+magnitude heavier than one single-task executor rep.  This benchmark
+is its performance contract:
+
+* **engine reps/s**: one bursty taskset cell, measured on
+
+  - the **block** path (``TasksetCellJob.run_block``: the production
+    path every backend runs, which amortises generation and selection
+    across the block), and
+  - the **per-rep** path (direct ``simulate_schedule`` calls on a
+    pre-built scenario: no amortisation — the machine yardstick for
+    the baseline gate);
+
+* **backend reps/s** for a two-cell taskset batch (serial vs
+  2-process pool), with the cross-backend estimates checked for
+  bit-identity while the clock runs;
+
+* a **frontier sweep**: wall time for a full
+  ``kind="frontier"`` study (every (frequency, checkpoint-count)
+  configuration through the Study façade), reported as cells/s;
+
+* a **regression gate**: with ``--baseline BENCH_workloads.json`` the
+  run fails if block-path or frontier throughput drops more than 2×
+  below the committed baseline *scaled to this machine* (the same-run
+  per-rep path estimates how fast this machine is, so CI's shared
+  runners do not flake on hardware difference).
+
+Run standalone (not under pytest)::
+
+    python benchmarks/bench_workloads.py             # full sizes
+    python benchmarks/bench_workloads.py --quick     # CI smoke run
+    python benchmarks/bench_workloads.py --baseline BENCH_workloads.json
+
+Results are written to ``BENCH_workloads.json`` (override with
+``--json``).  Exit status is non-zero when the agreement check or any
+gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.api import Study, StudySpec
+from repro.rts.generators import WorkloadParams
+from repro.rts.scheduler import simulate_schedule
+from repro.sim.backends import ProcessBackend, SerialBackend
+from repro.sim.energy import EnergyModel
+from repro.sim.parallel import BatchRunner
+from repro.workloads import TasksetCellJob
+from repro.workloads.engine import _rep_seed
+
+SEED = 2006
+HORIZON = 8_000.0
+
+FRONTIER_SPEC = dict(
+    kind="frontier", table="1a", u=0.5, lam=2e-4, ms=(1, 2, 4, 8), seed=SEED
+)
+
+
+def _engine_job(reps: int, seed: int = SEED) -> TasksetCellJob:
+    return TasksetCellJob(
+        params=WorkloadParams(
+            pattern="bursty", n_tasks=3, utilization=0.55, fault_rate=2e-4
+        ),
+        horizon=HORIZON,
+        reps=reps,
+        seed=seed,
+    )
+
+
+def _best_rate(callable_, reps: int, rounds: int) -> float:
+    best = 0.0
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, reps / elapsed)
+    return best
+
+
+def bench_engine(reps: int, rounds: int) -> Dict[str, float]:
+    """Block-path vs per-rep scenario reps/s on one taskset cell."""
+    job = _engine_job(reps)
+    job.run_block(0, 0, min(reps, 8))  # warm caches
+
+    def block():
+        return job.run_block(0, 0, reps)
+
+    taskset, config, overrides = job.scenario()
+    model = EnergyModel.paper_dmr()
+
+    def per_rep():
+        for index in range(reps):
+            simulate_schedule(
+                taskset,
+                horizon=job.horizon,
+                policy=job.policy,
+                frequency=config.frequency,
+                seed=_rep_seed(job.seed, index),
+                energy_model=model,
+                drop_late_jobs=job.drop_late_jobs,
+                chunk_overrides=overrides,
+            )
+
+    block_rate = _best_rate(block, reps, rounds)
+    per_rep_rate = _best_rate(per_rep, reps, rounds)
+    print(
+        f"  engine: block {block_rate:>8,.1f} reps/s | "
+        f"per-rep {per_rep_rate:>8,.1f} reps/s "
+        f"(x{block_rate / per_rep_rate if per_rep_rate else math.inf:.2f})"
+    )
+    return {
+        "block_reps_per_sec": block_rate,
+        "per_rep_reps_per_sec": per_rep_rate,
+    }
+
+
+def bench_backends(reps: int) -> Dict[str, Dict[str, object]]:
+    """Two taskset cells per backend + cross-backend bit-identity."""
+    jobs = [_engine_job(reps, seed=SEED + offset) for offset in (0, 1)]
+    total = reps * len(jobs)
+    report: Dict[str, Dict[str, object]] = {}
+    reference = None
+    for name, build in (
+        ("serial", lambda: SerialBackend()),
+        ("process", lambda: ProcessBackend(2)),
+    ):
+        backend = build()
+        runner = BatchRunner(backend=backend)
+        try:
+            runner.run_cells([_engine_job(4, seed=SEED)])  # warm up
+            started = time.perf_counter()
+            estimates = runner.run_cells(jobs)
+            elapsed = time.perf_counter() - started
+        finally:
+            backend.close()
+        agrees = True
+        if reference is None:
+            reference = estimates
+        else:
+            agrees = all(
+                ours.same_values(ref)
+                for ours, ref in zip(estimates, reference)
+            )
+        report[name] = {
+            "reps_per_sec": total / elapsed if elapsed else math.inf,
+            "agrees_with_serial": agrees,
+        }
+        print(
+            f"  backend {name:>7}: {report[name]['reps_per_sec']:>8,.1f} "
+            f"reps/s agree={agrees}"
+        )
+    return report
+
+
+def bench_frontier(reps: int) -> Dict[str, float]:
+    """Wall time of a full frontier study through the façade."""
+    study = Study(StudySpec(reps=reps, **FRONTIER_SPEC))
+    cells = len(study.cells())
+    started = time.perf_counter()
+    results = study.run()
+    elapsed = time.perf_counter() - started
+    assert len(results) == cells
+    rate = cells / elapsed if elapsed else math.inf
+    print(
+        f"  frontier: {cells} cells x {reps} reps in {elapsed:.2f}s "
+        f"({rate:,.2f} cells/s)"
+    )
+    return {
+        "cells": float(cells),
+        "wall_seconds": elapsed,
+        "cells_per_sec": rate,
+    }
+
+
+def check(report: Dict, baseline: Optional[Dict]) -> List[str]:
+    """Guarded properties; returns human-readable failures.
+
+    Machine-relative, like ``bench_executor``: the same-run per-rep
+    scenario path is the yardstick for how fast this machine is, and
+    the block path / frontier sweep must stay within 2× of the
+    correspondingly scaled baseline.
+    """
+    failures: List[str] = []
+    for name, entry in report["backends"].items():
+        if not entry["agrees_with_serial"]:
+            failures.append(
+                f"backend {name} produced estimates that differ from serial"
+            )
+    engine = report["engine"]
+    if engine["block_reps_per_sec"] < engine["per_rep_reps_per_sec"] / 2.0:
+        failures.append(
+            f"block path ({engine['block_reps_per_sec']:,.1f} reps/s) fell "
+            f"below half the per-rep path "
+            f"({engine['per_rep_reps_per_sec']:,.1f} reps/s) in the same run"
+        )
+    if baseline:
+        reference = baseline.get("engine", {})
+        yardstick = reference.get("per_rep_reps_per_sec")
+        machine = (
+            engine["per_rep_reps_per_sec"] / yardstick if yardstick else 1.0
+        )
+        report["machine_factor_vs_baseline"] = machine
+        floor = reference.get("block_reps_per_sec", 0.0) * machine / 2.0
+        if engine["block_reps_per_sec"] < floor:
+            failures.append(
+                f"engine block path {engine['block_reps_per_sec']:,.1f} "
+                f"reps/s is >2x below the committed baseline scaled to "
+                f"this machine ({reference['block_reps_per_sec']:,.1f} "
+                f"reps/s x {machine:.2f})"
+            )
+        base_frontier = baseline.get("frontier", {}).get("cells_per_sec")
+        if base_frontier:
+            # Scale the frontier gate for rep-count differences too, so
+            # a --quick run can gate against a full-size baseline.
+            base_reps = baseline.get("frontier_reps", report["frontier_reps"])
+            scale = machine * base_reps / report["frontier_reps"]
+            frontier_floor = base_frontier * scale / 2.0
+            if report["frontier"]["cells_per_sec"] < frontier_floor:
+                failures.append(
+                    f"frontier sweep {report['frontier']['cells_per_sec']:,.2f} "
+                    f"cells/s is >2x below the committed baseline scaled "
+                    f"to this machine ({base_frontier:,.2f} cells/s x "
+                    f"{scale:.2f})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small rep counts: the CI smoke run",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_workloads.json",
+        help="where to write the machine-readable report",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "committed BENCH_workloads.json to gate against: fail when "
+            "engine or frontier throughput regresses more than 2x"
+        ),
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="timing rounds per measurement (best-of; default 3, quick 2)",
+    )
+    args = parser.parse_args(argv)
+
+    reps = 64 if args.quick else 256
+    frontier_reps = 32 if args.quick else 128
+    rounds = args.rounds or (2 if args.quick else 3)
+
+    print(
+        f"workload engine: bursty 3-task cell, horizon {HORIZON:,.0f}, "
+        f"{reps} reps"
+    )
+    report: Dict = {
+        "reps": reps,
+        "frontier_reps": frontier_reps,
+        "engine": bench_engine(reps, rounds),
+        "backends": bench_backends(reps),
+        "frontier": bench_frontier(frontier_reps),
+    }
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"note: no baseline at {args.baseline}; gate skipped")
+    failures = check(report, baseline)
+    report["failures"] = failures
+
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"report: {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("ok: backends agree bit-for-bit"
+          + ("; baseline gate passed" if baseline else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,13 @@ Seeding is part of the contract and is therefore frozen here:
   ``hash``), exactly as ``run_table`` always has;
 * fixed-m and rate-factor cells share the study seed verbatim;
 * utilisation-sweep cells use ``seed + int(u * 1000)``;
-* operating-map cells use ``seed + int(u * 997) + int(lam * 1e7)``.
+* operating-map cells use ``seed + int(u * 997) + int(lam * 1e7)``;
+* taskset cells fork the root source with :func:`workload_label`
+  (arithmetic over the pattern name and utilization — the multi-task
+  analogue of :func:`cell_label`);
+* frontier cells share the study seed verbatim (like fixed-m: every
+  cell is the same task under a different policy, so common random
+  numbers sharpen the comparison).
 
 Because every derivation is a pure function of (root seed, cell
 identity), any *subset* of a study's cells can be recomputed in
@@ -52,6 +58,9 @@ __all__ = [
     "rate_factor_cells",
     "utilization_cells",
     "operating_map_cells",
+    "workload_label",
+    "taskset_cells",
+    "frontier_cells",
 ]
 
 
@@ -384,6 +393,98 @@ def utilization_cells(
         )
         for u in u_grid
         for scheme in spec.schemes
+    ]
+
+
+def workload_label(pattern: str, u: float) -> int:
+    """Deterministic integer label for a taskset cell's seed fork.
+
+    The multi-task analogue of :func:`cell_label`: stable arithmetic
+    over the pattern name and target utilization, never ``hash``.
+    """
+    pattern_part = sum(ord(ch) * (i + 1) for i, ch in enumerate(pattern))
+    u_part = int(round(u * 10_000))
+    return (pattern_part * 1_000_003 + u_part * 7_919) & 0x7FFFFFFF
+
+
+def taskset_cells(
+    patterns: Sequence[str],
+    u_grid: Sequence[float],
+    lam: float,
+    *,
+    n_tasks: int,
+    horizon: float,
+    sched: str,
+    freqs: Sequence[float],
+    reps: int,
+    seed: int,
+) -> List[CellPlan]:
+    """The (pattern × U) grid of generated multi-task workloads.
+
+    One cell = one workload: the taskset is regenerated inside the
+    worker from the cell seed (forked per cell, so two cells can never
+    share fault realisations *or* workloads), then simulated at the
+    engine-selected operating point.
+    """
+    # Imported here to keep the api -> workloads edge lazy, matching
+    # the scheme imports above.
+    from repro.rts.generators import WorkloadParams
+    from repro.workloads.engine import TasksetCellJob
+
+    source = RandomSource(seed)
+    return [
+        CellPlan(
+            key=f"pattern={pattern}|u={u!r}",
+            axes=(("pattern", pattern), ("u", u), ("lam", lam)),
+            job=TasksetCellJob(
+                params=WorkloadParams(
+                    pattern=pattern,
+                    n_tasks=n_tasks,
+                    utilization=u,
+                    fault_rate=lam,
+                ),
+                horizon=horizon,
+                policy=sched,
+                frequencies=tuple(freqs),
+                reps=reps,
+                seed=source.fork(workload_label(pattern, u)).seed,
+            ),
+        )
+        for pattern in patterns
+        for u in u_grid
+    ]
+
+
+def frontier_cells(
+    task: TaskSpec,
+    freqs: Sequence[float],
+    ms: Sequence[int],
+    *,
+    reps: int,
+    seed: int,
+) -> List[CellPlan]:
+    """The (frequency × checkpoint-count) grid of a Pareto sweep.
+
+    Every cell runs the same task under a different equidistant
+    configuration with the study seed verbatim — common random numbers,
+    like the fixed-m ablation — so dominance comparisons between
+    configurations are as sharp as the rep count allows.
+    """
+    from repro.workloads.frontier import EquidistantPolicy
+
+    return [
+        CellPlan(
+            key=f"f={f!r}|m={m}",
+            axes=(("f", f), ("m", m)),
+            job=CellJob(
+                task=task,
+                policy_factory=partial(EquidistantPolicy, f, m),
+                reps=reps,
+                seed=seed,
+            ),
+        )
+        for f in freqs
+        for m in ms
     ]
 
 

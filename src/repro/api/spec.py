@@ -19,6 +19,8 @@ Kinds and their legacy counterparts:
 ``rate_factor``     ``repro.experiments.sweeps.rate_factor_study``
 ``utilization``     ``repro.experiments.sweeps.utilization_sweep``
 ``operating_map``   ``repro.experiments.sensitivity.operating_map``
+``taskset``         ``repro.workloads`` multi-task EDF/RM scenarios
+``frontier``        ``repro.workloads`` energy/time Pareto sweeps
 ==================  =====================================================
 
 Unset ``reps``/``seed`` (and kind-specific axes) resolve to the same
@@ -37,16 +39,19 @@ from typing import Dict, List, Optional, Tuple
 from repro.api.plans import (
     CellPlan,
     fixed_m_cells,
+    frontier_cells,
     operating_map_cells,
     rate_factor_cells,
     row_cells,
     table_cells,
+    taskset_cells,
     utilization_cells,
 )
 from repro.errors import ConfigurationError
 from repro.experiments.config import TableSpec, table_spec
+from repro.rts.generators import WORKLOAD_PATTERNS
 
-__all__ = ["StudySpec", "STUDY_KINDS"]
+__all__ = ["StudySpec", "STUDY_KINDS", "KIND_SUMMARIES"]
 
 #: The study kinds the façade understands, each mirroring one legacy
 #: experiment entrypoint (see module docstring).
@@ -57,7 +62,24 @@ STUDY_KINDS = (
     "rate_factor",
     "utilization",
     "operating_map",
+    "taskset",
+    "frontier",
 )
+
+#: One-line description per kind.  The single source both the CLI help
+#: (``repro run --list-kinds``) and error text derive from, so a new
+#: kind cannot drift out of the docs.  Keys mirror :data:`STUDY_KINDS`
+#: exactly (pinned by a test).
+KIND_SUMMARIES = {
+    "table": "a published table's full scheme × row grid",
+    "row": "one (U, lam) row of a published table",
+    "fixed_m": "fixed-subdivision ablation at one task point",
+    "rate_factor": "analysis-rate sensitivity at one task point",
+    "utilization": "scheme comparison across a utilization grid",
+    "operating_map": "best-scheme map over a (U, lam) grid",
+    "taskset": "generated multi-task workloads under EDF/RM",
+    "frontier": "energy/time Pareto sweep over (f, n) checkpoints",
+}
 
 #: Per-kind (reps, seed) defaults — the legacy entrypoints' own.
 _KIND_DEFAULTS = {
@@ -67,12 +89,24 @@ _KIND_DEFAULTS = {
     "rate_factor": (1000, 0),
     "utilization": (500, 0),
     "operating_map": (300, 0),
+    "taskset": (200, 0),
+    "frontier": (1000, 0),
 }
 
 #: Default fixed subdivisions (the CLI's ablation grid).
 _DEFAULT_MS = (1, 2, 4, 8, 16)
 #: Default analysis-rate factors (``rate_factor_study``'s own).
 _DEFAULT_FACTORS = (1.0, 2.0)
+#: Taskset-study defaults: the curated pattern mix, a moderate
+#: utilization grid, and the workload engine's own parameters.
+_DEFAULT_PATTERNS = ("light", "bursty", "heavy")
+_DEFAULT_TASKSET_U_GRID = (0.5, 0.7, 0.9)
+_DEFAULT_TASKSET_LAM = 1e-4
+_DEFAULT_N_TASKS = 4
+_DEFAULT_HORIZON = 20_000.0
+_DEFAULT_SCHED = "edf"
+#: Candidate frequency ladder (taskset selection / frontier sweep axis).
+_DEFAULT_FREQS = (1.0, 2.0)
 
 #: Axis fields each kind may set.  Anything else is rejected at
 #: construction: a stray axis would be silently ignored by ``cells()``
@@ -85,8 +119,24 @@ _KIND_AXES = {
     "rate_factor": frozenset({"u", "lam", "factors"}),
     "utilization": frozenset({"lam", "u_grid"}),
     "operating_map": frozenset({"u_grid", "lam_grid"}),
+    "taskset": frozenset(
+        {"lam", "u_grid", "patterns", "n_tasks", "horizon", "sched", "freqs"}
+    ),
+    "frontier": frozenset({"u", "lam", "ms", "freqs"}),
 }
-_AXIS_FIELDS = ("u", "lam", "u_grid", "lam_grid", "ms", "factors")
+_AXIS_FIELDS = (
+    "u",
+    "lam",
+    "u_grid",
+    "lam_grid",
+    "ms",
+    "factors",
+    "patterns",
+    "n_tasks",
+    "horizon",
+    "sched",
+    "freqs",
+)
 
 
 def _is_int(value) -> bool:
@@ -132,7 +182,17 @@ class StudySpec:
         (both) studies.
     ms / factors:
         The fixed subdivisions of a ``fixed_m`` study and the analysis-
-        rate factors of a ``rate_factor`` study.
+        rate factors of a ``rate_factor`` study.  For a ``frontier``
+        study ``ms`` is the checkpoint-count axis of the sweep.
+    patterns / n_tasks / horizon / sched / freqs:
+        ``taskset``-study knobs: the workload patterns to generate
+        (see :data:`repro.rts.generators.WORKLOAD_PATTERNS`), tasks per
+        workload, simulated horizon (time units), scheduling policy
+        (``"edf"``/``"rm"``), and the candidate frequency ladder for
+        feasibility-then-lowest-energy selection.  ``u_grid`` is the
+        target-utilization axis and ``lam`` the per-task fault rate
+        there.  A ``frontier`` study uses ``freqs`` as the frequency
+        axis of its ``(f, n)`` sweep.
     fast_static:
         Route static-scheme cells through the vectorised fast path
         (grid kinds only; statistically consistent, not bit-comparable
@@ -160,6 +220,11 @@ class StudySpec:
     lam_grid: Tuple[float, ...] = ()
     ms: Tuple[int, ...] = ()
     factors: Tuple[float, ...] = ()
+    patterns: Tuple[str, ...] = ()
+    n_tasks: Optional[int] = None
+    horizon: Optional[float] = None
+    sched: Optional[str] = None
+    freqs: Tuple[float, ...] = ()
     fast_static: bool = False
     faults_during_overhead: bool = False
     kernel: str = "exact"
@@ -179,7 +244,8 @@ class StudySpec:
         # and so equivalent spellings ("ms": [1, 2] vs [1.0, 2.0])
         # hash identically.
         for name, kind in (("u_grid", float), ("lam_grid", float),
-                           ("factors", float), ("ms", int)):
+                           ("factors", float), ("ms", int),
+                           ("freqs", float)):
             value = getattr(self, name)
             try:
                 coerced = tuple(_coerce(item, kind) for item in value)
@@ -201,7 +267,7 @@ class StudySpec:
                 raise ConfigurationError(
                     f"{name} must be an integer, got {value!r}"
                 )
-        for name in ("u", "lam"):
+        for name in ("u", "lam", "horizon"):
             value = getattr(self, name)
             if value is not None:
                 try:
@@ -210,6 +276,40 @@ class StudySpec:
                     raise ConfigurationError(
                         f"{name} must be a number, got {value!r}"
                     )
+        if not isinstance(self.patterns, (tuple, list)) or not all(
+            isinstance(item, str) for item in self.patterns
+        ):
+            raise ConfigurationError(
+                f"patterns must be a sequence of strings, got {self.patterns!r}"
+            )
+        object.__setattr__(self, "patterns", tuple(self.patterns))
+        unknown_patterns = [
+            p for p in self.patterns if p not in WORKLOAD_PATTERNS
+        ]
+        if unknown_patterns:
+            raise ConfigurationError(
+                f"unknown workload pattern(s) "
+                f"{', '.join(map(repr, unknown_patterns))}; valid "
+                f"patterns: {', '.join(WORKLOAD_PATTERNS)}"
+            )
+        if len(set(self.patterns)) != len(self.patterns):
+            raise ConfigurationError(
+                f"patterns contains duplicate values: {self.patterns!r}"
+            )
+        if self.n_tasks is not None and (
+            not _is_int(self.n_tasks) or self.n_tasks < 1
+        ):
+            raise ConfigurationError(
+                f"n_tasks must be a positive integer, got {self.n_tasks!r}"
+            )
+        if self.horizon is not None and self.horizon <= 0:
+            raise ConfigurationError(
+                f"horizon must be > 0, got {self.horizon}"
+            )
+        if self.sched is not None and self.sched not in ("edf", "rm"):
+            raise ConfigurationError(
+                f"sched must be 'edf' or 'rm', got {self.sched!r}"
+            )
         for name in ("fast_static", "faults_during_overhead"):
             if not isinstance(getattr(self, name), bool):
                 raise ConfigurationError(
@@ -246,10 +346,30 @@ class StudySpec:
             raise ConfigurationError(
                 "an 'operating_map' study needs non-empty u_grid and lam_grid"
             )
+        if any(f <= 0 for f in self.freqs):
+            raise ConfigurationError(
+                f"freqs must all be > 0, got {self.freqs!r}"
+            )
+        if self.kind == "frontier" and any(m < 1 for m in self.ms):
+            raise ConfigurationError(
+                f"a 'frontier' study needs checkpoint counts >= 1 in ms, "
+                f"got {self.ms!r}"
+            )
         if self.fast_static and self.kind in ("fixed_m", "rate_factor"):
             raise ConfigurationError(
                 f"fast_static does not apply to {self.kind!r} studies "
                 f"(every cell is an adaptive executor cell)"
+            )
+        if self.fast_static and self.kind in ("taskset", "frontier"):
+            raise ConfigurationError(
+                f"fast_static does not apply to {self.kind!r} studies"
+            )
+        if self.kernel == "fast" and self.kind == "taskset":
+            # The schedule simulator has no fast twin; accepting the
+            # flag would fork the spec hash without changing a single
+            # estimate, so two identical studies could refuse to merge.
+            raise ConfigurationError(
+                "kernel='fast' does not apply to 'taskset' studies"
             )
         if self.faults_during_overhead and self.kind not in ("table", "row"):
             raise ConfigurationError(
@@ -275,7 +395,7 @@ class StudySpec:
             updates["reps"] = default_reps
         if self.seed is None:
             updates["seed"] = default_seed
-        if self.kind in ("fixed_m", "rate_factor") and (
+        if self.kind in ("fixed_m", "rate_factor", "frontier") and (
             self.u is None or self.lam is None
         ):
             u, lam = self.resolve_table().rows[0]
@@ -283,10 +403,25 @@ class StudySpec:
             updates.setdefault(
                 "lam", self.lam if self.lam is not None else lam
             )
-        if self.kind == "fixed_m" and not self.ms:
+        if self.kind in ("fixed_m", "frontier") and not self.ms:
             updates["ms"] = _DEFAULT_MS
         if self.kind == "rate_factor" and not self.factors:
             updates["factors"] = _DEFAULT_FACTORS
+        if self.kind in ("taskset", "frontier") and not self.freqs:
+            updates["freqs"] = _DEFAULT_FREQS
+        if self.kind == "taskset":
+            if not self.patterns:
+                updates["patterns"] = _DEFAULT_PATTERNS
+            if not self.u_grid:
+                updates["u_grid"] = _DEFAULT_TASKSET_U_GRID
+            if self.lam is None:
+                updates["lam"] = _DEFAULT_TASKSET_LAM
+            if self.n_tasks is None:
+                updates["n_tasks"] = _DEFAULT_N_TASKS
+            if self.horizon is None:
+                updates["horizon"] = _DEFAULT_HORIZON
+            if self.sched is None:
+                updates["sched"] = _DEFAULT_SCHED
         return replace(self, **updates) if updates else self
 
     # -- expansion -----------------------------------------------------
@@ -341,6 +476,26 @@ class StudySpec:
                 reps=spec.reps,
                 seed=spec.seed,
                 fast_static=spec.fast_static,
+            )
+        if spec.kind == "taskset":
+            return taskset_cells(
+                spec.patterns,
+                spec.u_grid,
+                spec.lam,
+                n_tasks=spec.n_tasks,
+                horizon=spec.horizon,
+                sched=spec.sched,
+                freqs=spec.freqs,
+                reps=spec.reps,
+                seed=spec.seed,
+            )
+        if spec.kind == "frontier":
+            return frontier_cells(
+                tspec.task(spec.u, spec.lam),
+                spec.freqs,
+                spec.ms,
+                reps=spec.reps,
+                seed=spec.seed,
             )
         return operating_map_cells(
             tspec,

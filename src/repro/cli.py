@@ -45,6 +45,7 @@ from repro.core.schemes import (
     KFaultTolerantPolicy,
     PoissonArrivalPolicy,
 )
+from repro.api.spec import KIND_SUMMARIES, STUDY_KINDS
 from repro.errors import ReproError
 from repro.experiments.config import (
     ExecutionSettings,
@@ -101,13 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser(
         "run",
         help="run a declarative study spec (JSON) through the façade",
+        # Derived from STUDY_KINDS so the help text cannot drift when a
+        # kind is added (pinned by tests/test_workloads.py).
+        epilog=f"study kinds: {', '.join(STUDY_KINDS)}",
     )
     p_run.add_argument(
         "spec",
+        nargs="?",
+        default=None,
         help=(
             "path to a StudySpec JSON file, e.g. "
-            "examples/table_a.spec.json"
+            "examples/table_a.spec.json (kinds: "
+            f"{', '.join(STUDY_KINDS)})"
         ),
+    )
+    p_run.add_argument(
+        "--list-kinds",
+        action="store_true",
+        help="list the available study kinds with a one-line summary",
     )
     _add_workers_flag(p_run)
     _add_resultset_flags(p_run)
@@ -395,6 +407,51 @@ def build_parser() -> argparse.ArgumentParser:
             "retry transient failures (connection refused, 503) this "
             "many times with jittered backoff (default 3; 0 = fail fast)"
         ),
+    )
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or prune a study service's cell cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_prune = cache_sub.add_parser(
+        "prune",
+        help="evict cold cache entries (oldest mtime first)",
+    )
+    p_prune.add_argument(
+        "--cache",
+        required=True,
+        metavar="DIR",
+        help="cell cache directory (same flag as 'repro serve')",
+    )
+    p_prune.add_argument(
+        "--max-bytes",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help="shrink the store to at most this many bytes",
+    )
+    p_prune.add_argument(
+        "--max-age",
+        type=_nonneg_float,
+        default=None,
+        metavar="DAYS",
+        help="drop entries not written/touched within this many days",
+    )
+    p_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    p_stats = cache_sub.add_parser(
+        "stats",
+        help="print entry count and location of a cell cache",
+    )
+    p_stats.add_argument(
+        "--cache",
+        required=True,
+        metavar="DIR",
+        help="cell cache directory",
     )
 
     sub.add_parser("list", help="list the available tables")
@@ -882,6 +939,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import Study
 
+    if args.list_kinds:
+        width = max(len(kind) for kind in STUDY_KINDS)
+        for kind in STUDY_KINDS:
+            print(f"{kind:<{width}}  {KIND_SUMMARIES[kind]}")
+        return 0
+    if args.spec is None:
+        print(
+            "error: a spec path is required (or use --list-kinds)",
+            file=sys.stderr,
+        )
+        return 2
     study = Study.from_file(args.spec)
     results, reused = _run_study(args, study)
     computed = len(results) - reused
@@ -909,6 +977,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 [record.estimate for record in results],
             )
             print(render_operating_map(points, tspec.schemes))
+        elif spec.kind == "frontier":
+            from repro.workloads import pareto_points, render_frontier
+
+            points = pareto_points(
+                (
+                    record.axes["f"],
+                    record.axes["m"],
+                    record.estimate.p,
+                    record.estimate.mean_finish_time_timely,
+                    record.estimate.e,
+                )
+                for record in results
+            )
+            print(render_frontier(points))
         else:
             for record in results:
                 cell = record.estimate
@@ -1121,6 +1203,33 @@ def _none_if_nan(value: Optional[float]) -> Optional[float]:
     return value
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache prune|stats``: maintain a service cell cache."""
+    from repro.service.cache import CellCache
+
+    cache = CellCache(args.cache, memory=False)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache {stats['directory']}: {stats['entries']} entries")
+        return 0
+    if args.max_bytes is None and args.max_age is None:
+        print(
+            "error: give at least one of --max-bytes / --max-age",
+            file=sys.stderr,
+        )
+        return 2
+    max_age_seconds = (
+        None if args.max_age is None else args.max_age * 86_400.0
+    )
+    report = cache.prune(
+        max_bytes=args.max_bytes,
+        max_age_seconds=max_age_seconds,
+        dry_run=args.dry_run,
+    )
+    print(report.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1135,6 +1244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "worker": _cmd_worker,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "cache": _cmd_cache,
         "list": _cmd_list,
     }
     try:

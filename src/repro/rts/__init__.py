@@ -1,6 +1,7 @@
 """Real-time-systems substrate: periodic task sets, checkpoint-aware
-feasibility analysis, and an EDF/RM schedule simulator."""
+feasibility analysis, seeded workload generators, and an EDF/RM
+schedule simulator."""
 
-from repro.rts import feasibility, scheduler, taskset
+from repro.rts import feasibility, generators, scheduler, taskset
 
-__all__ = ["feasibility", "scheduler", "taskset"]
+__all__ = ["feasibility", "generators", "scheduler", "taskset"]

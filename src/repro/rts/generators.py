@@ -1,0 +1,173 @@
+"""Deterministic workload generators for multi-task studies.
+
+A *workload* is a periodic task set drawn from a named arrival pattern
+at a target total utilization.  Generation is a pure function of
+``(seed, params)``: the same pair always yields a bit-identical
+:class:`~repro.rts.taskset.TaskSet`, which is what lets taskset cells
+participate in the block-determinism contract and the content-addressed
+cell cache — the workload is reconstructed inside ``run_block`` from the
+cell seed rather than shipped as state.
+
+Patterns
+--------
+``light``
+    Few long-period tasks sharing the load evenly — the easy regime
+    where every frequency is feasible and energy selection dominates.
+``bursty``
+    Short periods and constrained deadlines (``D < T``), the regime
+    where checkpoint overhead erodes slack and preemption churns.
+``heavy``
+    One dominant task carries most of the utilization with light
+    background tasks around it — skew stresses per-task checkpoint
+    selection.
+``uunifast``
+    Classic UUniFast utilization splitting (Bini & Buttazzo) over
+    log-uniform periods — the standard unbiased random taskset.
+
+All patterns use UUniFast-style splitting internally where shares are
+random; ``light`` splits evenly by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.checkpoints import CostModel
+from repro.errors import ParameterError
+from repro.rts.taskset import PeriodicTask, TaskSet
+
+__all__ = [
+    "WORKLOAD_PATTERNS",
+    "WorkloadParams",
+    "generate_taskset",
+]
+
+WORKLOAD_PATTERNS: Tuple[str, ...] = ("light", "bursty", "heavy", "uunifast")
+
+# Domain tag for the generator's seed stream: keeps taskset draws
+# disjoint from rep fault streams derived from the same cell seed.
+_GENERATOR_TAG = 0x7A5C5E7
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Everything that defines a workload besides the seed.
+
+    ``utilization`` is the target raw (checkpoint-free) total
+    utilization at ``f1``; generated tasksets hit it exactly up to
+    floating-point rounding.  ``period_scale`` anchors the period
+    ranges (the paper's deadline, 10 000 time units, by default).
+    """
+
+    pattern: str
+    n_tasks: int = 4
+    utilization: float = 0.6
+    fault_rate: float = 1e-4
+    fault_budget: int = 2
+    period_scale: float = 10_000.0
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.pattern not in WORKLOAD_PATTERNS:
+            raise ParameterError(
+                f"unknown workload pattern {self.pattern!r}; "
+                f"valid patterns: {', '.join(WORKLOAD_PATTERNS)}"
+            )
+        if self.n_tasks < 1:
+            raise ParameterError(f"n_tasks must be >= 1, got {self.n_tasks}")
+        if not 0.0 < self.utilization:
+            raise ParameterError(
+                f"utilization must be > 0, got {self.utilization}"
+            )
+        if self.fault_rate < 0:
+            raise ParameterError(
+                f"fault_rate must be >= 0, got {self.fault_rate}"
+            )
+        if self.fault_budget < 0:
+            raise ParameterError(
+                f"fault_budget must be >= 0, got {self.fault_budget}"
+            )
+        if self.period_scale <= 0:
+            raise ParameterError(
+                f"period_scale must be > 0, got {self.period_scale}"
+            )
+
+
+def _uunifast(rng: np.random.Generator, n: int, total: float) -> List[float]:
+    """UUniFast: unbiased split of ``total`` utilization into ``n`` shares."""
+    shares: List[float] = []
+    remaining = total
+    for i in range(n - 1):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - 1 - i))
+        # A draw of exactly 0.0 would zero out every later share (and
+        # zero-cycle tasks are invalid); the telescoping sum keeps the
+        # total exact regardless of the floor.
+        next_remaining = max(next_remaining, remaining * 1e-12)
+        shares.append(remaining - next_remaining)
+        remaining = next_remaining
+    shares.append(remaining)
+    return shares
+
+
+def _log_uniform(
+    rng: np.random.Generator, low: float, high: float, n: int
+) -> List[float]:
+    lo, hi = math.log(low), math.log(high)
+    return [math.exp(lo + (hi - lo) * rng.random()) for _ in range(n)]
+
+
+def generate_taskset(seed: int, params: WorkloadParams) -> TaskSet:
+    """Generate the workload's task set — a pure function of its inputs.
+
+    Draw order is part of the format: utilization shares first, then
+    periods, then deadline factors.  Changing it would silently remap
+    every seeded workload, so treat this function like a wire format.
+    """
+    sequence = np.random.SeedSequence(
+        entropy=(int(seed) & 0xFFFFFFFFFFFFFFFF, _GENERATOR_TAG)
+    )
+    rng = np.random.Generator(np.random.Philox(sequence))
+    n = params.n_tasks
+    total = params.utilization
+    scale = params.period_scale
+
+    if params.pattern == "light":
+        shares = [total / n] * n
+        periods = _log_uniform(rng, scale, 10.0 * scale, n)
+        deadline_factors = [1.0] * n
+    elif params.pattern == "bursty":
+        shares = _uunifast(rng, n, total)
+        periods = _log_uniform(rng, scale / 10.0, scale / 2.0, n)
+        deadline_factors = [0.7 + 0.3 * rng.random() for _ in range(n)]
+    elif params.pattern == "heavy":
+        dominant = 0.6 * total
+        if n == 1:
+            shares = [total]
+        else:
+            shares = [dominant] + _uunifast(rng, n - 1, total - dominant)
+        periods = _log_uniform(rng, scale / 2.0, 5.0 * scale, n)
+        deadline_factors = [1.0] * n
+    else:  # uunifast
+        shares = _uunifast(rng, n, total)
+        periods = _log_uniform(rng, scale / 10.0, 10.0 * scale, n)
+        deadline_factors = [1.0] * n
+
+    tasks = [
+        PeriodicTask(
+            name=f"t{i:02d}",
+            cycles=share * period,
+            period=period,
+            deadline=factor * period,
+            fault_rate=params.fault_rate,
+            fault_budget=params.fault_budget,
+            costs=params.costs,
+        )
+        for i, (share, period, factor) in enumerate(
+            zip(shares, periods, deadline_factors)
+        )
+    ]
+    return TaskSet(tasks)

@@ -45,6 +45,7 @@ class _Job:
     missed: bool = False
     preemptions: int = 0
     faults: int = 0
+    checkpoints: int = 0
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,7 @@ class JobRecord:
     deadline_met: bool
     faults: int
     preemptions: int
+    checkpoints: int = 0
 
     @property
     def response_time(self) -> Optional[float]:
@@ -95,6 +97,22 @@ class ScheduleResult:
     def utilization_achieved(self) -> float:
         return self.busy_time / self.horizon if self.horizon > 0 else 0.0
 
+    @property
+    def total_faults(self) -> int:
+        return sum(j.faults for j in self.jobs)
+
+    @property
+    def total_checkpoints(self) -> int:
+        return sum(j.checkpoints for j in self.jobs)
+
+    @property
+    def makespan(self) -> float:
+        """Latest completion instant (0.0 if nothing completed)."""
+        return max(
+            (j.completed_at for j in self.jobs if j.completed_at is not None),
+            default=0.0,
+        )
+
 
 def simulate_schedule(
     taskset: TaskSet,
@@ -105,6 +123,7 @@ def simulate_schedule(
     seed: int = 0,
     energy_model: Optional[EnergyModel] = None,
     drop_late_jobs: bool = True,
+    chunk_overrides: Optional[Dict[str, float]] = None,
 ) -> ScheduleResult:
     """Simulate ``taskset`` on one processor for ``horizon`` time units.
 
@@ -119,6 +138,11 @@ def simulate_schedule(
     drop_late_jobs:
         If True (default), a job whose deadline has passed is abandoned
         (counted as missed) instead of delaying everyone else.
+    chunk_overrides:
+        Per-task checkpoint interval (useful time units) keyed by task
+        name, replacing the default ``I2`` interval — how the workload
+        engine drives its own ``(frequency, checkpoint-count)``
+        selection through the simulation.
     """
     if horizon <= 0:
         raise ParameterError(f"horizon must be > 0, got {horizon}")
@@ -126,6 +150,17 @@ def simulate_schedule(
         raise ParameterError(f"policy must be 'edf' or 'rm', got {policy!r}")
     if frequency <= 0:
         raise ParameterError(f"frequency must be > 0, got {frequency}")
+    if chunk_overrides:
+        known = {task.name for task in taskset}
+        for name, interval in chunk_overrides.items():
+            if name not in known:
+                raise ParameterError(
+                    f"chunk override for unknown task {name!r}"
+                )
+            if interval <= 0:
+                raise ParameterError(
+                    f"chunk override for {name!r} must be > 0, got {interval}"
+                )
     if energy_model is None:
         energy_model = EnergyModel.paper_dmr()
 
@@ -138,7 +173,10 @@ def simulate_schedule(
     # Build the full release list up front (deterministic order).
     pending: List[_Job] = []
     for task in taskset:
-        chunk = _chunk_length(task, frequency)
+        if chunk_overrides and task.name in chunk_overrides:
+            chunk = chunk_overrides[task.name]
+        else:
+            chunk = _chunk_length(task, frequency)
         for release in task.release_times(horizon):
             pending.append(
                 _Job(
@@ -202,6 +240,7 @@ def simulate_schedule(
         clock += duration
         busy += duration
         energy += energy_model.segment_energy(frequency, duration * frequency)
+        job.checkpoints += 1
 
         if ok:
             job.remaining -= useful
@@ -244,6 +283,7 @@ def simulate_schedule(
             ),
             faults=j.faults,
             preemptions=j.preemptions,
+            checkpoints=j.checkpoints,
         )
         for j in sorted(done, key=lambda j: (j.release, j.task.name))
     ]

@@ -24,7 +24,9 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Dict, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.results import (
     CellRecord,
@@ -32,7 +34,7 @@ from repro.api.results import (
 )
 from repro.errors import ConfigurationError
 
-__all__ = ["CellCache"]
+__all__ = ["CellCache", "PruneReport"]
 
 #: On-disk entry format tag; bump on incompatible layout changes.
 FORMAT = "repro.cellcache/1"
@@ -152,6 +154,107 @@ class CellCache:
                 continue
         return count
 
+    # -- eviction ------------------------------------------------------
+
+    def _entries(self) -> List[Tuple[str, str, int, float]]:
+        """``(identity, path, size, mtime)`` of every on-disk entry.
+
+        Entries that vanish mid-scan (a concurrent prune or wipe) are
+        skipped — the cache never errors over racing maintenance.
+        """
+        entries: List[Tuple[str, str, int, float]] = []
+        try:
+            shards = os.listdir(self.directory)
+        except OSError:
+            return entries
+        for shard in sorted(shards):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in sorted(names):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                entries.append(
+                    (name[: -len(".json")], path, status.st_size,
+                     status.st_mtime)
+                )
+        return entries
+
+    def prune(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> "PruneReport":
+        """Evict cold entries: oldest-first by mtime (LRU by write/touch).
+
+        Two independent limits compose: entries older than
+        ``max_age_seconds`` go first, then the oldest survivors until
+        the store fits in ``max_bytes``.  With ``dry_run`` nothing is
+        deleted — the report says what *would* go.  Evicted identities
+        are dropped from the in-memory map too, so a pruned entry is a
+        genuine miss (and recomputes) rather than a ghost hit.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ConfigurationError(
+                f"max_age_seconds must be >= 0, got {max_age_seconds}"
+            )
+        moment = time.time() if now is None else now
+        entries = self._entries()
+        total_bytes = sum(size for _, _, size, _ in entries)
+
+        doomed: Dict[str, Tuple[str, int]] = {}
+        if max_age_seconds is not None:
+            for identity, path, size, mtime in entries:
+                if moment - mtime > max_age_seconds:
+                    doomed[identity] = (path, size)
+        if max_bytes is not None:
+            kept = [e for e in entries if e[0] not in doomed]
+            kept_bytes = sum(size for _, _, size, _ in kept)
+            for identity, path, size, _ in sorted(kept, key=lambda e: e[3]):
+                if kept_bytes <= max_bytes:
+                    break
+                doomed[identity] = (path, size)
+                kept_bytes -= size
+
+        freed = 0
+        removed: List[str] = []
+        for identity in sorted(doomed):
+            path, size = doomed[identity]
+            if not dry_run:
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue  # already gone: someone else pruned it
+                if self._memory is not None:
+                    with self._lock:
+                        self._memory.pop(identity, None)
+            removed.append(identity)
+            freed += size
+        return PruneReport(
+            examined=len(entries),
+            removed=tuple(removed),
+            freed_bytes=freed,
+            kept=len(entries) - len(removed),
+            kept_bytes=total_bytes - freed,
+            dry_run=dry_run,
+        )
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             in_memory = len(self._memory) if self._memory is not None else 0
@@ -163,6 +266,26 @@ class CellCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CellCache({self.directory!r})"
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of one :meth:`CellCache.prune` pass."""
+
+    examined: int
+    removed: Tuple[str, ...] = field(repr=False)
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+    dry_run: bool
+
+    def render(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"{verb} {len(self.removed)} of {self.examined} entries "
+            f"({self.freed_bytes} bytes); {self.kept} kept "
+            f"({self.kept_bytes} bytes)"
+        )
 
 
 def _atomic_write_if_absent(path: str, text: str) -> None:

@@ -224,8 +224,11 @@ class BatchRunner:
         """Estimate a whole grid of cells, interleaving their blocks.
 
         ``jobs`` may mix :class:`~repro.sim.backends.CellJob` (event
-        executor) and :class:`~repro.sim.fastpath.StaticCellJob`
-        (vectorised fast path) — both kinds flow through the same
+        executor), :class:`~repro.sim.fastpath.StaticCellJob`
+        (vectorised fast path) and
+        :class:`~repro.workloads.TasksetCellJob` (multi-task EDF
+        scenario engine) — anything with ``reps``/``seed`` and a
+        block-deterministic ``run_block`` flows through the same
         backend and the same blocked reduction.  Returns estimates in
         job order.
         """

@@ -1,0 +1,30 @@
+"""Multi-task workload studies: seeded generators, the fault-tolerant
+EDF/RM scenario engine, and energy/time Pareto-frontier sweeps.
+
+This package turns the :mod:`repro.rts` substrate into first-class
+study kinds: ``"taskset"`` cells simulate generated periodic workloads
+under feasibility-then-lowest-energy ``(frequency, checkpoint-count)``
+selection, and ``"frontier"`` cells sweep equidistant checkpoint
+configurations of a single paper task to expose the non-dominated
+(expected time, expected energy) frontier.  Both ride the ordinary
+``StudySpec → plans → cells → backend`` pipeline, so backends, the
+cell cache, resume, and ``repro serve`` apply unchanged.
+"""
+
+from repro.workloads.engine import EngineConfig, TasksetCellJob, select_configuration
+from repro.workloads.frontier import (
+    EquidistantPolicy,
+    FrontierPoint,
+    pareto_points,
+    render_frontier,
+)
+
+__all__ = [
+    "EngineConfig",
+    "EquidistantPolicy",
+    "FrontierPoint",
+    "TasksetCellJob",
+    "pareto_points",
+    "render_frontier",
+    "select_configuration",
+]

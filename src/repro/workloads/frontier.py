@@ -1,0 +1,153 @@
+"""Energy/time Pareto-frontier sweeps (Aupy et al. style).
+
+A *frontier study* fixes one paper task and sweeps equidistant
+checkpoint configurations over a ``frequency × checkpoint-count`` grid:
+each cell runs the single-task executor with ``n`` equal checkpoint
+intervals at a fixed speed, and the study reports which configurations
+are **non-dominated** in (expected completion time, expected energy) —
+the trade-off curve from which a deployment picks an operating point
+under an energy budget or a deadline.
+
+The sweep rides the ordinary executor/cell machinery; this module only
+adds the picklable equidistant policy and the dominance bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.schemes import _StaticPolicy
+from repro.errors import ParameterError
+
+__all__ = [
+    "EquidistantPolicy",
+    "FrontierPoint",
+    "pareto_points",
+    "render_frontier",
+]
+
+
+class EquidistantPolicy(_StaticPolicy):
+    """``n`` equal checkpoint intervals at a fixed speed (CSCP).
+
+    The classic non-adaptive configuration a frontier sweeps over:
+    interval length is ``(N/f)/n``, so the job takes exactly ``n``
+    checkpoints when fault-free.  Module-level and constructed from
+    plain numbers, so ``partial(EquidistantPolicy, f, n)`` pickles for
+    the process/distributed backends and describes for cell identity.
+    """
+
+    plan_stable = True
+
+    def __init__(self, frequency: float = 1.0, checkpoints: int = 1) -> None:
+        super().__init__(frequency)
+        if checkpoints < 1:
+            raise ParameterError(
+                f"checkpoints must be >= 1, got {checkpoints}"
+            )
+        self.checkpoints = checkpoints
+        self.name = f"EQ(n={checkpoints}, f={frequency:g})"
+
+    def _interval(self, state) -> float:
+        work = state.task.cycles / self.frequency
+        return work / self.checkpoints
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One swept configuration with its frontier verdict."""
+
+    frequency: float
+    checkpoints: int
+    p_timely: float
+    time: float
+    energy: float
+    on_frontier: bool
+
+    @property
+    def label(self) -> str:
+        return f"f={self.frequency:g}, n={self.checkpoints}"
+
+
+def _dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """True when ``a`` is at least as good in both axes and better in one."""
+    return (
+        a[0] <= b[0] + 1e-12
+        and a[1] <= b[1] + 1e-12
+        and (a[0] < b[0] - 1e-12 or a[1] < b[1] - 1e-12)
+    )
+
+
+def pareto_points(
+    cells: Iterable[Tuple[float, int, float, float, float]],
+    *,
+    deadline: Optional[float] = None,
+    energy_budget: Optional[float] = None,
+    p_min: float = 0.0,
+) -> List[FrontierPoint]:
+    """Classify swept cells into frontier / dominated points.
+
+    ``cells`` yields ``(frequency, checkpoints, p_timely, time,
+    energy)`` rows — expected completion time of timely runs and
+    expected energy.  A cell is *eligible* when its estimates are
+    finite, ``p_timely >= p_min``, and it fits the optional deadline
+    and energy budget; among eligible cells the non-dominated set under
+    coordinate-wise (time, energy) minimisation is marked
+    ``on_frontier``.  Ineligible cells are returned too (never on the
+    frontier) so reports can show the whole grid.
+    """
+    rows = list(cells)
+    eligible: List[int] = []
+    for i, (_, _, p, time, energy) in enumerate(rows):
+        if not (math.isfinite(time) and math.isfinite(energy)):
+            continue
+        if p < p_min - 1e-12:
+            continue
+        if deadline is not None and time > deadline + 1e-12:
+            continue
+        if energy_budget is not None and energy > energy_budget + 1e-12:
+            continue
+        eligible.append(i)
+
+    frontier = set()
+    for i in eligible:
+        _, _, _, ti, ei = rows[i]
+        dominated = any(
+            _dominates((rows[j][3], rows[j][4]), (ti, ei))
+            for j in eligible
+            if j != i
+        )
+        if not dominated:
+            frontier.add(i)
+
+    points = [
+        FrontierPoint(
+            frequency=f,
+            checkpoints=n,
+            p_timely=p,
+            time=time,
+            energy=energy,
+            on_frontier=(i in frontier),
+        )
+        for i, (f, n, p, time, energy) in enumerate(rows)
+    ]
+    points.sort(key=lambda pt: (pt.time, pt.energy, pt.frequency, pt.checkpoints))
+    return points
+
+
+def render_frontier(points: Sequence[FrontierPoint]) -> str:
+    """Plain-text frontier table (``*`` marks non-dominated points)."""
+    lines = [
+        f"{'':2} {'f':>6} {'n':>4} {'P':>8} {'time':>12} {'energy':>12}"
+    ]
+    for pt in points:
+        marker = "*" if pt.on_frontier else ""
+        lines.append(
+            f"{marker:2} {pt.frequency:>6g} {pt.checkpoints:>4d} "
+            f"{pt.p_timely:>8.4f} {pt.time:>12.4f} {pt.energy:>12.4f}"
+        )
+    count = sum(1 for pt in points if pt.on_frontier)
+    lines.append(f"frontier: {count} of {len(points)} configurations")
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""Event-level golden pin for the multi-task EDF engine.
+
+The executor goldens (:mod:`repro.goldens`) localise drift in the
+single-task executor; this module does the same for the workload
+engine.  One curated scenario — generator params, seed, selected
+operating point, and one rep of the schedule simulation — is recorded
+as a JSONL trace: a header line, one ``job`` event per
+:class:`~repro.rts.scheduler.JobRecord` in deterministic order, a
+``summary`` line (energy, busy time, makespan), and an ``end``
+sentinel.  Replay re-runs the scenario against the current tree and
+reports the **first diverging event** with field-level
+expected-vs-actual, so a behavioural change in the generator, the
+selection rule, or the scheduler shows up as a localised diff instead
+of a bare bit-identity failure.
+
+Floats ride the shared exact codec of :mod:`repro.api.results`, so
+events round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.results import git_describe, json_dumps_exact, json_loads_exact
+from repro.errors import ConfigurationError
+from repro.workloads.engine import TasksetCellJob, _rep_seed
+from repro.rts.generators import WorkloadParams
+from repro.rts.scheduler import ScheduleResult, simulate_schedule
+from repro.core.checkpoints import CostModel
+from repro.sim.energy import EnergyModel
+
+__all__ = [
+    "FORMAT",
+    "GOLDEN_JOB",
+    "TasksetDrift",
+    "record_taskset_golden",
+    "replay_taskset_golden",
+]
+
+#: Taskset-trace format tag; bump on incompatible layout changes.
+FORMAT = "repro.taskset-trace/1"
+
+#: The curated scenario committed under ``tests/goldens/``: a bursty
+#: 3-task workload at moderate load — exercises constrained deadlines,
+#: preemption, fault rollbacks, and the frequency-selection rule.
+GOLDEN_JOB = TasksetCellJob(
+    params=WorkloadParams(
+        pattern="bursty",
+        n_tasks=3,
+        utilization=0.55,
+        fault_rate=2e-4,
+        fault_budget=2,
+    ),
+    horizon=20_000.0,
+    policy="edf",
+    frequencies=(1.0, 2.0),
+    reps=1,
+    seed=200610,
+)
+
+
+def _scenario_payload(job: TasksetCellJob, rep: int) -> Dict[str, object]:
+    params = job.params
+    return {
+        "name": f"taskset-{params.pattern}-{job.policy}",
+        "rep": rep,
+        "seed": job.seed,
+        "horizon": job.horizon,
+        "policy": job.policy,
+        "frequencies": list(job.frequencies),
+        "params": {
+            "pattern": params.pattern,
+            "n_tasks": params.n_tasks,
+            "utilization": params.utilization,
+            "fault_rate": params.fault_rate,
+            "fault_budget": params.fault_budget,
+            "period_scale": params.period_scale,
+            "costs": {
+                "store_cycles": params.costs.store_cycles,
+                "compare_cycles": params.costs.compare_cycles,
+                "rollback_cycles": params.costs.rollback_cycles,
+            },
+        },
+    }
+
+
+def _job_from_scenario(scenario: Dict[str, object]) -> Tuple[TasksetCellJob, int]:
+    try:
+        raw = dict(scenario["params"])  # type: ignore[arg-type]
+        costs = dict(raw.pop("costs"))
+        job = TasksetCellJob(
+            params=WorkloadParams(costs=CostModel(**costs), **raw),
+            horizon=scenario["horizon"],  # type: ignore[arg-type]
+            policy=scenario["policy"],  # type: ignore[arg-type]
+            frequencies=tuple(scenario["frequencies"]),  # type: ignore[arg-type]
+            reps=1,
+            seed=scenario["seed"],  # type: ignore[arg-type]
+        )
+        return job, int(scenario["rep"])  # type: ignore[arg-type]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(
+            f"taskset golden scenario is malformed: {exc!r}"
+        )
+
+
+def _simulate(job: TasksetCellJob, rep: int) -> Tuple[ScheduleResult, Dict[str, object]]:
+    taskset, config, overrides = job.scenario()
+    result = simulate_schedule(
+        taskset,
+        horizon=job.horizon,
+        policy=job.policy,
+        frequency=config.frequency,
+        seed=_rep_seed(job.seed, rep),
+        energy_model=EnergyModel.paper_dmr(),
+        drop_late_jobs=job.drop_late_jobs,
+        chunk_overrides=overrides,
+    )
+    selection = {
+        "frequency": config.frequency,
+        "feasible": config.feasible,
+        "checkpoint_counts": [list(pair) for pair in config.checkpoint_counts],
+    }
+    return result, selection
+
+
+def _job_events(result: ScheduleResult) -> List[Dict[str, object]]:
+    events: List[Dict[str, object]] = [
+        {
+            "kind": "job",
+            "task": job.task_name,
+            "release": job.release,
+            "deadline": job.absolute_deadline,
+            "completed_at": job.completed_at,
+            "deadline_met": job.deadline_met,
+            "faults": job.faults,
+            "preemptions": job.preemptions,
+            "checkpoints": job.checkpoints,
+        }
+        for job in result.jobs
+    ]
+    events.append(
+        {
+            "kind": "summary",
+            "jobs": len(result.jobs),
+            "energy": result.energy,
+            "busy_time": result.busy_time,
+            "makespan": result.makespan,
+            "horizon": result.horizon,
+        }
+    )
+    return events
+
+
+def record_taskset_golden(
+    path: str, job: TasksetCellJob = GOLDEN_JOB, *, rep: int = 0
+) -> int:
+    """Record one rep of ``job`` as a golden trace; returns event count."""
+    result, selection = _simulate(job, rep)
+    events = _job_events(result)
+    header = {
+        "format": FORMAT,
+        "scenario": _scenario_payload(job, rep),
+        "selection": selection,
+        "git": git_describe(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json_dumps_exact(header) + "\n")
+        for event in events:
+            handle.write(json_dumps_exact(event) + "\n")
+        handle.write(
+            json_dumps_exact({"kind": "end", "events": len(events)}) + "\n"
+        )
+    return len(events)
+
+
+@dataclass(frozen=True)
+class TasksetDrift:
+    """First divergence between a golden trace and the current tree."""
+
+    path: str
+    index: int
+    kind: str
+    fields: Tuple[Tuple[str, object, object], ...]  # (name, expected, actual)
+
+    def render(self) -> str:
+        lines = [
+            f"taskset golden drift in {self.path}",
+            f"  first diverging event: index {self.index} (kind={self.kind})",
+        ]
+        for name, expected, actual in self.fields:
+            lines.append(f"    {name}: expected {expected!r}, got {actual!r}")
+        return "\n".join(lines)
+
+
+def _read_trace(path: str) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read taskset golden {path!r}: {exc}")
+    if not lines:
+        raise ConfigurationError(f"taskset golden {path!r} is empty")
+    records = [
+        json_loads_exact(line, what=f"taskset golden ({path}, line {i + 1})")
+        for i, line in enumerate(lines)
+    ]
+    header = records[0]
+    if not isinstance(header, dict) or header.get("format") != FORMAT:
+        raise ConfigurationError(
+            f"taskset golden {path!r}: expected format {FORMAT!r} header, "
+            f"got {header!r}"
+        )
+    body = [r for r in records[1:] if isinstance(r, dict)]
+    if len(body) != len(records) - 1:
+        raise ConfigurationError(
+            f"taskset golden {path!r}: non-object event line"
+        )
+    if not body or body[-1].get("kind") != "end":
+        raise ConfigurationError(
+            f"taskset golden {path!r} is truncated: no end sentinel"
+        )
+    sentinel = body.pop()
+    if sentinel.get("events") != len(body):
+        raise ConfigurationError(
+            f"taskset golden {path!r} is corrupt: end sentinel declares "
+            f"{sentinel.get('events')!r} events but {len(body)} are present"
+        )
+    return header, body
+
+
+def replay_taskset_golden(path: str) -> Optional[TasksetDrift]:
+    """Re-run a recorded scenario; ``None`` when bit-clean, else drift.
+
+    The header's selection payload is compared first (generator or
+    selection-rule drift), then events in order — the first mismatch
+    wins, with field-level expected-vs-actual.
+    """
+    header, expected_events = _read_trace(path)
+    job, rep = _job_from_scenario(header.get("scenario", {}))
+    result, selection = _simulate(job, rep)
+    actual_events = _job_events(result)
+
+    recorded_selection = header.get("selection")
+    if json_dumps_exact(recorded_selection) != json_dumps_exact(selection):
+        return TasksetDrift(
+            path=path,
+            index=-1,
+            kind="selection",
+            fields=(("selection", recorded_selection, selection),),
+        )
+
+    for index, expected in enumerate(expected_events):
+        if index >= len(actual_events):
+            return TasksetDrift(
+                path=path,
+                index=index,
+                kind=str(expected.get("kind")),
+                fields=(("event", expected, None),),
+            )
+        actual = actual_events[index]
+        if json_dumps_exact(expected) == json_dumps_exact(actual):
+            continue
+        diffs = tuple(
+            (name, expected.get(name), actual.get(name))
+            for name in sorted(set(expected) | set(actual))
+            if json_dumps_exact(expected.get(name))
+            != json_dumps_exact(actual.get(name))
+        )
+        return TasksetDrift(
+            path=path,
+            index=index,
+            kind=str(expected.get("kind")),
+            fields=diffs,
+        )
+    if len(actual_events) > len(expected_events):
+        extra = actual_events[len(expected_events)]
+        return TasksetDrift(
+            path=path,
+            index=len(expected_events),
+            kind=str(extra.get("kind")),
+            fields=(("event", None, extra),),
+        )
+    return None
